@@ -1,0 +1,180 @@
+package sdm
+
+import (
+	"fmt"
+	"os"
+
+	"sdm/internal/catalog"
+	"sdm/internal/core"
+	"sdm/internal/metadb"
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+	"sdm/internal/sim"
+)
+
+// ClusterConfig assembles a simulated parallel machine: the process
+// count, the interconnect, the striped storage system, and the metadata
+// database cost.
+type ClusterConfig struct {
+	// Procs is the number of ranks (default 4).
+	Procs int
+	// Network configures the simulated interconnect (default
+	// mpi.DefaultConfig: 10us latency, 200 MB/s links).
+	Network mpi.Config
+	// Storage configures the parallel file system (default
+	// pfs.DefaultConfig: 10 servers, 35 MB/s each, XFS-like cheap
+	// opens).
+	Storage pfs.Config
+	// DBAccessCost is the virtual time per metadata query (default
+	// catalog.AccessCost, ~2ms).
+	DBAccessCost sim.Duration
+}
+
+func (c *ClusterConfig) fill() {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Network == (mpi.Config{}) {
+		c.Network = mpi.DefaultConfig()
+	}
+	if c.Storage.NumServers == 0 {
+		c.Storage = pfs.DefaultConfig()
+	}
+	if c.DBAccessCost == 0 {
+		c.DBAccessCost = catalog.AccessCost
+	}
+}
+
+// Origin2000Config is the calibrated profile of the paper's evaluation
+// platform: a 128-processor SGI Origin2000 with XFS striped over 10
+// Fibre Channel controllers, MySQL for metadata. Absolute numbers are
+// approximations; the benchmark claims shape, not magnitude.
+func Origin2000Config(procs int) ClusterConfig {
+	return ClusterConfig{
+		Procs:        procs,
+		Network:      mpi.Config{Latency: 12_000, Bandwidth: 160e6},
+		Storage:      pfs.DefaultConfig(),
+		DBAccessCost: catalog.AccessCost,
+	}
+}
+
+// Cluster is a fully assembled simulated machine: ranks, file system,
+// and metadata database. Create one per application run (or reuse
+// across runs to model persistent storage and metadata, as the history
+// experiments do).
+type Cluster struct {
+	cfg     ClusterConfig
+	World   *mpi.World
+	FS      *pfs.System
+	DB      *metadb.DB
+	Catalog *catalog.Catalog
+}
+
+// NewCluster builds a cluster from the config.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	cfg.fill()
+	db := metadb.New()
+	cat := catalog.New(db)
+	cat.SetAccessCost(cfg.DBAccessCost)
+	return &Cluster{
+		cfg:     cfg,
+		World:   mpi.NewWorld(cfg.Procs, cfg.Network),
+		FS:      pfs.NewSystem(cfg.Storage),
+		DB:      db,
+		Catalog: cat,
+	}
+}
+
+// Procs reports the rank count.
+func (cl *Cluster) Procs() int { return cl.cfg.Procs }
+
+// Proc is one rank's context inside Cluster.Run.
+type Proc struct {
+	Comm    *mpi.Comm
+	cluster *Cluster
+}
+
+// Initialize creates this rank's Manager (the paper's SDM_initialize).
+func (p *Proc) Initialize(app string, opts Options) (*Manager, error) {
+	return core.Initialize(Env{Comm: p.Comm, FS: p.cluster.FS, Catalog: p.cluster.Catalog}, app, opts)
+}
+
+// Rank reports this process's rank.
+func (p *Proc) Rank() int { return p.Comm.Rank() }
+
+// Size reports the world size.
+func (p *Proc) Size() int { return p.Comm.Size() }
+
+// Run executes fn once per rank concurrently and waits for completion.
+// It may be called repeatedly on one cluster; virtual clocks carry
+// over, modelling successive phases or application runs on the same
+// machine.
+func (cl *Cluster) Run(fn func(*Proc)) error {
+	return cl.World.Run(func(c *mpi.Comm) {
+		fn(&Proc{Comm: c, cluster: cl})
+	})
+}
+
+// StageFile places data into the simulated file system without cost
+// accounting — the mechanism for providing externally created input
+// files (the paper's uns3d.msh).
+func (cl *Cluster) StageFile(name string, data []byte) error {
+	return cl.FS.WriteFile(name, data)
+}
+
+// ReadFile returns a stored file's contents without cost accounting,
+// for verification.
+func (cl *Cluster) ReadFile(name string) ([]byte, error) {
+	return cl.FS.ReadFile(name)
+}
+
+// ListFiles lists the simulated file system's contents.
+func (cl *Cluster) ListFiles() []string { return cl.FS.List() }
+
+// Elapsed reports the virtual makespan so far: the latest rank clock.
+func (cl *Cluster) Elapsed() sim.Duration {
+	return sim.Duration(cl.World.MaxTime())
+}
+
+// SaveCatalog persists the metadata database to a host file, modelling
+// MySQL's durability across application runs.
+func (cl *Cluster) SaveCatalog(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cl.DB.Save(f); err != nil {
+		return fmt.Errorf("sdm: saving catalog: %w", err)
+	}
+	return nil
+}
+
+// LoadCatalog restores a previously saved metadata database.
+func (cl *Cluster) LoadCatalog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cl.DB.Load(f); err != nil {
+		return fmt.Errorf("sdm: loading catalog: %w", err)
+	}
+	return nil
+}
+
+// DumpFiles writes every simulated file to a host directory for
+// inspection.
+func (cl *Cluster) DumpFiles(dir string) error { return cl.FS.Dump(dir) }
+
+// AttachStorage shares another cluster's file system and metadata
+// catalog with this one, modelling a new job launched on the same
+// machine: files and database contents persist, but the I/O servers
+// start idle (their virtual schedules are reset to match this
+// cluster's fresh clocks). Call before Run.
+func (cl *Cluster) AttachStorage(from *Cluster) {
+	cl.FS = from.FS
+	cl.DB = from.DB
+	cl.Catalog = from.Catalog
+	cl.FS.ResetSchedules()
+}

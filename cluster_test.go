@@ -1,0 +1,237 @@
+package sdm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdm"
+	"sdm/meshgen"
+	"sdm/partitioner"
+)
+
+func TestClusterDefaults(t *testing.T) {
+	cl := sdm.NewCluster(sdm.ClusterConfig{})
+	if cl.Procs() != 4 {
+		t.Fatalf("default procs = %d", cl.Procs())
+	}
+	if cl.FS == nil || cl.DB == nil || cl.Catalog == nil || cl.World == nil {
+		t.Fatal("cluster parts missing")
+	}
+}
+
+func TestClusterRoundTripThroughPublicAPI(t *testing.T) {
+	cl := sdm.NewCluster(sdm.ClusterConfig{Procs: 3})
+	const globalN = 30
+	err := cl.Run(func(p *sdm.Proc) {
+		s, err := p.Initialize("facade", sdm.Options{Organization: sdm.Level2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Finalize()
+		attrs := sdm.MakeDatalist("d")
+		attrs[0].GlobalSize = globalN
+		g, err := s.SetAttributes(attrs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var m []int32
+		for i := p.Rank(); i < globalN; i += p.Size() {
+			m = append(m, int32(i))
+		}
+		if _, err := g.DataView([]string{"d"}, m); err != nil {
+			t.Error(err)
+			return
+		}
+		vals := make([]float64, len(m))
+		for i, gi := range m {
+			vals[i] = float64(gi) * 2
+		}
+		if err := g.WriteFloat64s("d", 5, vals); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := g.ReadFloat64s("d", 5, len(m))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("rank %d: element %d mismatch", p.Rank(), i)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if len(cl.ListFiles()) != 1 {
+		t.Fatalf("files = %v", cl.ListFiles())
+	}
+}
+
+func TestSaveLoadCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.db")
+	cl := sdm.NewCluster(sdm.ClusterConfig{Procs: 2})
+	err := cl.Run(func(p *sdm.Proc) {
+		s, err := p.Initialize("persisted", sdm.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SaveCatalog(path); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := sdm.NewCluster(sdm.ClusterConfig{Procs: 2})
+	if err := cl2.LoadCatalog(path); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := cl2.Catalog.Runs(nil)
+	if err != nil || len(runs) != 1 || runs[0].Application != "persisted" {
+		t.Fatalf("restored runs = %+v, %v", runs, err)
+	}
+	if err := cl2.LoadCatalog(filepath.Join(dir, "missing.db")); err == nil {
+		t.Fatal("loading missing catalog succeeded")
+	}
+}
+
+func TestAttachStorageSharesHistoryAcrossClusters(t *testing.T) {
+	m, err := meshgen.GenerateTet(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msh, layout, err := meshgen.EncodeMsh(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := partitioner.FromEdges(m.NumNodes(), m.Edge1, m.Edge2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := partitioner.Multilevel(g, 4, partitioner.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := sdm.NewCluster(sdm.ClusterConfig{Procs: 4})
+	if err := base.StageFile("uns3d.msh", msh); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(cl *sdm.Cluster) (fromHist bool) {
+		err := cl.Run(func(p *sdm.Proc) {
+			s, err := p.Initialize("attach", sdm.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Finalize()
+			imp, err := s.MakeImportlist("uns3d.msh", []sdm.ImportSpec{
+				{Name: "edge1", Type: sdm.Integer, FileOffset: layout.Edge1Offset(), Length: layout.NumEdges, Content: "INDEX"},
+				{Name: "edge2", Type: sdm.Integer, FileOffset: layout.Edge2Offset(), Length: layout.NumEdges, Content: "INDEX"},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ip, err := s.PartitionIndex(imp, "edge1", "edge2", vec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p.Rank() == 0 {
+				fromHist = ip.FromHistory
+			}
+			if !ip.FromHistory {
+				if err := s.IndexRegistry(ip, layout.NumEdges, vec); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fromHist
+	}
+	if runOnce(base) {
+		t.Fatal("cold run found phantom history")
+	}
+	// A second cluster attached to the same storage sees the history.
+	second := sdm.NewCluster(sdm.ClusterConfig{Procs: 4})
+	second.AttachStorage(base)
+	if !runOnce(second) {
+		t.Fatal("attached cluster did not find the history")
+	}
+}
+
+func TestDumpFiles(t *testing.T) {
+	dir := t.TempDir()
+	cl := sdm.NewCluster(sdm.ClusterConfig{Procs: 1})
+	if err := cl.StageFile("hello.dat", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DumpFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "hello.dat"))
+	if err != nil || string(data) != "world" {
+		t.Fatalf("dumped file: %q, %v", data, err)
+	}
+}
+
+func TestOrigin2000Config(t *testing.T) {
+	cfg := sdm.Origin2000Config(64)
+	if cfg.Procs != 64 {
+		t.Fatalf("procs = %d", cfg.Procs)
+	}
+	if cfg.Storage.NumServers != 10 {
+		t.Fatalf("servers = %d; the paper's platform had 10 FC controllers", cfg.Storage.NumServers)
+	}
+	if cfg.Network.Bandwidth <= 0 || cfg.Network.Latency <= 0 {
+		t.Fatal("network profile empty")
+	}
+}
+
+func TestPublicMeshgenAndPartitioner(t *testing.T) {
+	m, err := meshgen.GenerateTet(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep through the public API.
+	p, q := meshgen.SweepSerial(m.Edge1, m.Edge2, m.EdgeData(0), m.NodeData(0), m.NumNodes())
+	if len(p) != m.NumNodes() || len(q) != m.NumNodes() {
+		t.Fatal("sweep result sizes wrong")
+	}
+	// Encode/decode through the public API.
+	buf, layout, err := meshgen.EncodeMsh(m, [][]float64{m.EdgeData(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _, ed, _, err := meshgen.DecodeMsh(buf, layout)
+	if err != nil || len(e1) != m.NumEdges() || len(ed) != 1 {
+		t.Fatalf("decode: %v", err)
+	}
+	// RT through the public API.
+	rt := meshgen.NewRT(m)
+	if rt.NumTriangles() == 0 || len(rt.NodeDataset(0)) != m.NumNodes() {
+		t.Fatal("RT datasets wrong")
+	}
+	// Partitioner baselines.
+	if v := partitioner.Block(10, 2); len(v) != 10 {
+		t.Fatal("block vector wrong")
+	}
+	if v := partitioner.Random(10, 2, 1); v.Validate(2) != nil {
+		t.Fatal("random vector invalid")
+	}
+}

@@ -1,0 +1,139 @@
+// Command sdmls inspects a saved SDM metadata catalog (a metadb
+// snapshot written by Cluster.SaveCatalog): the runs, datasets, write
+// records, imports, and index histories of the paper's six tables —
+// the execution-flow picture of the paper's Figure 4 as text.
+//
+// Usage:
+//
+//	sdmls [-table all|runs|datasets|writes|imports|histories] catalog.db
+//	sdmls -sql 'SELECT * FROM run_table' catalog.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"sdm/internal/catalog"
+	"sdm/internal/metadb"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table(s) to show")
+	sql := flag.String("sql", "", "run a raw SQL query instead")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdmls [-table name | -sql query] catalog.db")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	db := metadb.New()
+	if err := db.Load(f); err != nil {
+		log.Fatal(err)
+	}
+	cat := catalog.New(db)
+	cat.SetAccessCost(0)
+
+	if *sql != "" {
+		rows, err := db.Query(*sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, strings.Join(rows.Columns, "\t"))
+		for _, row := range rows.Data {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+		w.Flush()
+		return
+	}
+
+	show := func(name string) bool { return *table == "all" || *table == name }
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+
+	if show("runs") {
+		runs, err := cat.Runs(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "== run_table (%d rows) ==\n", len(runs))
+		fmt.Fprintln(w, "runid\tapplication\tdimension\tproblem_size\ttimesteps\tstamp")
+		for _, r := range runs {
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%s\n",
+				r.RunID, r.Application, r.Dimension, r.ProblemSize, r.Timesteps,
+				r.Stamp.Format("2006-01-02 15:04"))
+		}
+		w.Flush()
+	}
+	if show("datasets") {
+		fmt.Fprintln(w, "\n== access_pattern_table ==")
+		fmt.Fprintln(w, "runid\tdataset\tpattern\ttype\torder\tglobal_size")
+		runs, _ := cat.Runs(nil)
+		for _, r := range runs {
+			infos, err := cat.Datasets(nil, r.RunID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range infos {
+				fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\n",
+					d.RunID, d.Dataset, d.AccessPattern, d.DataType, d.StorageOrder, d.GlobalSize)
+			}
+		}
+		w.Flush()
+	}
+	if show("writes") {
+		fmt.Fprintln(w, "\n== execution_table ==")
+		fmt.Fprintln(w, "runid\tdataset\ttimestep\tfile_offset\tfile_name")
+		runs, _ := cat.Runs(nil)
+		for _, r := range runs {
+			recs, err := cat.WritesForRun(nil, r.RunID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, rec := range recs {
+				fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\n",
+					rec.RunID, rec.Dataset, rec.Timestep, rec.FileOffset, rec.FileName)
+			}
+		}
+		w.Flush()
+	}
+	if show("imports") {
+		fmt.Fprintln(w, "\n== import_table ==")
+		fmt.Fprintln(w, "runid\timported_name\tfile\ttype\tcontent\toffset\tlength")
+		runs, _ := cat.Runs(nil)
+		for _, r := range runs {
+			imps, err := cat.Imports(nil, r.RunID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, e := range imps {
+				fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d\n",
+					e.RunID, e.ImportedName, e.FileName, e.DataType, e.FileContent, e.FileOffset, e.Length)
+			}
+		}
+		w.Flush()
+	}
+	if show("histories") {
+		hists, err := cat.Histories(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "\n== index_table (%d histories) ==\n", len(hists))
+		fmt.Fprintln(w, "problem_size\tnum_nodes\tnprocs\tfile")
+		for _, h := range hists {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%s\n", h.ProblemSize, h.NumNodes, h.NProcs, h.FileName)
+		}
+		w.Flush()
+	}
+}

@@ -1,0 +1,129 @@
+// Command sdmsql is an interactive shell for the embedded metadata
+// database (the MySQL stand-in). It reads SQL statements from stdin,
+// one per line, and prints results; with -db it operates on a saved
+// catalog snapshot and persists changes back on exit with \w.
+//
+// Meta commands: \t lists tables, \d <table> shows columns,
+// \w writes the database back to the -db file, \q quits.
+//
+// Usage:
+//
+//	sdmsql [-db catalog.db]
+//	echo 'SELECT * FROM run_table' | sdmsql -db catalog.db
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"sdm/internal/metadb"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "metadb snapshot to load (and \\w to)")
+	flag.Parse()
+
+	db := metadb.New()
+	if *dbPath != "" {
+		if f, err := os.Open(*dbPath); err == nil {
+			if err := db.Load(f); err != nil {
+				log.Fatalf("loading %s: %v", *dbPath, err)
+			}
+			f.Close()
+			fmt.Printf("loaded %s (%d tables)\n", *dbPath, len(db.TableNames()))
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Print("sdmsql> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == `\q`:
+			return
+		case line == `\t`:
+			for _, t := range db.TableNames() {
+				fmt.Println(t)
+			}
+		case strings.HasPrefix(line, `\d `):
+			cols, err := db.Columns(strings.TrimSpace(line[3:]))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for _, c := range cols {
+				fmt.Println(c)
+			}
+		case line == `\w`:
+			if *dbPath == "" {
+				fmt.Println("error: no -db path to write to")
+				break
+			}
+			if err := save(db, *dbPath); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("wrote %s\n", *dbPath)
+			}
+		default:
+			execute(db, line)
+		}
+		if interactive {
+			fmt.Print("sdmsql> ")
+		}
+	}
+}
+
+func execute(db *metadb.DB, stmt string) {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, strings.Join(rows.Columns, "\t"))
+		for _, row := range rows.Data {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+		w.Flush()
+		fmt.Printf("(%d rows)\n", rows.Len())
+		return
+	}
+	n, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+func save(db *metadb.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Save(f)
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}

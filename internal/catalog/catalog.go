@@ -1,0 +1,549 @@
+// Package catalog implements SDM's metadata schema: the six database
+// tables of the paper's Figure 4 (run_table, access_pattern_table,
+// execution_table, import_table, index_table, index_history_table),
+// with typed Go accessors that issue SQL against the embedded metadb.
+//
+// The paper stores this metadata in MySQL through embedded SQL; the
+// catalog keeps the same shape, including the cost: every call can
+// charge a configurable per-query virtual time to the calling rank's
+// clock, so the "database cost to access the metadata" that the paper
+// folds into the history path is represented.
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"sdm/internal/metadb"
+	"sdm/internal/sim"
+)
+
+// AccessCost is the default virtual time charged per catalog query,
+// approximating a local MySQL round trip of the paper's era.
+const AccessCost = sim.Duration(2 * time.Millisecond)
+
+// Catalog wraps a metadb with SDM's schema.
+type Catalog struct {
+	db   *metadb.DB
+	cost sim.Duration
+}
+
+// New wraps db. EnsureSchema must be called before the accessors.
+func New(db *metadb.DB) *Catalog {
+	return &Catalog{db: db, cost: AccessCost}
+}
+
+// DB exposes the underlying database (for inspection tools).
+func (c *Catalog) DB() *metadb.DB { return c.db }
+
+// SetAccessCost overrides the per-query virtual cost (zero disables
+// cost charging entirely).
+func (c *Catalog) SetAccessCost(d sim.Duration) { c.cost = d }
+
+// charge bills one query to clock, if a clock is supplied.
+func (c *Catalog) charge(clock *sim.Clock) {
+	if clock != nil {
+		clock.Advance(c.cost)
+	}
+}
+
+// schema holds the CREATE statements for the paper's six tables.
+var schema = []string{
+	`CREATE TABLE IF NOT EXISTS run_table (
+		runid INTEGER, application TEXT, dimension INTEGER,
+		problem_size INTEGER, num_timesteps INTEGER,
+		year INTEGER, month INTEGER, day INTEGER, hour INTEGER, min INTEGER)`,
+	`CREATE INDEX IF NOT EXISTS run_table_runid ON run_table (runid)`,
+
+	`CREATE TABLE IF NOT EXISTS access_pattern_table (
+		runid INTEGER, dataset TEXT, access_pattern TEXT,
+		data_type TEXT, storage_order TEXT, global_size INTEGER)`,
+	`CREATE INDEX IF NOT EXISTS access_pattern_runid ON access_pattern_table (runid)`,
+
+	`CREATE TABLE IF NOT EXISTS execution_table (
+		runid INTEGER, dataset TEXT, timestep INTEGER,
+		file_offset INTEGER, file_name TEXT)`,
+	`CREATE INDEX IF NOT EXISTS execution_dataset ON execution_table (dataset)`,
+
+	`CREATE TABLE IF NOT EXISTS import_table (
+		runid INTEGER, imported_name TEXT, file_name TEXT, data_type TEXT,
+		storage_order TEXT, partition TEXT, file_content TEXT,
+		file_offset INTEGER, length INTEGER)`,
+	`CREATE INDEX IF NOT EXISTS import_runid ON import_table (runid)`,
+
+	`CREATE TABLE IF NOT EXISTS index_table (
+		problem_size INTEGER, num_nodes INTEGER, nprocs INTEGER,
+		dimension INTEGER, registered_file_name TEXT)`,
+	`CREATE INDEX IF NOT EXISTS index_table_size ON index_table (problem_size)`,
+
+	`CREATE TABLE IF NOT EXISTS index_history_table (
+		registered_file_name TEXT, rank INTEGER, partitioned_size INTEGER,
+		node_size INTEGER)`,
+	`CREATE INDEX IF NOT EXISTS index_history_file ON index_history_table (registered_file_name)`,
+
+	// annotation_table backs the paper's "high-level description,
+	// together with annotations": free-form metadata applications
+	// attach to runs, datasets, or derived layers (the netCDF-style
+	// layer stores its headers here).
+	`CREATE TABLE IF NOT EXISTS annotation_table (
+		runid INTEGER, scope TEXT, k TEXT, v BLOB)`,
+	`CREATE INDEX IF NOT EXISTS annotation_scope ON annotation_table (scope)`,
+}
+
+// EnsureSchema creates the six tables and their indexes if absent. It
+// is idempotent, as SDM_initialize requires across runs.
+func (c *Catalog) EnsureSchema() error {
+	for _, stmt := range schema {
+		if _, err := c.db.Exec(stmt); err != nil {
+			return fmt.Errorf("catalog: creating schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// run_table
+// ---------------------------------------------------------------------------
+
+// Run is one row of run_table.
+type Run struct {
+	RunID       int64
+	Application string
+	Dimension   int64
+	ProblemSize int64
+	Timesteps   int64
+	Stamp       time.Time
+}
+
+// RegisterRun allocates the next run id and records the run, stamping
+// it with the supplied wall-clock time (the paper stores
+// year/month/day/hour/min).
+func (c *Catalog) RegisterRun(clock *sim.Clock, app string, dimension, problemSize, timesteps int64, when time.Time) (int64, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(`SELECT MAX(runid) FROM run_table`)
+	if err != nil {
+		return 0, err
+	}
+	next := int64(1)
+	if row != nil && !row[0].IsNull() {
+		next = row[0].AsInt() + 1
+	}
+	_, err = c.db.Exec(
+		`INSERT INTO run_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		next, app, dimension, problemSize, timesteps,
+		int64(when.Year()), int64(when.Month()), int64(when.Day()),
+		int64(when.Hour()), int64(when.Minute()))
+	if err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// LookupRun fetches one run_table row.
+func (c *Catalog) LookupRun(clock *sim.Clock, runid int64) (*Run, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(
+		`SELECT runid, application, dimension, problem_size, num_timesteps,
+		        year, month, day, hour, min
+		 FROM run_table WHERE runid = ?`, runid)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return &Run{
+		RunID:       row[0].AsInt(),
+		Application: row[1].AsText(),
+		Dimension:   row[2].AsInt(),
+		ProblemSize: row[3].AsInt(),
+		Timesteps:   row[4].AsInt(),
+		Stamp: time.Date(int(row[5].AsInt()), time.Month(row[6].AsInt()),
+			int(row[7].AsInt()), int(row[8].AsInt()), int(row[9].AsInt()), 0, 0, time.UTC),
+	}, nil
+}
+
+// Runs lists all registered runs in id order.
+func (c *Catalog) Runs(clock *sim.Clock) ([]Run, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT runid, application, dimension, problem_size, num_timesteps,
+		        year, month, day, hour, min
+		 FROM run_table ORDER BY runid`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Run, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, Run{
+			RunID:       r[0].AsInt(),
+			Application: r[1].AsText(),
+			Dimension:   r[2].AsInt(),
+			ProblemSize: r[3].AsInt(),
+			Timesteps:   r[4].AsInt(),
+			Stamp: time.Date(int(r[5].AsInt()), time.Month(r[6].AsInt()),
+				int(r[7].AsInt()), int(r[8].AsInt()), int(r[9].AsInt()), 0, 0, time.UTC),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// access_pattern_table
+// ---------------------------------------------------------------------------
+
+// DatasetInfo is one row of access_pattern_table: the registered shape
+// of one dataset within a run's data group.
+type DatasetInfo struct {
+	RunID         int64
+	Dataset       string
+	AccessPattern string // e.g. "IRREGULAR"
+	DataType      string // e.g. "DOUBLE"
+	StorageOrder  string // e.g. "ROW_MAJOR"
+	GlobalSize    int64  // elements in the global array
+}
+
+// RegisterDataset records a dataset's access pattern metadata
+// (SDM_set_attributes writes these rows).
+func (c *Catalog) RegisterDataset(clock *sim.Clock, info DatasetInfo) error {
+	c.charge(clock)
+	_, err := c.db.Exec(
+		`INSERT INTO access_pattern_table VALUES (?, ?, ?, ?, ?, ?)`,
+		info.RunID, info.Dataset, info.AccessPattern, info.DataType,
+		info.StorageOrder, info.GlobalSize)
+	return err
+}
+
+// LookupDataset fetches a dataset's registered metadata; nil when the
+// dataset was never registered.
+func (c *Catalog) LookupDataset(clock *sim.Clock, runid int64, dataset string) (*DatasetInfo, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(
+		`SELECT runid, dataset, access_pattern, data_type, storage_order, global_size
+		 FROM access_pattern_table WHERE runid = ? AND dataset = ?`, runid, dataset)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return &DatasetInfo{
+		RunID:         row[0].AsInt(),
+		Dataset:       row[1].AsText(),
+		AccessPattern: row[2].AsText(),
+		DataType:      row[3].AsText(),
+		StorageOrder:  row[4].AsText(),
+		GlobalSize:    row[5].AsInt(),
+	}, nil
+}
+
+// Datasets lists the datasets registered for a run.
+func (c *Catalog) Datasets(clock *sim.Clock, runid int64) ([]DatasetInfo, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT runid, dataset, access_pattern, data_type, storage_order, global_size
+		 FROM access_pattern_table WHERE runid = ? ORDER BY dataset`, runid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DatasetInfo, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, DatasetInfo{
+			RunID:         r[0].AsInt(),
+			Dataset:       r[1].AsText(),
+			AccessPattern: r[2].AsText(),
+			DataType:      r[3].AsText(),
+			StorageOrder:  r[4].AsText(),
+			GlobalSize:    r[5].AsInt(),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// execution_table
+// ---------------------------------------------------------------------------
+
+// WriteRecord is one row of execution_table: where one timestep of one
+// dataset landed. Level-2 and level-3 file organizations rely on these
+// offsets to append and to find data again.
+type WriteRecord struct {
+	RunID      int64
+	Dataset    string
+	Timestep   int64
+	FileOffset int64
+	FileName   string
+}
+
+// RecordWrite inserts an execution_table row (done by process 0 in
+// SDM_write, per the paper).
+func (c *Catalog) RecordWrite(clock *sim.Clock, rec WriteRecord) error {
+	c.charge(clock)
+	_, err := c.db.Exec(
+		`INSERT INTO execution_table VALUES (?, ?, ?, ?, ?)`,
+		rec.RunID, rec.Dataset, rec.Timestep, rec.FileOffset, rec.FileName)
+	return err
+}
+
+// LookupWrite finds where a dataset's timestep was written; nil when
+// absent.
+func (c *Catalog) LookupWrite(clock *sim.Clock, runid int64, dataset string, timestep int64) (*WriteRecord, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(
+		`SELECT runid, dataset, timestep, file_offset, file_name
+		 FROM execution_table
+		 WHERE runid = ? AND dataset = ? AND timestep = ?`, runid, dataset, timestep)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return &WriteRecord{
+		RunID:      row[0].AsInt(),
+		Dataset:    row[1].AsText(),
+		Timestep:   row[2].AsInt(),
+		FileOffset: row[3].AsInt(),
+		FileName:   row[4].AsText(),
+	}, nil
+}
+
+// WritesForRun lists all recorded writes of a run ordered by dataset
+// then timestep.
+func (c *Catalog) WritesForRun(clock *sim.Clock, runid int64) ([]WriteRecord, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT runid, dataset, timestep, file_offset, file_name
+		 FROM execution_table WHERE runid = ? ORDER BY dataset, timestep`, runid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WriteRecord, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, WriteRecord{
+			RunID:      r[0].AsInt(),
+			Dataset:    r[1].AsText(),
+			Timestep:   r[2].AsInt(),
+			FileOffset: r[3].AsInt(),
+			FileName:   r[4].AsText(),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// import_table
+// ---------------------------------------------------------------------------
+
+// ImportEntry is one row of import_table: an externally created array
+// that SDM imports (the paper's uns3d.msh contents).
+type ImportEntry struct {
+	RunID        int64
+	ImportedName string
+	FileName     string
+	DataType     string // "INTEGER" | "DOUBLE"
+	StorageOrder string // "ROW_MAJOR"
+	Partition    string // "DISTRIBUTED"
+	FileContent  string // "INDEX" | "DATA"
+	FileOffset   int64
+	Length       int64 // elements
+}
+
+// RegisterImport records one imported array (SDM_make_importlist).
+func (c *Catalog) RegisterImport(clock *sim.Clock, e ImportEntry) error {
+	c.charge(clock)
+	_, err := c.db.Exec(
+		`INSERT INTO import_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		e.RunID, e.ImportedName, e.FileName, e.DataType, e.StorageOrder,
+		e.Partition, e.FileContent, e.FileOffset, e.Length)
+	return err
+}
+
+// Imports lists a run's import list in registration order.
+func (c *Catalog) Imports(clock *sim.Clock, runid int64) ([]ImportEntry, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT runid, imported_name, file_name, data_type, storage_order,
+		        partition, file_content, file_offset, length
+		 FROM import_table WHERE runid = ?`, runid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ImportEntry, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, ImportEntry{
+			RunID:        r[0].AsInt(),
+			ImportedName: r[1].AsText(),
+			FileName:     r[2].AsText(),
+			DataType:     r[3].AsText(),
+			StorageOrder: r[4].AsText(),
+			Partition:    r[5].AsText(),
+			FileContent:  r[6].AsText(),
+			FileOffset:   r[7].AsInt(),
+			Length:       r[8].AsInt(),
+		})
+	}
+	return out, nil
+}
+
+// ReleaseImports removes a run's import list (SDM_release_importlist).
+func (c *Catalog) ReleaseImports(clock *sim.Clock, runid int64) error {
+	c.charge(clock)
+	_, err := c.db.Exec(`DELETE FROM import_table WHERE runid = ?`, runid)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// index_table + index_history_table
+// ---------------------------------------------------------------------------
+
+// IndexHistory describes one registered index distribution: the history
+// file holding every rank's already partitioned edges, and each rank's
+// partitioned sizes. A history is only valid for the exact problem
+// size and process count it was created with — the paper's stated
+// limitation.
+type IndexHistory struct {
+	ProblemSize int64 // total edges
+	NumNodes    int64
+	NProcs      int64
+	Dimension   int64
+	FileName    string
+	EdgeSizes   []int64 // per-rank partitioned edge count (incl. ghosts)
+	NodeSizes   []int64 // per-rank partitioned node count (incl. ghosts)
+}
+
+// RegisterIndexHistory records a new history (SDM_index_registry): one
+// index_table row plus one index_history_table row per rank.
+func (c *Catalog) RegisterIndexHistory(clock *sim.Clock, h IndexHistory) error {
+	if int64(len(h.EdgeSizes)) != h.NProcs || int64(len(h.NodeSizes)) != h.NProcs {
+		return fmt.Errorf("catalog: history has %d/%d per-rank sizes for %d procs",
+			len(h.EdgeSizes), len(h.NodeSizes), h.NProcs)
+	}
+	c.charge(clock)
+	_, err := c.db.Exec(
+		`INSERT INTO index_table VALUES (?, ?, ?, ?, ?)`,
+		h.ProblemSize, h.NumNodes, h.NProcs, h.Dimension, h.FileName)
+	if err != nil {
+		return err
+	}
+	for rank := int64(0); rank < h.NProcs; rank++ {
+		_, err = c.db.Exec(
+			`INSERT INTO index_history_table VALUES (?, ?, ?, ?)`,
+			h.FileName, rank, h.EdgeSizes[rank], h.NodeSizes[rank])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupIndexHistory finds a history matching (problemSize, nprocs);
+// nil when none exists — the caller then falls back to the full ring
+// distribution, exactly as SDM_import does.
+func (c *Catalog) LookupIndexHistory(clock *sim.Clock, problemSize, nprocs int64) (*IndexHistory, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(
+		`SELECT problem_size, num_nodes, nprocs, dimension, registered_file_name
+		 FROM index_table WHERE problem_size = ? AND nprocs = ?`, problemSize, nprocs)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	h := &IndexHistory{
+		ProblemSize: row[0].AsInt(),
+		NumNodes:    row[1].AsInt(),
+		NProcs:      row[2].AsInt(),
+		Dimension:   row[3].AsInt(),
+		FileName:    row[4].AsText(),
+	}
+	rows, err := c.db.Query(
+		`SELECT rank, partitioned_size, node_size FROM index_history_table
+		 WHERE registered_file_name = ? ORDER BY rank`, h.FileName)
+	if err != nil {
+		return nil, err
+	}
+	if int64(rows.Len()) != nprocs {
+		return nil, fmt.Errorf("catalog: history %q has %d rank rows, want %d",
+			h.FileName, rows.Len(), nprocs)
+	}
+	h.EdgeSizes = make([]int64, rows.Len())
+	h.NodeSizes = make([]int64, rows.Len())
+	for i, r := range rows.Data {
+		if got := r[0].AsInt(); got != int64(i) {
+			return nil, fmt.Errorf("catalog: history %q rank rows out of order", h.FileName)
+		}
+		h.EdgeSizes[i] = r[1].AsInt()
+		h.NodeSizes[i] = r[2].AsInt()
+	}
+	return h, nil
+}
+
+// Histories lists all registered index histories.
+func (c *Catalog) Histories(clock *sim.Clock) ([]IndexHistory, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT problem_size, num_nodes, nprocs, dimension, registered_file_name
+		 FROM index_table ORDER BY problem_size, nprocs`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IndexHistory, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, IndexHistory{
+			ProblemSize: r[0].AsInt(),
+			NumNodes:    r[1].AsInt(),
+			NProcs:      r[2].AsInt(),
+			Dimension:   r[3].AsInt(),
+			FileName:    r[4].AsText(),
+		})
+	}
+	return out, nil
+}
+
+// DeleteIndexHistory removes a registered history and its per-rank
+// rows, used when a stale history must be invalidated.
+func (c *Catalog) DeleteIndexHistory(clock *sim.Clock, fileName string) error {
+	c.charge(clock)
+	if _, err := c.db.Exec(`DELETE FROM index_table WHERE registered_file_name = ?`, fileName); err != nil {
+		return err
+	}
+	_, err := c.db.Exec(`DELETE FROM index_history_table WHERE registered_file_name = ?`, fileName)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// annotation_table
+// ---------------------------------------------------------------------------
+
+// PutAnnotation stores (or replaces) one free-form metadata entry under
+// (runid, scope, key).
+func (c *Catalog) PutAnnotation(clock *sim.Clock, runid int64, scope, key string, value []byte) error {
+	c.charge(clock)
+	if _, err := c.db.Exec(
+		`DELETE FROM annotation_table WHERE runid = ? AND scope = ? AND k = ?`,
+		runid, scope, key); err != nil {
+		return err
+	}
+	_, err := c.db.Exec(`INSERT INTO annotation_table VALUES (?, ?, ?, ?)`,
+		runid, scope, key, value)
+	return err
+}
+
+// GetAnnotation fetches an annotation; nil value with nil error means
+// not present.
+func (c *Catalog) GetAnnotation(clock *sim.Clock, runid int64, scope, key string) ([]byte, error) {
+	c.charge(clock)
+	row, err := c.db.QueryRow(
+		`SELECT v FROM annotation_table WHERE runid = ? AND scope = ? AND k = ?`,
+		runid, scope, key)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return row[0].AsBlob(), nil
+}
+
+// Annotations lists all keys under (runid, scope) in key order.
+func (c *Catalog) Annotations(clock *sim.Clock, runid int64, scope string) (map[string][]byte, error) {
+	c.charge(clock)
+	rows, err := c.db.Query(
+		`SELECT k, v FROM annotation_table WHERE runid = ? AND scope = ? ORDER BY k`,
+		runid, scope)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, rows.Len())
+	for _, r := range rows.Data {
+		out[r[0].AsText()] = r[1].AsBlob()
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+// Package core implements SDM — the Scientific Data Manager of the
+// paper — for irregular applications. It is the layer between the
+// application and the substrates: it stores real data through MPI-IO
+// style collective I/O (internal/mpiio) on a striped parallel file
+// system (internal/pfs), and all metadata in a relational database
+// (internal/metadb via internal/catalog).
+//
+// The API mirrors the paper's C interface:
+//
+//	SDM_initialize            -> Initialize
+//	SDM_make_datalist /
+//	SDM_associate_attributes /
+//	SDM_set_attributes        -> MakeDatalist, SetAttributes -> *Group
+//	SDM_data_view             -> Group.DataView
+//	SDM_write / SDM_read      -> Group.Write / Group.Read
+//	SDM_make_importlist       -> MakeImportlist -> *Importer
+//	SDM_import                -> Importer.ImportContiguous / ImportView
+//	SDM_partition_table       -> PartitionTable
+//	SDM_partition_index       -> PartitionIndex (history-aware)
+//	SDM_partition_index_size  -> IndexPartition.NumEdges
+//	SDM_partition_data_size   -> IndexPartition.NumNodes
+//	SDM_index_registry        -> IndexRegistry
+//	SDM_release_importlist    -> Importer.Release
+//	SDM_finalize              -> Finalize
+//
+// Every call is collective over the communicator unless noted. Database
+// access happens on rank 0 and results are broadcast, as the paper's
+// design (process 0 records offsets in the execution table) prescribes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sdm/internal/catalog"
+	"sdm/internal/mpi"
+	"sdm/internal/mpiio"
+	"sdm/internal/pfs"
+	"sdm/internal/sim"
+)
+
+// DataType enumerates the element types SDM stores, matching the
+// paper's metadata values.
+type DataType int
+
+// Supported element types.
+const (
+	Double  DataType = iota // 8-byte float64, metadata value "DOUBLE"
+	Integer                 // 4-byte int32, metadata value "INTEGER"
+	Long                    // 8-byte int64, metadata value "LONG"
+)
+
+// Size reports the element size in bytes.
+func (d DataType) Size() int64 {
+	switch d {
+	case Integer:
+		return 4
+	case Long:
+		return 8
+	default:
+		return 8
+	}
+}
+
+func (d DataType) String() string {
+	switch d {
+	case Integer:
+		return "INTEGER"
+	case Long:
+		return "LONG"
+	default:
+		return "DOUBLE"
+	}
+}
+
+// FileOrganization selects among the paper's three ways of organizing
+// data in files.
+type FileOrganization int
+
+const (
+	// Level1 writes each dataset of each timestep to its own file:
+	// simple, but pays file-open and file-view costs at every step.
+	Level1 FileOrganization = iota + 1
+	// Level2 appends all timesteps of one dataset to one file.
+	Level2
+	// Level3 stores every timestep of every dataset of a group in a
+	// single file, with offsets tracked in the execution table.
+	Level3
+)
+
+func (l FileOrganization) String() string {
+	return fmt.Sprintf("level%d", int(l))
+}
+
+// Options tunes an SDM instance.
+type Options struct {
+	// Organization selects the file layout (default Level3).
+	Organization FileOrganization
+	// Hints passes MPI-IO hints through to collective I/O.
+	Hints mpiio.Hints
+	// EdgeScanRate is the simulated rate (edges/second) at which a rank
+	// examines edges during index partitioning (default 4e6,
+	// an R10000-era processing rate). It determines the computation
+	// share of the paper's "index distri." cost.
+	EdgeScanRate float64
+	// MemCopyRate is the simulated memory bandwidth (bytes/second) for
+	// buffer assembly (default 150e6, era-appropriate).
+	MemCopyRate float64
+	// TwoPassImport models the original application's sizing pass: the
+	// partitioning scan reads the edges twice. SDM's memory-doubling
+	// single pass (the realloc optimization the paper describes) leaves
+	// this false.
+	TwoPassImport bool
+	// DisableDB runs without a metadata catalog. Import and write paths
+	// still function (history registration becomes a no-op), supporting
+	// the ablation that isolates database cost.
+	DisableDB bool
+	// Stamp is the wall-clock time recorded in run_table (defaults to
+	// a fixed date for reproducibility).
+	Stamp time.Time
+}
+
+func (o *Options) fill() {
+	if o.Organization == 0 {
+		o.Organization = Level3
+	}
+	if o.EdgeScanRate <= 0 {
+		o.EdgeScanRate = 4e6
+	}
+	if o.MemCopyRate <= 0 {
+		o.MemCopyRate = 150e6
+	}
+	if o.Stamp.IsZero() {
+		o.Stamp = time.Date(2001, 2, 20, 12, 0, 0, 0, time.UTC)
+	}
+}
+
+// Env bundles the substrate an SDM instance runs on. The file system
+// and catalog are shared across ranks; the communicator is per rank.
+type Env struct {
+	Comm    *mpi.Comm
+	FS      *pfs.System
+	Catalog *catalog.Catalog // may be nil with Options.DisableDB
+}
+
+// SDM is one rank's handle on the data manager (the result of
+// SDM_initialize).
+type SDM struct {
+	env   Env
+	app   string
+	runID int64
+	opts  Options
+
+	groups    []*Group
+	importers []*Importer
+
+	// asyncDone tracks completion times of asynchronous history writes
+	// to be joined at Finalize.
+	asyncDone []sim.Time
+}
+
+// Initialize establishes the database connection, creates the six
+// metadata tables if needed, and registers this run. Collective.
+func Initialize(env Env, app string, opts Options) (*SDM, error) {
+	opts.fill()
+	if env.Comm == nil || env.FS == nil {
+		return nil, fmt.Errorf("core: Env requires Comm and FS")
+	}
+	if env.Catalog == nil && !opts.DisableDB {
+		return nil, fmt.Errorf("core: Env requires Catalog unless Options.DisableDB")
+	}
+	s := &SDM{env: env, app: app, opts: opts}
+	if opts.DisableDB {
+		s.runID = 1
+		env.Comm.Barrier()
+		return s, nil
+	}
+	var runID int64
+	var initErr error
+	if env.Comm.Rank() == 0 {
+		if err := env.Catalog.EnsureSchema(); err != nil {
+			initErr = err
+		} else {
+			runID, initErr = env.Catalog.RegisterRun(env.Comm.Clock(), app, 3, 0, 0, opts.Stamp)
+		}
+	}
+	errFlag := int64(0)
+	if initErr != nil {
+		errFlag = 1
+	}
+	if env.Comm.AllreduceInt64(errFlag, mpi.OpMax) != 0 {
+		return nil, fmt.Errorf("core: Initialize: %v", initErr)
+	}
+	s.runID = env.Comm.Bcast(0, runID, 8).(int64)
+	return s, nil
+}
+
+// RunID reports the run identifier allocated in run_table.
+func (s *SDM) RunID() int64 { return s.runID }
+
+// Comm exposes the communicator (for applications layering extra
+// communication on SDM's).
+func (s *SDM) Comm() *mpi.Comm { return s.env.Comm }
+
+// Organization reports the configured file organization level.
+func (s *SDM) Organization() FileOrganization { return s.opts.Organization }
+
+// catalogCall runs fn on rank 0 only and broadcasts success; other
+// ranks wait. fn may be nil on non-zero ranks.
+func (s *SDM) catalogCall(fn func() error) error {
+	if s.opts.DisableDB {
+		s.env.Comm.Barrier()
+		return nil
+	}
+	var err error
+	if s.env.Comm.Rank() == 0 {
+		err = fn()
+	}
+	flag := int64(0)
+	if err != nil {
+		flag = 1
+	}
+	if s.env.Comm.AllreduceInt64(flag, mpi.OpMax) != 0 {
+		return fmt.Errorf("core: metadata operation failed: %v", err)
+	}
+	return nil
+}
+
+// Attr describes one dataset of a data group (the result of
+// SDM_make_datalist plus SDM_associate_attributes).
+type Attr struct {
+	Name       string
+	Type       DataType
+	GlobalSize int64 // elements in the global array
+	// Pattern is the registered access pattern (default "IRREGULAR").
+	Pattern string
+	// Order is the storage order (default "ROW_MAJOR").
+	Order string
+}
+
+func (a *Attr) fill() {
+	if a.Pattern == "" {
+		a.Pattern = "IRREGULAR"
+	}
+	if a.Order == "" {
+		a.Order = "ROW_MAJOR"
+	}
+}
+
+// MakeDatalist builds a default attribute list for the named datasets,
+// to be adjusted and passed to SetAttributes — the paper's
+// SDM_make_datalist idiom.
+func MakeDatalist(names ...string) []Attr {
+	out := make([]Attr, len(names))
+	for i, n := range names {
+		out[i] = Attr{Name: n, Type: Double}
+	}
+	return out
+}
+
+// Finalize joins outstanding asynchronous writes, closes group files,
+// and synchronizes. Collective.
+func (s *SDM) Finalize() error {
+	// Join asynchronous history writes: the rank blocks until its async
+	// I/O has drained, the virtual-time analogue of waiting on an
+	// MPI_Request from a split-collective write.
+	for _, done := range s.asyncDone {
+		s.env.Comm.Clock().AdvanceTo(done)
+	}
+	s.asyncDone = nil
+	var firstErr error
+	for _, g := range s.groups {
+		if err := g.closeFiles(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, imp := range s.importers {
+		if !imp.released {
+			if err := imp.Release(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	s.env.Comm.Barrier()
+	return firstErr
+}

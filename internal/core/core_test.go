@@ -1,0 +1,950 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"sdm/internal/catalog"
+	"sdm/internal/mesh"
+	"sdm/internal/metadb"
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+)
+
+// testEnv bundles one simulated machine for a test.
+type testEnv struct {
+	world *mpi.World
+	fs    *pfs.System
+	cat   *catalog.Catalog
+}
+
+func newTestEnv(n int) *testEnv {
+	return &testEnv{
+		world: mpi.NewWorld(n, mpi.Config{}),
+		fs:    pfs.NewSystem(pfs.Config{NumServers: 4, StripeSize: 4096}),
+		cat:   catalog.New(metadb.New()),
+	}
+}
+
+// run executes fn per rank with an initialized SDM and finalizes it.
+func (te *testEnv) run(t *testing.T, opts Options, fn func(s *SDM)) {
+	t.Helper()
+	err := te.world.Run(func(c *mpi.Comm) {
+		s, err := Initialize(Env{Comm: c, FS: te.fs, Catalog: te.cat}, "testapp", opts)
+		if err != nil {
+			panic(err)
+		}
+		fn(s)
+		if err := s.Finalize(); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// roundRobinMap builds the per-rank map array assigning element i*p+r
+// to rank r.
+func roundRobinMap(rank, size, globalN int) []int32 {
+	var out []int32
+	for g := rank; g < globalN; g += size {
+		out = append(out, int32(g))
+	}
+	return out
+}
+
+func TestInitializeRegistersRun(t *testing.T) {
+	te := newTestEnv(3)
+	te.run(t, Options{}, func(s *SDM) {
+		if s.RunID() != 1 {
+			t.Errorf("run id = %d", s.RunID())
+		}
+	})
+	runs, err := te.cat.Runs(nil)
+	if err != nil || len(runs) != 1 || runs[0].Application != "testapp" {
+		t.Fatalf("runs = %+v, %v", runs, err)
+	}
+	// A second session gets the next id.
+	te.run(t, Options{}, func(s *SDM) {
+		if s.RunID() != 2 {
+			t.Errorf("second run id = %d", s.RunID())
+		}
+	})
+}
+
+func TestSetAttributesRegistersDatasets(t *testing.T) {
+	te := newTestEnv(2)
+	te.run(t, Options{}, func(s *SDM) {
+		attrs := MakeDatalist("p", "q")
+		for i := range attrs {
+			attrs[i].GlobalSize = 100
+		}
+		if _, err := s.SetAttributes(attrs); err != nil {
+			panic(err)
+		}
+	})
+	infos, err := te.cat.Datasets(nil, 1)
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("datasets = %+v, %v", infos, err)
+	}
+	if infos[0].Dataset != "p" || infos[0].AccessPattern != "IRREGULAR" ||
+		infos[0].DataType != "DOUBLE" || infos[0].GlobalSize != 100 {
+		t.Fatalf("info = %+v", infos[0])
+	}
+}
+
+func TestSetAttributesValidation(t *testing.T) {
+	te := newTestEnv(1)
+	te.run(t, Options{}, func(s *SDM) {
+		if _, err := s.SetAttributes(nil); err == nil {
+			t.Error("empty attrs accepted")
+		}
+		if _, err := s.SetAttributes([]Attr{{Name: "p"}}); err == nil {
+			t.Error("zero global size accepted")
+		}
+		if _, err := s.SetAttributes([]Attr{
+			{Name: "p", GlobalSize: 10}, {Name: "p", GlobalSize: 10},
+		}); err == nil {
+			t.Error("duplicate dataset accepted")
+		}
+	})
+}
+
+// writeReadRoundTrip exercises Write/Read across a level and rank count.
+func writeReadRoundTrip(t *testing.T, level FileOrganization, nRanks int, timesteps int) {
+	t.Helper()
+	const globalN = 64
+	te := newTestEnv(nRanks)
+	var mu [16][]float64 // written data per rank per step (p only)
+	te.run(t, Options{Organization: level}, func(s *SDM) {
+		attrs := MakeDatalist("p", "q")
+		for i := range attrs {
+			attrs[i].GlobalSize = globalN
+		}
+		g, err := s.SetAttributes(attrs)
+		if err != nil {
+			panic(err)
+		}
+		m := roundRobinMap(s.Comm().Rank(), s.Comm().Size(), globalN)
+		if _, err := g.DataView([]string{"p", "q"}, m); err != nil {
+			panic(err)
+		}
+		for ts := 0; ts < timesteps; ts++ {
+			pv := make([]float64, len(m))
+			qv := make([]float64, len(m))
+			for i, gidx := range m {
+				pv[i] = float64(gidx) + float64(ts)*1000
+				qv[i] = -float64(gidx) - float64(ts)*1000
+			}
+			if ts == 0 {
+				mu[s.Comm().Rank()] = pv
+			}
+			if err := g.WriteFloat64s("p", int64(ts*10), pv); err != nil {
+				panic(err)
+			}
+			if err := g.WriteFloat64s("q", int64(ts*10), qv); err != nil {
+				panic(err)
+			}
+		}
+		// Read back every timestep of p and verify.
+		for ts := 0; ts < timesteps; ts++ {
+			got, err := g.ReadFloat64s("p", int64(ts*10), len(m))
+			if err != nil {
+				panic(err)
+			}
+			for i, gidx := range m {
+				want := float64(gidx) + float64(ts)*1000
+				if got[i] != want {
+					panic(fmt.Sprintf("rank %d ts %d elem %d: got %g want %g",
+						s.Comm().Rank(), ts, i, got[i], want))
+				}
+			}
+		}
+	})
+}
+
+func TestWriteReadRoundTripLevel1(t *testing.T) { writeReadRoundTrip(t, Level1, 4, 3) }
+func TestWriteReadRoundTripLevel2(t *testing.T) { writeReadRoundTrip(t, Level2, 4, 3) }
+func TestWriteReadRoundTripLevel3(t *testing.T) { writeReadRoundTrip(t, Level3, 4, 3) }
+func TestWriteReadSingleRank(t *testing.T)      { writeReadRoundTrip(t, Level3, 1, 2) }
+
+func TestGlobalFileOrderedByNodeNumber(t *testing.T) {
+	// The paper requires results written "in the order of global node
+	// numbers": the physical file must hold element g at position g.
+	const globalN = 32
+	for _, level := range []FileOrganization{Level1, Level2, Level3} {
+		te := newTestEnv(4)
+		te.run(t, Options{Organization: level}, func(s *SDM) {
+			g, err := s.SetAttributes([]Attr{{Name: "p", GlobalSize: globalN, Type: Double}})
+			if err != nil {
+				panic(err)
+			}
+			m := roundRobinMap(s.Comm().Rank(), s.Comm().Size(), globalN)
+			if _, err := g.DataView([]string{"p"}, m); err != nil {
+				panic(err)
+			}
+			vals := make([]float64, len(m))
+			for i, gidx := range m {
+				vals[i] = float64(gidx) * 1.5
+			}
+			if err := g.WriteFloat64s("p", 0, vals); err != nil {
+				panic(err)
+			}
+		})
+		// Find the produced file and verify physical layout.
+		var dataFile string
+		for _, name := range te.fs.List() {
+			if name != "" {
+				dataFile = name
+			}
+		}
+		raw, err := te.fs.ReadFile(dataFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != globalN*8 {
+			t.Fatalf("level %v: file %q has %d bytes, want %d", level, dataFile, len(raw), globalN*8)
+		}
+		got := bytesToFloat64s(raw)
+		for gidx := 0; gidx < globalN; gidx++ {
+			if got[gidx] != float64(gidx)*1.5 {
+				t.Fatalf("level %v: element %d = %g", level, gidx, got[gidx])
+			}
+		}
+	}
+}
+
+func TestLevelFileAndViewCounts(t *testing.T) {
+	// 2 datasets x 3 timesteps. Level 1: 6 files, >=6 views. Level 2:
+	// 2 files. Level 3 (uniform group, shared view): 1 file, 1 view.
+	counts := map[FileOrganization][2]int{} // level -> {files, views}
+	for _, level := range []FileOrganization{Level1, Level2, Level3} {
+		te := newTestEnv(2)
+		te.run(t, Options{Organization: level}, func(s *SDM) {
+			attrs := MakeDatalist("p", "q")
+			for i := range attrs {
+				attrs[i].GlobalSize = 16
+			}
+			g, _ := s.SetAttributes(attrs)
+			m := roundRobinMap(s.Comm().Rank(), 2, 16)
+			_, _ = g.DataView([]string{"p", "q"}, m)
+			vals := make([]float64, len(m))
+			for ts := 0; ts < 3; ts++ {
+				if err := g.WriteFloat64s("p", int64(ts), vals); err != nil {
+					panic(err)
+				}
+				if err := g.WriteFloat64s("q", int64(ts), vals); err != nil {
+					panic(err)
+				}
+			}
+		})
+		st := te.fs.Stats()
+		counts[level] = [2]int{len(te.fs.List()), int(st.Views)}
+	}
+	if counts[Level1][0] != 6 || counts[Level2][0] != 2 || counts[Level3][0] != 1 {
+		t.Fatalf("file counts: L1=%d L2=%d L3=%d, want 6/2/1",
+			counts[Level1][0], counts[Level2][0], counts[Level3][0])
+	}
+	if !(counts[Level3][1] < counts[Level2][1] && counts[Level2][1] < counts[Level1][1]) {
+		t.Fatalf("view counts not decreasing: L1=%d L2=%d L3=%d",
+			counts[Level1][1], counts[Level2][1], counts[Level3][1])
+	}
+}
+
+func TestExecutionTableRecordsWrites(t *testing.T) {
+	te := newTestEnv(2)
+	te.run(t, Options{Organization: Level3}, func(s *SDM) {
+		g, _ := s.SetAttributes([]Attr{{Name: "p", GlobalSize: 8, Type: Double}})
+		m := roundRobinMap(s.Comm().Rank(), 2, 8)
+		_, _ = g.DataView([]string{"p"}, m)
+		vals := make([]float64, len(m))
+		_ = g.WriteFloat64s("p", 0, vals)
+		_ = g.WriteFloat64s("p", 10, vals)
+	})
+	recs, err := te.cat.WritesForRun(nil, 1)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("records = %+v, %v", recs, err)
+	}
+	if recs[0].FileOffset != 0 || recs[1].FileOffset != 64 {
+		t.Fatalf("offsets = %d, %d", recs[0].FileOffset, recs[1].FileOffset)
+	}
+}
+
+func TestReadAcrossSessionsViaExecutionTable(t *testing.T) {
+	// Write in one SDM session; read in a later one using only the
+	// execution table (no in-memory cache).
+	te := newTestEnv(2)
+	const globalN = 16
+	te.run(t, Options{Organization: Level2}, func(s *SDM) {
+		g, _ := s.SetAttributes([]Attr{{Name: "p", GlobalSize: globalN, Type: Double}})
+		m := roundRobinMap(s.Comm().Rank(), 2, globalN)
+		_, _ = g.DataView([]string{"p"}, m)
+		vals := make([]float64, len(m))
+		for i, gidx := range m {
+			vals[i] = float64(gidx) + 7
+		}
+		if err := g.WriteFloat64s("p", 42, vals); err != nil {
+			panic(err)
+		}
+	})
+	// New session: runID differs, so Read must find run 1's record.
+	// Reconstruct placement by querying the execution table for run 1.
+	rec, err := te.cat.LookupWrite(nil, 1, "p", 42)
+	if err != nil || rec == nil {
+		t.Fatalf("record missing: %v", err)
+	}
+	raw, err := te.fs.ReadFile(rec.FileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bytesToFloat64s(raw[rec.FileOffset : rec.FileOffset+globalN*8])
+	for gidx := 0; gidx < globalN; gidx++ {
+		if got[gidx] != float64(gidx)+7 {
+			t.Fatalf("element %d = %g", gidx, got[gidx])
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	te := newTestEnv(1)
+	te.run(t, Options{}, func(s *SDM) {
+		g, _ := s.SetAttributes([]Attr{{Name: "p", GlobalSize: 8, Type: Double}})
+		if err := g.WriteFloat64s("p", 0, nil); err == nil {
+			t.Error("write without view accepted")
+		}
+		if _, err := g.DataView([]string{"p"}, []int32{0, 1}); err != nil {
+			panic(err)
+		}
+		if err := g.WriteFloat64s("p", 0, make([]float64, 5)); err == nil {
+			t.Error("wrong buffer size accepted")
+		}
+		if err := g.WriteFloat64s("zz", 0, nil); err == nil {
+			t.Error("unknown dataset accepted")
+		}
+		if _, err := g.DataView([]string{"p"}, []int32{0, 99}); err == nil {
+			t.Error("out-of-range map accepted")
+		}
+		if _, err := g.DataView([]string{"p"}, []int32{3, 3}); err == nil {
+			t.Error("duplicate map entries accepted")
+		}
+	})
+}
+
+func TestImportContiguousEqualDivision(t *testing.T) {
+	te := newTestEnv(3)
+	// Stage a file with 10 int32 values 0..9.
+	vals := make([]int32, 10)
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	if err := te.fs.WriteFile("ext.dat", int32sToBytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	te.run(t, Options{}, func(s *SDM) {
+		imp, err := s.MakeImportlist("ext.dat", []ImportSpec{
+			{Name: "a", Type: Integer, FileOffset: 0, Length: 10, Content: "INDEX"},
+		})
+		if err != nil {
+			panic(err)
+		}
+		buf, start, count, err := imp.ImportContiguous("a")
+		if err != nil {
+			panic(err)
+		}
+		// 10 over 3 ranks: 4, 3, 3.
+		wantCount := []int64{4, 3, 3}[s.Comm().Rank()]
+		wantStart := []int64{0, 4, 7}[s.Comm().Rank()]
+		if count != wantCount || start != wantStart {
+			panic(fmt.Sprintf("rank %d: start=%d count=%d", s.Comm().Rank(), start, count))
+		}
+		got := bytesToInt32s(buf)
+		for i := range got {
+			if got[i] != int32(start)+int32(i) {
+				panic(fmt.Sprintf("rank %d: block = %v", s.Comm().Rank(), got))
+			}
+		}
+		if err := imp.Release(); err != nil {
+			panic(err)
+		}
+	})
+	// Import table cleared after release.
+	if entries, _ := te.cat.Imports(nil, 1); len(entries) != 0 {
+		t.Fatalf("import_table not cleared: %+v", entries)
+	}
+}
+
+func TestImportViewIrregular(t *testing.T) {
+	te := newTestEnv(2)
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	_ = te.fs.WriteFile("ext.dat", float64sToBytes(vals))
+	te.run(t, Options{}, func(s *SDM) {
+		imp, err := s.MakeImportlist("ext.dat", []ImportSpec{
+			{Name: "x", Type: Double, FileOffset: 0, Length: 20},
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Deliberately unsorted map array: values must come back in
+		// map order.
+		var m []int32
+		if s.Comm().Rank() == 0 {
+			m = []int32{7, 3, 11}
+		} else {
+			m = []int32{0, 19, 5}
+		}
+		v, err := NewView(m, Double, 20)
+		if err != nil {
+			panic(err)
+		}
+		got, err := imp.ImportViewFloat64s("x", v)
+		if err != nil {
+			panic(err)
+		}
+		for i, gidx := range m {
+			if got[i] != float64(gidx)*0.5 {
+				panic(fmt.Sprintf("rank %d: got[%d] = %g, want %g",
+					s.Comm().Rank(), i, got[i], float64(gidx)*0.5))
+			}
+		}
+	})
+}
+
+func TestImportViewTypeMismatch(t *testing.T) {
+	te := newTestEnv(1)
+	_ = te.fs.WriteFile("ext.dat", make([]byte, 160))
+	te.run(t, Options{}, func(s *SDM) {
+		imp, _ := s.MakeImportlist("ext.dat", []ImportSpec{
+			{Name: "x", Type: Double, FileOffset: 0, Length: 20},
+		})
+		v, _ := NewView([]int32{0}, Integer, 20)
+		if _, err := imp.ImportView("x", v); err == nil {
+			t.Error("element size mismatch accepted")
+		}
+		v2, _ := NewView([]int32{0}, Double, 10)
+		if _, err := imp.ImportView("x", v2); err == nil {
+			t.Error("global size mismatch accepted")
+		}
+	})
+}
+
+// stageMesh writes a small mesh into the fs and returns it with its
+// layout.
+func stageMesh(t *testing.T, fs *pfs.System, nx, ny, nz int) (*mesh.Mesh, mesh.MshLayout) {
+	t.Helper()
+	m, err := mesh.GenerateTet(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, layout, err := mesh.EncodeMsh(m, [][]float64{m.EdgeData(0)}, [][]float64{m.NodeData(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("uns3d.msh", buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, layout
+}
+
+// edgeSpecs builds the import specs for a staged mesh.
+func edgeSpecs(layout mesh.MshLayout) []ImportSpec {
+	return []ImportSpec{
+		{Name: "edge1", Type: Integer, FileOffset: layout.Edge1Offset(), Length: layout.NumEdges, Content: "INDEX"},
+		{Name: "edge2", Type: Integer, FileOffset: layout.Edge2Offset(), Length: layout.NumEdges, Content: "INDEX"},
+		{Name: "x", Type: Double, FileOffset: layout.EdgeDataOffset(0), Length: layout.NumEdges},
+		{Name: "y", Type: Double, FileOffset: layout.NodeDataOffset(0), Length: layout.NumNodes},
+	}
+}
+
+func TestPartitionIndexCoversAllEdges(t *testing.T) {
+	const nRanks = 4
+	te := newTestEnv(nRanks)
+	m, layout := stageMesh(t, te.fs, 3, 3, 3)
+	partVec := make([]int32, m.NumNodes())
+	for i := range partVec {
+		partVec[i] = int32(i % nRanks)
+	}
+	var parts [nRanks]*IndexPartition
+	te.run(t, Options{}, func(s *SDM) {
+		imp, err := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+		if err != nil {
+			panic(err)
+		}
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		parts[s.Comm().Rank()] = ip
+	})
+
+	// Every edge must be kept by exactly the ranks owning an endpoint.
+	kept := make(map[int32][]int, m.NumEdges())
+	for r, ip := range parts {
+		if ip.FromHistory {
+			t.Fatal("unexpected history hit")
+		}
+		for _, g := range ip.EdgeGlobal {
+			kept[g] = append(kept[g], r)
+		}
+	}
+	for e := 0; e < m.NumEdges(); e++ {
+		u, v := m.Edge1[e], m.Edge2[e]
+		want := map[int]bool{int(partVec[u]): true, int(partVec[v]): true}
+		got := kept[int32(e)]
+		if len(got) != len(want) {
+			t.Fatalf("edge %d kept by %v, want owners of %d/%d (%v)", e, got, u, v, want)
+		}
+		for _, r := range got {
+			if !want[r] {
+				t.Fatalf("edge %d wrongly kept by rank %d", e, r)
+			}
+		}
+	}
+
+	// Per-rank invariants: endpoints consistent, localization correct,
+	// owned nodes = partitioning vector's assignment.
+	for r, ip := range parts {
+		if ip.NumEdges() != len(ip.Edge1L) || ip.NumEdges() != len(ip.Edge2L) {
+			t.Fatalf("rank %d: inconsistent edge arrays", r)
+		}
+		for i := range ip.Edge1G {
+			g := ip.EdgeGlobal[i]
+			if m.Edge1[g] != ip.Edge1G[i] || m.Edge2[g] != ip.Edge2G[i] {
+				t.Fatalf("rank %d: edge %d endpoints corrupted", r, g)
+			}
+			if ip.Nodes[ip.Edge1L[i]] != ip.Edge1G[i] || ip.Nodes[ip.Edge2L[i]] != ip.Edge2G[i] {
+				t.Fatalf("rank %d: localization wrong for edge %d", r, g)
+			}
+		}
+		var wantOwned []int32
+		for node, pr := range partVec {
+			if int(pr) == r {
+				wantOwned = append(wantOwned, int32(node))
+			}
+		}
+		if len(wantOwned) != len(ip.OwnedNodes) {
+			t.Fatalf("rank %d: owned %d nodes, want %d", r, len(ip.OwnedNodes), len(wantOwned))
+		}
+		for i := range wantOwned {
+			if wantOwned[i] != ip.OwnedNodes[i] {
+				t.Fatalf("rank %d: owned nodes mismatch", r)
+			}
+		}
+		if !sort.SliceIsSorted(ip.Nodes, func(a, b int) bool { return ip.Nodes[a] < ip.Nodes[b] }) {
+			t.Fatalf("rank %d: Nodes not sorted", r)
+		}
+	}
+}
+
+func TestHistoryRoundTripIdenticalPartition(t *testing.T) {
+	const nRanks = 3
+	te := newTestEnv(nRanks)
+	m, layout := stageMesh(t, te.fs, 2, 3, 2)
+	partVec := make([]int32, m.NumNodes())
+	for i := range partVec {
+		partVec[i] = int32((i * 7) % nRanks)
+	}
+	var first, second [nRanks]*IndexPartition
+	// Session 1: partition and register history.
+	te.run(t, Options{}, func(s *SDM) {
+		imp, _ := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		first[s.Comm().Rank()] = ip
+		if err := s.IndexRegistry(ip, layout.NumEdges, partVec); err != nil {
+			panic(err)
+		}
+	})
+	// Session 2: the same problem size and nprocs must hit the history.
+	te.run(t, Options{}, func(s *SDM) {
+		imp, _ := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		second[s.Comm().Rank()] = ip
+	})
+	for r := 0; r < nRanks; r++ {
+		if !second[r].FromHistory {
+			t.Fatalf("rank %d: second run did not use history", r)
+		}
+		a, b := first[r], second[r]
+		if a.NumEdges() != b.NumEdges() || a.NumNodes() != b.NumNodes() {
+			t.Fatalf("rank %d: sizes differ: %d/%d vs %d/%d",
+				r, a.NumEdges(), a.NumNodes(), b.NumEdges(), b.NumNodes())
+		}
+		for i := range a.EdgeGlobal {
+			if a.EdgeGlobal[i] != b.EdgeGlobal[i] || a.Edge1L[i] != b.Edge1L[i] || a.Edge2L[i] != b.Edge2L[i] {
+				t.Fatalf("rank %d: partition differs at edge %d", r, i)
+			}
+		}
+		for i := range a.Nodes {
+			if a.Nodes[i] != b.Nodes[i] || a.Owned[i] != b.Owned[i] {
+				t.Fatalf("rank %d: node sets differ at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestHistoryIgnoredForDifferentNprocs(t *testing.T) {
+	// History registered at 2 ranks must not be used by a 4-rank run —
+	// the paper's stated limitation.
+	fs := pfs.NewSystem(pfs.Config{NumServers: 2, StripeSize: 4096})
+	cat := catalog.New(metadb.New())
+	m, err := mesh.GenerateTet(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, layout, _ := mesh.EncodeMsh(m, nil, nil)
+	_ = fs.WriteFile("uns3d.msh", buf)
+	specs := []ImportSpec{
+		{Name: "edge1", Type: Integer, FileOffset: layout.Edge1Offset(), Length: layout.NumEdges, Content: "INDEX"},
+		{Name: "edge2", Type: Integer, FileOffset: layout.Edge2Offset(), Length: layout.NumEdges, Content: "INDEX"},
+	}
+	run := func(nRanks int) bool {
+		fromHist := false
+		w := mpi.NewWorld(nRanks, mpi.Config{})
+		partVec := make([]int32, m.NumNodes())
+		for i := range partVec {
+			partVec[i] = int32(i % nRanks)
+		}
+		err := w.Run(func(c *mpi.Comm) {
+			s, err := Initialize(Env{Comm: c, FS: fs, Catalog: cat}, "app", Options{})
+			if err != nil {
+				panic(err)
+			}
+			imp, _ := s.MakeImportlist("uns3d.msh", specs)
+			ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+			if err != nil {
+				panic(err)
+			}
+			if c.Rank() == 0 {
+				fromHist = ip.FromHistory
+			}
+			if !ip.FromHistory {
+				if err := s.IndexRegistry(ip, layout.NumEdges, partVec); err != nil {
+					panic(err)
+				}
+			}
+			if err := s.Finalize(); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fromHist
+	}
+	if run(2) {
+		t.Fatal("first 2-rank run found phantom history")
+	}
+	if run(4) {
+		t.Fatal("4-rank run used 2-rank history")
+	}
+	if !run(2) {
+		t.Fatal("second 2-rank run ignored its history")
+	}
+	if !run(4) {
+		t.Fatal("second 4-rank run ignored its history")
+	}
+}
+
+func TestDisableDBStillFunctions(t *testing.T) {
+	te := newTestEnv(2)
+	m, layout := stageMesh(t, te.fs, 2, 2, 2)
+	partVec := make([]int32, m.NumNodes())
+	for i := range partVec {
+		partVec[i] = int32(i % 2)
+	}
+	err := te.world.Run(func(c *mpi.Comm) {
+		s, err := Initialize(Env{Comm: c, FS: te.fs}, "nodb", Options{DisableDB: true})
+		if err != nil {
+			panic(err)
+		}
+		imp, err := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+		if err != nil {
+			panic(err)
+		}
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		if ip.NumEdges() == 0 {
+			panic("no edges partitioned")
+		}
+		// Registry is a silent no-op without a DB.
+		if err := s.IndexRegistry(ip, layout.NumEdges, partVec); err != nil {
+			panic(err)
+		}
+		if err := s.Finalize(); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullPipelineMatchesSerial is the paper's Figure 1 end to end:
+// import, partition, distribute data, sweep, write results ordered by
+// global node number — validated against the serial sweep for several
+// rank counts.
+func TestFullPipelineMatchesSerial(t *testing.T) {
+	m, err := mesh.GenerateTet(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.EdgeData(0)
+	y := m.NodeData(0)
+	pRef, qRef := mesh.SweepSerial(m.Edge1, m.Edge2, x, y, m.NumNodes())
+
+	for _, nRanks := range []int{1, 2, 4, 8} {
+		te := newTestEnv(nRanks)
+		buf, layout, _ := mesh.EncodeMsh(m, [][]float64{x}, [][]float64{y})
+		_ = te.fs.WriteFile("uns3d.msh", buf)
+		partVec := make([]int32, m.NumNodes())
+		for i := range partVec {
+			partVec[i] = int32((i / 3) % nRanks)
+		}
+		te.run(t, Options{Organization: Level3}, func(s *SDM) {
+			c := s.Comm()
+			result := MakeDatalist("p", "q")
+			for i := range result {
+				result[i].GlobalSize = int64(m.NumNodes())
+			}
+			g, err := s.SetAttributes(result)
+			if err != nil {
+				panic(err)
+			}
+			imp, err := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+			if err != nil {
+				panic(err)
+			}
+			ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+			if err != nil {
+				panic(err)
+			}
+			// Import x through the partitioned-edge view, y through the
+			// node view.
+			xv, err := NewView(ip.EdgeGlobal, Double, layout.NumEdges)
+			if err != nil {
+				panic(err)
+			}
+			xl, err := imp.ImportViewFloat64s("x", xv)
+			if err != nil {
+				panic(err)
+			}
+			yv, err := NewView(ip.Nodes, Double, layout.NumNodes)
+			if err != nil {
+				panic(err)
+			}
+			yl, err := imp.ImportViewFloat64s("y", yv)
+			if err != nil {
+				panic(err)
+			}
+			if err := imp.Release(); err != nil {
+				panic(err)
+			}
+			// Sweep on the local subdomain.
+			pl, ql := mesh.SweepLocal(ip.Edge1L, ip.Edge2L, xl, yl, ip.Owned)
+			// Compact to owned nodes and write ordered by global node
+			// number.
+			if _, err := g.DataView([]string{"p", "q"}, ip.OwnedNodes); err != nil {
+				panic(err)
+			}
+			pOwned := make([]float64, 0, len(ip.OwnedNodes))
+			qOwned := make([]float64, 0, len(ip.OwnedNodes))
+			for i, n := range ip.Nodes {
+				if ip.Owned[i] {
+					_ = n
+					pOwned = append(pOwned, pl[i])
+					qOwned = append(qOwned, ql[i])
+				}
+			}
+			if err := g.WriteFloat64s("p", 0, pOwned); err != nil {
+				panic(err)
+			}
+			if err := g.WriteFloat64s("q", 0, qOwned); err != nil {
+				panic(err)
+			}
+			_ = c
+		})
+		// The global files must now equal the serial reference.
+		var groupFile string
+		for _, n := range te.fs.List() {
+			if n != "uns3d.msh" && !isHistFile(n) {
+				groupFile = n
+			}
+		}
+		raw, err := te.fs.ReadFile(groupFile)
+		if err != nil {
+			t.Fatalf("nRanks=%d: %v", nRanks, err)
+		}
+		got := bytesToFloat64s(raw)
+		if len(got) != 2*m.NumNodes() {
+			t.Fatalf("nRanks=%d: file holds %d values", nRanks, len(got))
+		}
+		for i := 0; i < m.NumNodes(); i++ {
+			if math.Abs(got[i]-pRef[i]) > 1e-9 {
+				t.Fatalf("nRanks=%d: p[%d] = %g, want %g", nRanks, i, got[i], pRef[i])
+			}
+			if math.Abs(got[m.NumNodes()+i]-qRef[i]) > 1e-9 {
+				t.Fatalf("nRanks=%d: q[%d] = %g, want %g", nRanks, i, got[m.NumNodes()+i], qRef[i])
+			}
+		}
+	}
+}
+
+func isHistFile(name string) bool {
+	return len(name) > 4 && name[len(name)-4:] == ".idx"
+}
+
+func TestOriginalPartitionMatchesSDM(t *testing.T) {
+	// The original (rank-0 + broadcast, two-pass) path must compute the
+	// same partition as SDM's ring path, just slower.
+	const nRanks = 4
+	te := newTestEnv(nRanks)
+	m, layout := stageMesh(t, te.fs, 3, 2, 2)
+	partVec := make([]int32, m.NumNodes())
+	for i := range partVec {
+		partVec[i] = int32(i % nRanks)
+	}
+	var sdmParts, origParts [nRanks]*IndexPartition
+	te.run(t, Options{}, func(s *SDM) {
+		imp, _ := s.MakeImportlist("uns3d.msh", edgeSpecs(layout))
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		sdmParts[s.Comm().Rank()] = ip
+		orig, err := OriginalImportAndPartition(s, "uns3d.msh",
+			layout.Edge1Offset(), layout.Edge2Offset(), layout.NumEdges, partVec)
+		if err != nil {
+			panic(err)
+		}
+		origParts[s.Comm().Rank()] = orig.Partition
+	})
+	for r := 0; r < nRanks; r++ {
+		a, b := sdmParts[r], origParts[r]
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("rank %d: SDM %d edges, original %d", r, a.NumEdges(), b.NumEdges())
+		}
+		// The ring path discovers edges in a different order; compare
+		// as sets via sorted copies.
+		as := append([]int32{}, a.EdgeGlobal...)
+		bs := append([]int32{}, b.EdgeGlobal...)
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("rank %d: edge sets differ", r)
+			}
+		}
+	}
+}
+
+func TestOriginalSequentialWriteSerializes(t *testing.T) {
+	fs := pfs.NewSystem(pfs.Config{NumServers: 4, StripeSize: 1 << 20, ServerBandwidth: 1e6})
+	w := mpi.NewWorld(4, mpi.Config{})
+	err := w.Run(func(c *mpi.Comm) {
+		data := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 250_000) // 0.25s each at 1MB/s
+		if err := OriginalSequentialWrite(c, fs, "out.dat", data, int64(c.Rank())*250_000); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Content correct.
+	raw, _ := fs.ReadFile("out.dat")
+	if len(raw) != 1_000_000 || raw[0] != 1 || raw[999_999] != 4 {
+		t.Fatalf("content corrupted: len=%d", len(raw))
+	}
+	// Serialization: total time >= 4 * 0.25s even though 4 servers
+	// could have run in parallel.
+	if w.MaxTime().Seconds() < 0.99 {
+		t.Fatalf("sequential write finished in %v, expected >= ~1s", w.MaxTime())
+	}
+}
+
+func TestFinalizeJoinsAsyncHistoryWrite(t *testing.T) {
+	// The async history write must not block the writer but must be
+	// joined by Finalize.
+	fs := pfs.NewSystem(pfs.Config{NumServers: 1, StripeSize: 1 << 20, ServerBandwidth: 1e5})
+	cat := catalog.New(metadb.New())
+	m, _ := mesh.GenerateTet(6, 6, 6)
+	buf, layout, _ := mesh.EncodeMsh(m, nil, nil)
+	_ = fs.WriteFile("uns3d.msh", buf)
+	w := mpi.NewWorld(2, mpi.Config{})
+	partVec := make([]int32, m.NumNodes())
+	for i := range partVec {
+		partVec[i] = int32(i % 2)
+	}
+	err := w.Run(func(c *mpi.Comm) {
+		s, err := Initialize(Env{Comm: c, FS: fs, Catalog: cat}, "app", Options{})
+		if err != nil {
+			panic(err)
+		}
+		imp, _ := s.MakeImportlist("uns3d.msh", []ImportSpec{
+			{Name: "edge1", Type: Integer, FileOffset: layout.Edge1Offset(), Length: layout.NumEdges, Content: "INDEX"},
+			{Name: "edge2", Type: Integer, FileOffset: layout.Edge2Offset(), Length: layout.NumEdges, Content: "INDEX"},
+		})
+		ip, err := s.PartitionIndex(imp, "edge1", "edge2", partVec)
+		if err != nil {
+			panic(err)
+		}
+		before := c.Now()
+		if err := s.IndexRegistry(ip, layout.NumEdges, partVec); err != nil {
+			panic(err)
+		}
+		// Each rank's block is tens of kilobytes; at 100 KB/s the write
+		// takes hundreds of virtual milliseconds. The asynchronous
+		// registry must return in far less.
+		regCost := c.Now().Sub(before)
+		if regCost.Seconds() > 0.1 {
+			panic(fmt.Sprintf("IndexRegistry blocked on the history write (%v)", regCost))
+		}
+		if err := s.Finalize(); err != nil {
+			panic(err)
+		}
+		// After finalize, the clock must have advanced past the I/O.
+		if c.Now().Seconds() < 0.1 {
+			panic(fmt.Sprintf("Finalize did not join async write: %v", c.Now()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataTypeStrings(t *testing.T) {
+	if Double.String() != "DOUBLE" || Integer.String() != "INTEGER" || Long.String() != "LONG" {
+		t.Fatal("type names wrong")
+	}
+	if Double.Size() != 8 || Integer.Size() != 4 || Long.Size() != 8 {
+		t.Fatal("type sizes wrong")
+	}
+	if Level1.String() != "level1" || Level3.String() != "level3" {
+		t.Fatal("level names wrong")
+	}
+}
+
+func TestInitializeValidation(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Config{})
+	_ = w.Run(func(c *mpi.Comm) {
+		if _, err := Initialize(Env{}, "x", Options{}); err == nil {
+			t.Error("empty env accepted")
+		}
+		if _, err := Initialize(Env{Comm: c, FS: pfs.NewSystem(pfs.Config{NumServers: 1, StripeSize: 1})}, "x", Options{}); err == nil {
+			t.Error("missing catalog accepted without DisableDB")
+		}
+	})
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sdm/internal/catalog"
+	"sdm/internal/mpiio"
+	"sdm/internal/pfs"
+)
+
+// Group is a data group: datasets produced by the application that
+// share registration (SDM_set_attributes). The paper groups data sets
+// "to experiment different ways of organizing data in files"; the
+// group is the unit that level-3 organization maps to a single file.
+type Group struct {
+	s      *SDM
+	idx    int
+	attrs  []Attr
+	byName map[string]int
+	views  map[string]*View
+
+	files      map[string]*openFile
+	appendSlab map[string]int64 // per file: next slab index (uniform groups)
+	appendOff  map[string]int64 // per file: next byte offset (mixed groups)
+	written    map[writeKey]catalog.WriteRecord
+
+	uniform  bool // all datasets same type and global size
+	slabSize int64
+}
+
+type writeKey struct {
+	dataset  string
+	timestep int64
+}
+
+type openFile struct {
+	f       *mpiio.File
+	curView *View
+	curDisp int64
+	hasView bool
+}
+
+// SetAttributes registers a data group: all dataset metadata goes to
+// access_pattern_table and a group handle is returned (the paper's
+// SDM_set_attributes returning the file handle). Collective.
+func (s *SDM) SetAttributes(attrs []Attr) (*Group, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: SetAttributes with empty attribute list")
+	}
+	g := &Group{
+		s:          s,
+		idx:        len(s.groups),
+		byName:     make(map[string]int),
+		views:      make(map[string]*View),
+		files:      make(map[string]*openFile),
+		appendSlab: make(map[string]int64),
+		appendOff:  make(map[string]int64),
+		written:    make(map[writeKey]catalog.WriteRecord),
+	}
+	g.uniform = true
+	for i := range attrs {
+		a := attrs[i]
+		a.fill()
+		if a.GlobalSize <= 0 {
+			return nil, fmt.Errorf("core: dataset %q has non-positive global size %d", a.Name, a.GlobalSize)
+		}
+		if _, dup := g.byName[a.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate dataset %q in group", a.Name)
+		}
+		g.byName[a.Name] = len(g.attrs)
+		g.attrs = append(g.attrs, a)
+		if a.GlobalSize != attrs[0].GlobalSize || a.Type != attrs[0].Type {
+			g.uniform = false
+		}
+	}
+	if g.uniform {
+		g.slabSize = g.attrs[0].GlobalSize * g.attrs[0].Type.Size()
+	}
+	err := s.catalogCall(func() error {
+		for _, a := range g.attrs {
+			info := catalog.DatasetInfo{
+				RunID:         s.runID,
+				Dataset:       a.Name,
+				AccessPattern: a.Pattern,
+				DataType:      a.Type.String(),
+				StorageOrder:  a.Order,
+				GlobalSize:    a.GlobalSize,
+			}
+			if err := s.env.Catalog.RegisterDataset(s.env.Comm.Clock(), info); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.groups = append(s.groups, g)
+	return g, nil
+}
+
+// Attr returns a dataset's attributes.
+func (g *Group) Attr(name string) (Attr, error) {
+	i, ok := g.byName[name]
+	if !ok {
+		return Attr{}, fmt.Errorf("core: no dataset %q in group", name)
+	}
+	return g.attrs[i], nil
+}
+
+// View is an irregular data mapping: a map array assigning each local
+// element a global index, compiled into a noncontiguous MPI-IO file
+// view (the paper's SDM_data_view).
+type View struct {
+	mapArr   []int32
+	perm     []int32 // perm[i] = local index of the i-th smallest global index
+	dtype    *mpiio.Datatype
+	elemSize int64
+	globalN  int64
+}
+
+// LocalSize reports the number of local elements the view maps.
+func (v *View) LocalSize() int { return len(v.mapArr) }
+
+// MapArray returns the view's map array (not copied; do not mutate).
+func (v *View) MapArray() []int32 { return v.mapArr }
+
+// DataView installs one shared view for the named datasets, mirroring
+// the paper's SDM_data_view(handle, ndata, firstName, &map, &size)
+// where one map array serves several datasets of the group. mapArr[i]
+// is the global element index local element i occupies. Entries must
+// be unique and within the datasets' global size.
+func (g *Group) DataView(names []string, mapArr []int32) (*View, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: DataView with no dataset names")
+	}
+	var first Attr
+	for i, n := range names {
+		a, err := g.Attr(n)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = a
+		} else if a.GlobalSize != first.GlobalSize || a.Type != first.Type {
+			return nil, fmt.Errorf("core: datasets %q and %q cannot share a view (size/type differ)", names[0], n)
+		}
+	}
+	v, err := newView(mapArr, first.Type.Size(), first.GlobalSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		g.views[n] = v
+	}
+	return v, nil
+}
+
+// NewView builds a standalone irregular view for use with
+// Importer.ImportView — the paper's SDM_data_view over imported arrays
+// (x through the partitioned-edge map, y through the node map).
+func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
+	return newView(mapArr, t.Size(), globalSize)
+}
+
+func newView(mapArr []int32, elemSize, globalN int64) (*View, error) {
+	perm := make([]int32, len(mapArr))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return mapArr[perm[a]] < mapArr[perm[b]] })
+	displs := make([]int, len(mapArr))
+	for i, p := range perm {
+		gidx := mapArr[p]
+		if gidx < 0 || int64(gidx) >= globalN {
+			return nil, fmt.Errorf("core: map entry %d out of range [0,%d)", gidx, globalN)
+		}
+		if i > 0 && displs[i-1] == int(gidx) {
+			return nil, fmt.Errorf("core: duplicate global index %d in map array", gidx)
+		}
+		displs[i] = int(gidx)
+	}
+	dtype := mpiio.IndexedBlock(1, displs, mpiio.Bytes(elemSize))
+	dtype = mpiio.Resized(dtype, globalN*elemSize)
+	return &View{
+		mapArr:   mapArr,
+		perm:     perm,
+		dtype:    dtype,
+		elemSize: elemSize,
+		globalN:  globalN,
+	}, nil
+}
+
+// permuteToFileOrder reorders a user buffer (map-array order) into the
+// sorted order the file view consumes, charging memory-copy time.
+func (g *Group) permuteToFileOrder(v *View, data []byte) []byte {
+	out := make([]byte, len(data))
+	es := v.elemSize
+	for i, p := range v.perm {
+		copy(out[int64(i)*es:(int64(i)+1)*es], data[int64(p)*es:(int64(p)+1)*es])
+	}
+	g.s.env.Comm.ComputeItems(int64(len(data)), g.s.opts.MemCopyRate)
+	return out
+}
+
+// permuteFromFileOrder is the inverse, for reads.
+func (g *Group) permuteFromFileOrder(v *View, fileData, out []byte) {
+	es := v.elemSize
+	for i, p := range v.perm {
+		copy(out[int64(p)*es:(int64(p)+1)*es], fileData[int64(i)*es:(int64(i)+1)*es])
+	}
+	g.s.env.Comm.ComputeItems(int64(len(out)), g.s.opts.MemCopyRate)
+}
+
+// fileFor determines which file a dataset write goes to under the
+// group's organization level.
+func (g *Group) fileFor(dataset string, timestep int64) string {
+	switch g.s.opts.Organization {
+	case Level1:
+		return fmt.Sprintf("%s_r%d_%s_t%d.dat", g.s.app, g.s.runID, dataset, timestep)
+	case Level2:
+		return fmt.Sprintf("%s_r%d_%s.dat", g.s.app, g.s.runID, dataset)
+	default:
+		return fmt.Sprintf("%s_r%d_g%d.dat", g.s.app, g.s.runID, g.idx)
+	}
+}
+
+// open returns the cached handle for a file, opening it on first use.
+// Level 1 callers close immediately after the access; levels 2 and 3
+// keep handles open until Finalize, which is where the paper's
+// open-cost differences between levels come from.
+func (g *Group) open(name string) (*openFile, error) {
+	if of, ok := g.files[name]; ok {
+		return of, nil
+	}
+	f, err := mpiio.Open(g.s.env.Comm, g.s.env.FS, name, pfs.CreateMode, g.s.opts.Hints)
+	if err != nil {
+		return nil, err
+	}
+	of := &openFile{f: f}
+	g.files[name] = of
+	return of, nil
+}
+
+// applyView installs (disp, view) on the file if different from the
+// current one; the view-definition cost is charged only on change.
+func (of *openFile) applyView(disp int64, v *View) {
+	if of.hasView && of.curView == v && of.curDisp == disp {
+		return
+	}
+	of.f.SetView(disp, v.dtype)
+	of.curView = v
+	of.curDisp = disp
+	of.hasView = true
+}
+
+// closeFiles closes all cached handles (Finalize).
+func (g *Group) closeFiles() error {
+	var firstErr error
+	for name, of := range g.files {
+		if err := of.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(g.files, name)
+	}
+	return firstErr
+}
+
+// place computes where a write of `dataset` at `timestep` lands: the
+// file, the physical byte offset of the slab (recorded in the execution
+// table), and the slab index within the file (-1 for byte-append
+// placement in mixed groups).
+func (g *Group) place(dataset string, timestep int64, slabBytes int64) (file string, physOff, slab int64) {
+	file = g.fileFor(dataset, timestep)
+	switch {
+	case g.s.opts.Organization == Level1:
+		return file, 0, 0
+	case g.uniform:
+		slab = g.appendSlab[file]
+		g.appendSlab[file] = slab + 1
+		return file, slab * g.slabSize, slab
+	default:
+		off := g.appendOff[file]
+		g.appendOff[file] = off + slabBytes
+		return file, off, -1
+	}
+}
+
+// Write stores one timestep of a dataset (the paper's SDM_write).
+// data is the rank's local elements in map-array order; a view must
+// have been installed with DataView. Collective. Process 0 records the
+// write in the execution table.
+func (g *Group) Write(dataset string, timestep int64, data []byte) error {
+	a, err := g.Attr(dataset)
+	if err != nil {
+		return err
+	}
+	v, ok := g.views[dataset]
+	if !ok {
+		return fmt.Errorf("core: no view installed for dataset %q", dataset)
+	}
+	if int64(len(data)) != int64(v.LocalSize())*v.elemSize {
+		return fmt.Errorf("core: dataset %q write has %d bytes, view maps %d elements of %d bytes",
+			dataset, len(data), v.LocalSize(), v.elemSize)
+	}
+	slabBytes := a.GlobalSize * a.Type.Size()
+	file, physOff, slab := g.place(dataset, timestep, slabBytes)
+
+	of, err := g.open(file)
+	if err != nil {
+		return err
+	}
+	// Uniform groups tile the view over slabs: the view stays installed
+	// across timesteps and the slab selects a logical offset in the
+	// view's data space. Mixed groups move the view's displacement to
+	// the slab's physical offset instead, paying the view cost again.
+	var disp, logicalOff int64
+	if slab >= 0 {
+		logicalOff = slab * int64(v.LocalSize()) * v.elemSize
+	} else {
+		disp = physOff
+	}
+	of.applyView(disp, v)
+	buf := g.permuteToFileOrder(v, data)
+	if err := of.f.WriteAtAll(logicalOff, buf); err != nil {
+		return err
+	}
+	if g.s.opts.Organization == Level1 {
+		if err := of.f.Close(); err != nil {
+			return err
+		}
+		delete(g.files, file)
+	}
+
+	rec := catalog.WriteRecord{
+		RunID: g.s.runID, Dataset: dataset, Timestep: timestep,
+		FileOffset: physOff, FileName: file,
+	}
+	g.written[writeKey{dataset, timestep}] = rec
+	return g.s.catalogCall(func() error {
+		return g.s.env.Catalog.RecordWrite(g.s.env.Comm.Clock(), rec)
+	})
+}
+
+// lookupPlacement finds where a previously written slab lives, first in
+// the in-memory cache, then in the execution table (rank 0 queries and
+// broadcasts).
+func (g *Group) lookupPlacement(dataset string, timestep int64) (catalog.WriteRecord, error) {
+	if rec, ok := g.written[writeKey{dataset, timestep}]; ok {
+		// All ranks have the cache; no DB round trip needed.
+		return rec, nil
+	}
+	if g.s.opts.DisableDB {
+		return catalog.WriteRecord{}, fmt.Errorf("core: dataset %q timestep %d not written in this session and DB disabled", dataset, timestep)
+	}
+	type wire struct {
+		Rec catalog.WriteRecord
+		Err string
+		Hit bool
+	}
+	var w wire
+	if g.s.env.Comm.Rank() == 0 {
+		rec, err := g.s.env.Catalog.LookupWrite(g.s.env.Comm.Clock(), g.s.runID, dataset, timestep)
+		switch {
+		case err != nil:
+			w.Err = err.Error()
+		case rec == nil:
+			w.Err = fmt.Sprintf("core: no execution_table entry for dataset %q timestep %d", dataset, timestep)
+		default:
+			w.Rec = *rec
+			w.Hit = true
+		}
+	}
+	res := g.s.env.Comm.Bcast(0, w, 64).(wire)
+	if !res.Hit {
+		return catalog.WriteRecord{}, fmt.Errorf("%s", res.Err)
+	}
+	return res.Rec, nil
+}
+
+// Read fetches one timestep of a dataset back into map-array order
+// (the paper's SDM_read — reading data created within SDM). Collective.
+func (g *Group) Read(dataset string, timestep int64, out []byte) error {
+	_, err := g.Attr(dataset)
+	if err != nil {
+		return err
+	}
+	v, ok := g.views[dataset]
+	if !ok {
+		return fmt.Errorf("core: no view installed for dataset %q", dataset)
+	}
+	if int64(len(out)) != int64(v.LocalSize())*v.elemSize {
+		return fmt.Errorf("core: dataset %q read buffer has %d bytes, view maps %d elements",
+			dataset, len(out), v.LocalSize())
+	}
+	rec, err := g.lookupPlacement(dataset, timestep)
+	if err != nil {
+		return err
+	}
+	of, err := g.open(rec.FileName)
+	if err != nil {
+		return err
+	}
+	var disp, logicalOff int64
+	switch {
+	case g.s.opts.Organization == Level1:
+		disp, logicalOff = 0, 0
+	case g.uniform:
+		slab := rec.FileOffset / g.slabSize
+		logicalOff = slab * int64(v.LocalSize()) * v.elemSize
+	default:
+		disp = rec.FileOffset
+	}
+	of.applyView(disp, v)
+	buf := make([]byte, len(out))
+	if err := of.f.ReadAtAll(logicalOff, buf); err != nil {
+		return err
+	}
+	g.permuteFromFileOrder(v, buf, out)
+	if g.s.opts.Organization == Level1 {
+		if err := of.f.Close(); err != nil {
+			return err
+		}
+		delete(g.files, rec.FileName)
+	}
+	return nil
+}
+
+// WriteFloat64s is Write for float64 data.
+func (g *Group) WriteFloat64s(dataset string, timestep int64, vals []float64) error {
+	return g.Write(dataset, timestep, float64sToBytes(vals))
+}
+
+// ReadFloat64s is Read for float64 data.
+func (g *Group) ReadFloat64s(dataset string, timestep int64, n int) ([]float64, error) {
+	buf := make([]byte, n*8)
+	if err := g.Read(dataset, timestep, buf); err != nil {
+		return nil, err
+	}
+	return bytesToFloat64s(buf), nil
+}
+
+// FileNames lists the files this group has written so far, in the
+// deterministic order of the file system namespace.
+func (g *Group) FileNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, rec := range g.written {
+		if !seen[rec.FileName] {
+			seen[rec.FileName] = true
+			names = append(names, rec.FileName)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

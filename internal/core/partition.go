@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sdm/internal/catalog"
+	"sdm/internal/mpi"
+	"sdm/internal/mpiio"
+	"sdm/internal/pfs"
+	"sdm/internal/sim"
+)
+
+// IndexPartition is the result of distributing an irregular mesh's
+// edges among ranks (SDM_partition_index). An edge is assigned to every
+// rank that owns at least one of its endpoints, so boundary ("ghost")
+// edges appear on both sides — the paper's scheme for eliminating
+// flux communication.
+type IndexPartition struct {
+	// EdgeGlobal holds the global edge ids (positions in the imported
+	// edge arrays) of the edges assigned to this rank. It is the map
+	// array for importing per-edge data (the paper's partitioned_edge).
+	EdgeGlobal []int32
+	// Edge1G/Edge2G are the kept edges' endpoints as global node ids.
+	Edge1G, Edge2G []int32
+	// Edge1L/Edge2L are the same edges with endpoints renumbered into
+	// local node indices (the "localized" edges the sweep kernel uses).
+	Edge1L, Edge2L []int32
+	// Nodes lists the global ids of all local nodes — owned plus ghost
+	// — sorted ascending. It is the map array for importing per-node
+	// data (the paper's vector).
+	Nodes []int32
+	// Owned marks which entries of Nodes this rank owns.
+	Owned []bool
+	// OwnedNodes is the sorted owned subset of Nodes: the map array for
+	// writing results ordered by global node number (each node written
+	// by exactly one rank).
+	OwnedNodes []int32
+	// FromHistory reports whether the partition was read from a history
+	// file instead of being computed by the ring distribution.
+	FromHistory bool
+	// ImportTime and DistributeTime record the virtual time this rank
+	// spent importing edge arrays and distributing them — the two bars
+	// of the paper's Figure 5.
+	ImportTime     sim.Duration
+	DistributeTime sim.Duration
+}
+
+// NumEdges reports the local partitioned edge count, ghosts included
+// (SDM_partition_index_size).
+func (ip *IndexPartition) NumEdges() int { return len(ip.EdgeGlobal) }
+
+// NumNodes reports the local node count, ghosts included
+// (SDM_partition_data_size).
+func (ip *IndexPartition) NumNodes() int { return len(ip.Nodes) }
+
+// PartitionTable converts the replicated global partitioning vector
+// into this rank's local node list: the sorted global ids of the nodes
+// assigned to this rank (the paper's SDM_partition_table).
+func (s *SDM) PartitionTable(partVec []int32) []int32 {
+	me := int32(s.env.Comm.Rank())
+	var owned []int32
+	for node, r := range partVec {
+		if r == me {
+			owned = append(owned, int32(node))
+		}
+	}
+	s.env.Comm.ComputeItems(int64(len(partVec)), s.opts.EdgeScanRate)
+	return owned
+}
+
+// historyFileName derives the deterministic name of a history file.
+func (s *SDM) historyFileName(totalEdges int64) string {
+	return fmt.Sprintf("%s_hist_e%d_p%d.idx", s.app, totalEdges, s.env.Comm.Size())
+}
+
+// PartitionIndex distributes the edges named by edge1Name/edge2Name in
+// the import list across ranks using the partitioning vector. It first
+// consults the index tables for a history of this (problem size,
+// process count); on a hit the pre-partitioned edges are read
+// contiguously from the history file, skipping both the edge import and
+// the ring exchange — the paper's optimization. Collective.
+func (s *SDM) PartitionIndex(imp *Importer, edge1Name, edge2Name string, partVec []int32) (*IndexPartition, error) {
+	sp1, err := imp.Spec(edge1Name)
+	if err != nil {
+		return nil, err
+	}
+	sp2, err := imp.Spec(edge2Name)
+	if err != nil {
+		return nil, err
+	}
+	if sp1.Length != sp2.Length {
+		return nil, fmt.Errorf("core: edge arrays %q and %q have different lengths", edge1Name, edge2Name)
+	}
+	totalEdges := sp1.Length
+
+	hist, err := s.lookupHistory(totalEdges)
+	if err != nil {
+		return nil, err
+	}
+	if hist != nil {
+		return s.loadIndexHistory(hist, partVec)
+	}
+
+	// No history: import the edge blocks and run the ring distribution.
+	c := s.env.Comm
+	t0 := c.Now()
+	buf1, start, _, err := imp.ImportContiguous(edge1Name)
+	if err != nil {
+		return nil, err
+	}
+	buf2, _, _, err := imp.ImportContiguous(edge2Name)
+	if err != nil {
+		return nil, err
+	}
+	t1 := c.Now()
+	ip := s.distributeIndex(bytesToInt32s(buf1), bytesToInt32s(buf2), start, totalEdges, partVec)
+	ip.ImportTime = t1.Sub(t0)
+	ip.DistributeTime = c.Now().Sub(t1)
+	return ip, nil
+}
+
+// lookupHistory checks index_table for a usable history (rank 0
+// queries, result broadcast).
+func (s *SDM) lookupHistory(totalEdges int64) (*catalog.IndexHistory, error) {
+	if s.opts.DisableDB {
+		s.env.Comm.Barrier()
+		return nil, nil
+	}
+	type wire struct {
+		Hist catalog.IndexHistory
+		Hit  bool
+		Err  string
+	}
+	var w wire
+	c := s.env.Comm
+	if c.Rank() == 0 {
+		h, err := s.env.Catalog.LookupIndexHistory(c.Clock(), totalEdges, int64(c.Size()))
+		if err != nil {
+			w.Err = err.Error()
+		} else if h != nil {
+			w.Hist = *h
+			w.Hit = true
+		}
+	}
+	res := c.Bcast(0, w, 128).(wire)
+	if res.Err != "" {
+		return nil, fmt.Errorf("core: history lookup: %s", res.Err)
+	}
+	if !res.Hit {
+		return nil, nil
+	}
+	h := res.Hist
+	return &h, nil
+}
+
+// distributeIndex is the ring-oriented edge distribution of the paper:
+// every rank starts with its contiguous block of edges, keeps the ones
+// touching its nodes, and passes the block to the next rank around the
+// ring, p-1 times, so each rank examines every edge. Memory for the
+// kept edges grows by doubling (Go's append), the single-pass realloc
+// strategy the paper credits for SDM's reduced index-distribution cost.
+func (s *SDM) distributeIndex(block1, block2 []int32, start, totalEdges int64, partVec []int32) *IndexPartition {
+	c := s.env.Comm
+	p := c.Size()
+	me := int32(c.Rank())
+
+	var keptG []int32
+	var kept1, kept2 []int32
+	scan := func(b1, b2 []int32, base int64) {
+		for e := range b1 {
+			u, v := b1[e], b2[e]
+			if partVec[u] == me || partVec[v] == me {
+				keptG = append(keptG, int32(base)+int32(e))
+				kept1 = append(kept1, u)
+				kept2 = append(kept2, v)
+			}
+		}
+		c.ComputeItems(int64(len(b1)), s.opts.EdgeScanRate)
+	}
+
+	cur1, cur2 := block1, block2
+	origin := c.Rank()
+	base := start
+	scan(cur1, cur2, base)
+	next := (c.Rank() + 1) % p
+	prev := (c.Rank() - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		// Pass the current block to the next rank; receive the previous
+		// rank's. Tags encode the step to keep rounds separate.
+		in1, _ := mpi.SendrecvSlice(c, next, 1000+step, cur1, prev, 1000+step)
+		in2, _ := mpi.SendrecvSlice(c, next, 2000+step, cur2, prev, 2000+step)
+		cur1, cur2 = in1, in2
+		origin = (origin - 1 + p) % p
+		base, _ = blockRange(totalEdges, p, origin)
+		scan(cur1, cur2, base)
+	}
+
+	ip := s.buildPartition(keptG, kept1, kept2, partVec)
+	return ip
+}
+
+// buildPartition derives node sets and localized edges from the kept
+// edge list.
+func (s *SDM) buildPartition(keptG, kept1, kept2 []int32, partVec []int32) *IndexPartition {
+	me := int32(s.env.Comm.Rank())
+	present := make(map[int32]bool, len(kept1)*2)
+	for i := range kept1 {
+		present[kept1[i]] = true
+		present[kept2[i]] = true
+	}
+	// Owned nodes come from the partitioning vector; a rank can own
+	// isolated nodes that no local edge touches.
+	var nodes []int32
+	for node, r := range partVec {
+		if r == me || present[int32(node)] {
+			nodes = append(nodes, int32(node))
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	owned := make([]bool, len(nodes))
+	var ownedNodes []int32
+	g2l := make(map[int32]int32, len(nodes))
+	for i, n := range nodes {
+		g2l[n] = int32(i)
+		owned[i] = partVec[n] == me
+		if owned[i] {
+			ownedNodes = append(ownedNodes, n)
+		}
+	}
+	e1l := make([]int32, len(kept1))
+	e2l := make([]int32, len(kept2))
+	for i := range kept1 {
+		e1l[i] = g2l[kept1[i]]
+		e2l[i] = g2l[kept2[i]]
+	}
+	s.env.Comm.ComputeItems(int64(len(kept1)+len(nodes)), s.opts.EdgeScanRate)
+	return &IndexPartition{
+		EdgeGlobal: keptG,
+		Edge1G:     kept1,
+		Edge2G:     kept2,
+		Edge1L:     e1l,
+		Edge2L:     e2l,
+		Nodes:      nodes,
+		Owned:      owned,
+		OwnedNodes: ownedNodes,
+	}
+}
+
+// IndexRegistry registers the index distribution for reuse
+// (SDM_index_registry): the partitioned edges are written
+// asynchronously to a history file and the metadata lands in
+// index_table / index_history_table. Optional, as in the paper.
+// Collective.
+func (s *SDM) IndexRegistry(ip *IndexPartition, totalEdges int64, partVec []int32) error {
+	if s.opts.DisableDB {
+		s.env.Comm.Barrier()
+		return nil
+	}
+	c := s.env.Comm
+	edgeCounts := mpi.AllgatherSlice(c, []int64{int64(ip.NumEdges())})
+	nodeCounts := mpi.AllgatherSlice(c, []int64{int64(ip.NumNodes())})
+	var myOff int64
+	edgeSizes := make([]int64, c.Size())
+	nodeSizes := make([]int64, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		edgeSizes[r] = edgeCounts[r][0]
+		nodeSizes[r] = nodeCounts[r][0]
+		if r < c.Rank() {
+			myOff += edgeCounts[r][0]
+		}
+	}
+
+	name := s.historyFileName(totalEdges)
+	h, err := s.env.FS.Open(name, pfs.CreateMode, c.Clock())
+	if err != nil {
+		return err
+	}
+	// Serialize this rank's block: gid, u, v per edge.
+	rec := make([]int32, 0, ip.NumEdges()*3)
+	for i := range ip.EdgeGlobal {
+		rec = append(rec, ip.EdgeGlobal[i], ip.Edge1G[i], ip.Edge2G[i])
+	}
+	payload := int32sToBytes(rec)
+	c.ComputeItems(int64(len(payload)), s.opts.MemCopyRate)
+	// Asynchronous write: the server is scheduled now, the rank's clock
+	// is not advanced; Finalize joins the completion.
+	done, _, err := h.WriteAtTime(payload, myOff*12, c.Now())
+	if err != nil {
+		return err
+	}
+	s.asyncDone = append(s.asyncDone, done)
+	if err := h.Close(); err != nil {
+		return err
+	}
+
+	return s.catalogCall(func() error {
+		return s.env.Catalog.RegisterIndexHistory(c.Clock(), catalog.IndexHistory{
+			ProblemSize: totalEdges,
+			NumNodes:    int64(len(partVec)),
+			NProcs:      int64(c.Size()),
+			Dimension:   1,
+			FileName:    name,
+			EdgeSizes:   edgeSizes,
+			NodeSizes:   nodeSizes,
+		})
+	})
+}
+
+// loadIndexHistory reconstructs the partition from a history file: a
+// contiguous collective read of each rank's pre-partitioned block plus
+// a local pass to rebuild node sets — no ring communication, no
+// full-mesh scan.
+func (s *SDM) loadIndexHistory(hist *catalog.IndexHistory, partVec []int32) (*IndexPartition, error) {
+	c := s.env.Comm
+	t0 := c.Now()
+	var myOff int64
+	for r := 0; r < c.Rank(); r++ {
+		myOff += hist.EdgeSizes[r]
+	}
+	myEdges := hist.EdgeSizes[c.Rank()]
+	h, err := mpiio.Open(c, s.env.FS, hist.FileName, pfs.ReadOnly, s.opts.Hints)
+	if err != nil {
+		return nil, fmt.Errorf("core: history file missing: %w", err)
+	}
+	buf := make([]byte, myEdges*12)
+	if err := h.ReadAtAll(myOff*12, buf); err != nil {
+		return nil, fmt.Errorf("core: reading history: %w", err)
+	}
+	if err := h.Close(); err != nil {
+		return nil, err
+	}
+	rec := bytesToInt32s(buf)
+	keptG := make([]int32, myEdges)
+	kept1 := make([]int32, myEdges)
+	kept2 := make([]int32, myEdges)
+	for i := int64(0); i < myEdges; i++ {
+		keptG[i] = rec[i*3]
+		kept1[i] = rec[i*3+1]
+		kept2[i] = rec[i*3+2]
+	}
+	ip := s.buildPartition(keptG, kept1, kept2, partVec)
+	ip.FromHistory = true
+	ip.DistributeTime = c.Now().Sub(t0)
+	return ip, nil
+}

@@ -1,0 +1,52 @@
+package mesh
+
+import "testing"
+
+func BenchmarkGenerateTet16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTet(16, 16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	m, err := GenerateTet(16, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := m.EdgeData(0)
+	y := m.NodeData(0)
+	b.SetBytes(int64(m.NumEdges()) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SweepSerial(m.Edge1, m.Edge2, x, y, m.NumNodes())
+	}
+}
+
+func BenchmarkEncodeMsh(b *testing.B) {
+	m, err := GenerateTet(12, 12, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ed := [][]float64{m.EdgeData(0), m.EdgeData(1)}
+	nd := [][]float64{m.NodeData(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EncodeMsh(m, ed, nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTNodeDataset(b *testing.B) {
+	m, err := GenerateTet(16, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRT(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.NodeDataset(float64(i) * 0.1)
+	}
+}

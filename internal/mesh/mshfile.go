@@ -1,0 +1,130 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MshLayout describes the binary layout of a uns3d.msh-style mesh file,
+// the externally created input SDM *imports* (as opposed to reads): the
+// edge1 and edge2 index arrays followed by a number of per-edge and
+// per-node double-precision data arrays, exactly the offset arithmetic
+// the paper's Figure 3 performs by hand.
+//
+// File layout, little-endian:
+//
+//	edge1       NumEdges x int32
+//	edge2       NumEdges x int32
+//	edge data   EdgeArrays x (NumEdges x float64)
+//	node data   NodeArrays x (NumNodes x float64)
+type MshLayout struct {
+	NumEdges   int64
+	NumNodes   int64
+	EdgeArrays int
+	NodeArrays int
+}
+
+// Edge1Offset is the byte offset of the edge1 array (always zero).
+func (l MshLayout) Edge1Offset() int64 { return 0 }
+
+// Edge2Offset is the byte offset of the edge2 array.
+func (l MshLayout) Edge2Offset() int64 { return l.NumEdges * 4 }
+
+// EdgeDataOffset is the byte offset of per-edge double array k.
+func (l MshLayout) EdgeDataOffset(k int) int64 {
+	return 2*l.NumEdges*4 + int64(k)*l.NumEdges*8
+}
+
+// NodeDataOffset is the byte offset of per-node double array k.
+func (l MshLayout) NodeDataOffset(k int) int64 {
+	return l.EdgeDataOffset(l.EdgeArrays) + int64(k)*l.NumNodes*8
+}
+
+// TotalSize is the full file size in bytes.
+func (l MshLayout) TotalSize() int64 {
+	return l.NodeDataOffset(l.NodeArrays)
+}
+
+// EncodeMsh serializes a mesh plus its data arrays into the msh layout.
+func EncodeMsh(m *Mesh, edgeData, nodeData [][]float64) ([]byte, MshLayout, error) {
+	layout := MshLayout{
+		NumEdges:   int64(m.NumEdges()),
+		NumNodes:   int64(m.NumNodes()),
+		EdgeArrays: len(edgeData),
+		NodeArrays: len(nodeData),
+	}
+	for k, d := range edgeData {
+		if int64(len(d)) != layout.NumEdges {
+			return nil, layout, fmt.Errorf("mesh: edge array %d has %d entries, want %d", k, len(d), layout.NumEdges)
+		}
+	}
+	for k, d := range nodeData {
+		if int64(len(d)) != layout.NumNodes {
+			return nil, layout, fmt.Errorf("mesh: node array %d has %d entries, want %d", k, len(d), layout.NumNodes)
+		}
+	}
+	buf := make([]byte, layout.TotalSize())
+	PutInt32s(buf[layout.Edge1Offset():], m.Edge1)
+	PutInt32s(buf[layout.Edge2Offset():], m.Edge2)
+	for k, d := range edgeData {
+		PutFloat64s(buf[layout.EdgeDataOffset(k):], d)
+	}
+	for k, d := range nodeData {
+		PutFloat64s(buf[layout.NodeDataOffset(k):], d)
+	}
+	return buf, layout, nil
+}
+
+// DecodeMsh parses a msh file given its layout (the layout itself lives
+// in SDM's import_table, not in the file, matching the paper: "the user
+// has no control over the arrays except to read them, by specifying
+// their data type, appropriate file offset, and length").
+func DecodeMsh(buf []byte, layout MshLayout) (edge1, edge2 []int32, edgeData, nodeData [][]float64, err error) {
+	if int64(len(buf)) < layout.TotalSize() {
+		return nil, nil, nil, nil, fmt.Errorf("mesh: file has %d bytes, layout needs %d", len(buf), layout.TotalSize())
+	}
+	edge1 = GetInt32s(buf[layout.Edge1Offset():], int(layout.NumEdges))
+	edge2 = GetInt32s(buf[layout.Edge2Offset():], int(layout.NumEdges))
+	edgeData = make([][]float64, layout.EdgeArrays)
+	for k := range edgeData {
+		edgeData[k] = GetFloat64s(buf[layout.EdgeDataOffset(k):], int(layout.NumEdges))
+	}
+	nodeData = make([][]float64, layout.NodeArrays)
+	for k := range nodeData {
+		nodeData[k] = GetFloat64s(buf[layout.NodeDataOffset(k):], int(layout.NumNodes))
+	}
+	return edge1, edge2, edgeData, nodeData, nil
+}
+
+// PutInt32s writes vals into buf little-endian.
+func PutInt32s(buf []byte, vals []int32) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+	}
+}
+
+// GetInt32s reads n little-endian int32 values from buf.
+func GetInt32s(buf []byte, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out
+}
+
+// PutFloat64s writes vals into buf little-endian.
+func PutFloat64s(buf []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+}
+
+// GetFloat64s reads n little-endian float64 values from buf.
+func GetFloat64s(buf []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out
+}

@@ -1,0 +1,890 @@
+package metadb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is an embedded database instance. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	stmtMu    sync.Mutex
+	stmtCache map[string]cachedStmt
+
+	queryCount int64 // cumulative statements executed, for cost accounting
+}
+
+type cachedStmt struct {
+	stmt    statement
+	nparams int
+}
+
+// table holds rows in insertion order with optional hash indexes.
+type table struct {
+	name    string
+	cols    []columnDef
+	colIdx  map[string]int
+	nextID  int64
+	order   []int64 // row ids in insertion order
+	rows    map[int64][]Value
+	indexes map[string]*index // keyed by column name
+}
+
+type index struct {
+	name   string
+	column string
+	colPos int
+	m      map[string][]int64
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table), stmtCache: make(map[string]cachedStmt)}
+}
+
+// QueryCount reports how many statements have executed, which the
+// catalog layer uses to charge simulated database-access time.
+func (db *DB) QueryCount() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queryCount
+}
+
+// Rows is a query result: column labels plus row data.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Len reports the number of rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// prepare parses src, consulting the statement cache.
+func (db *DB) prepare(src string) (statement, int, error) {
+	db.stmtMu.Lock()
+	if c, ok := db.stmtCache[src]; ok {
+		db.stmtMu.Unlock()
+		return c.stmt, c.nparams, nil
+	}
+	db.stmtMu.Unlock()
+	stmt, nparams, err := parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	db.stmtMu.Lock()
+	db.stmtCache[src] = cachedStmt{stmt, nparams}
+	db.stmtMu.Unlock()
+	return stmt, nparams, nil
+}
+
+func convertArgs(nparams int, args []any) ([]Value, error) {
+	if len(args) != nparams {
+		return nil, fmt.Errorf("metadb: statement has %d parameters, got %d arguments", nparams, len(args))
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := GoValue(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// Exec runs a statement that returns no rows (DDL, INSERT, UPDATE,
+// DELETE) and reports the number of affected rows.
+func (db *DB) Exec(src string, args ...any) (int, error) {
+	stmt, nparams, err := db.prepare(src)
+	if err != nil {
+		return 0, err
+	}
+	params, err := convertArgs(nparams, args)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queryCount++
+	switch s := stmt.(type) {
+	case createTableStmt:
+		return 0, db.execCreateTable(s)
+	case createIndexStmt:
+		return 0, db.execCreateIndex(s)
+	case dropTableStmt:
+		return 0, db.execDropTable(s)
+	case insertStmt:
+		return db.execInsert(s, params)
+	case updateStmt:
+		return db.execUpdate(s, params)
+	case deleteStmt:
+		return db.execDelete(s, params)
+	case selectStmt:
+		return 0, fmt.Errorf("metadb: use Query for SELECT")
+	}
+	return 0, fmt.Errorf("metadb: unhandled statement type %T", stmt)
+}
+
+// Query runs a SELECT and returns its rows.
+func (db *DB) Query(src string, args ...any) (*Rows, error) {
+	stmt, nparams, err := db.prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("metadb: Query requires a SELECT statement")
+	}
+	params, err := convertArgs(nparams, args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.queryCount++
+	return db.execSelect(sel, params)
+}
+
+// QueryRow runs a SELECT expected to produce at most one row; it
+// returns (nil, nil) when no row matches.
+func (db *DB) QueryRow(src string, args ...any) ([]Value, error) {
+	rows, err := db.Query(src, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() == 0 {
+		return nil, nil
+	}
+	return rows.Data[0], nil
+}
+
+// TableNames lists tables in lexical order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Columns reports a table's column names in declaration order.
+func (db *DB) Columns(tableName string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[normalizeIdent(tableName)]
+	if !ok {
+		return nil, fmt.Errorf("metadb: no such table %q", tableName)
+	}
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.name
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+func (db *DB) execCreateTable(s createTableStmt) error {
+	name := normalizeIdent(s.name)
+	if _, exists := db.tables[name]; exists {
+		if s.ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: table %q already exists", s.name)
+	}
+	t := &table{
+		name:    name,
+		colIdx:  make(map[string]int),
+		rows:    make(map[int64][]Value),
+		indexes: make(map[string]*index),
+	}
+	for _, c := range s.cols {
+		cn := normalizeIdent(c.name)
+		if _, dup := t.colIdx[cn]; dup {
+			return fmt.Errorf("metadb: duplicate column %q in table %q", c.name, s.name)
+		}
+		t.colIdx[cn] = len(t.cols)
+		t.cols = append(t.cols, columnDef{cn, c.kind})
+	}
+	db.tables[name] = t
+	return nil
+}
+
+func (db *DB) execCreateIndex(s createIndexStmt) error {
+	t, ok := db.tables[normalizeIdent(s.table)]
+	if !ok {
+		return fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	col := normalizeIdent(s.column)
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("metadb: no column %q in table %q", s.column, s.table)
+	}
+	if _, exists := t.indexes[col]; exists {
+		if s.ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, s.column)
+	}
+	idx := &index{name: normalizeIdent(s.name), column: col, colPos: pos, m: make(map[string][]int64)}
+	for _, id := range t.order {
+		key := t.rows[id][pos].hashKey()
+		idx.m[key] = append(idx.m[key], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+func (db *DB) execDropTable(s dropTableStmt) error {
+	name := normalizeIdent(s.name)
+	if _, ok := db.tables[name]; !ok {
+		if s.ifExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: no such table %q", s.name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+// evalCtx binds an expression to an optional current row.
+type evalCtx struct {
+	t      *table
+	row    []Value
+	params []Value
+}
+
+func (ctx *evalCtx) eval(e expr) (Value, error) {
+	switch x := e.(type) {
+	case litExpr:
+		return x.v, nil
+	case paramExpr:
+		return ctx.params[x.idx], nil
+	case colExpr:
+		if ctx.t == nil || ctx.row == nil {
+			return Value{}, fmt.Errorf("metadb: column %q referenced outside row context", x.name)
+		}
+		pos, ok := ctx.t.colIdx[normalizeIdent(x.name)]
+		if !ok {
+			return Value{}, fmt.Errorf("metadb: no column %q in table %q", x.name, ctx.t.name)
+		}
+		return ctx.row[pos], nil
+	case isNullExpr:
+		v, err := ctx.eval(x.e)
+		if err != nil {
+			return Value{}, err
+		}
+		res := v.IsNull()
+		if x.negate {
+			res = !res
+		}
+		return boolVal(res), nil
+	case unaryExpr:
+		v, err := ctx.eval(x.e)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.op {
+		case "NOT":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return boolVal(!truthy(v)), nil
+		case "-":
+			switch v.Kind() {
+			case KindInt:
+				return Int(-v.AsInt()), nil
+			case KindReal:
+				return Real(-v.AsReal()), nil
+			case KindNull:
+				return Null(), nil
+			}
+			return Value{}, fmt.Errorf("metadb: cannot negate %s value", v.Kind())
+		}
+		return Value{}, fmt.Errorf("metadb: unknown unary operator %q", x.op)
+	case binExpr:
+		return ctx.evalBinary(x)
+	}
+	return Value{}, fmt.Errorf("metadb: unhandled expression %T", e)
+}
+
+func (ctx *evalCtx) evalBinary(x binExpr) (Value, error) {
+	l, err := ctx.eval(x.l)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit logic operators.
+	switch x.op {
+	case "AND":
+		if !l.IsNull() && !truthy(l) {
+			return boolVal(false), nil
+		}
+		r, err := ctx.eval(x.r)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return boolVal(truthy(l) && truthy(r)), nil
+	case "OR":
+		if !l.IsNull() && truthy(l) {
+			return boolVal(true), nil
+		}
+		r, err := ctx.eval(x.r)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return boolVal(truthy(l) || truthy(r)), nil
+	}
+	r, err := ctx.eval(x.r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c := compare(l, r)
+		var res bool
+		switch x.op {
+		case "=":
+			res = c == 0
+		case "!=":
+			res = c != 0
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return boolVal(res), nil
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if x.op == "+" && l.Kind() == KindText && r.Kind() == KindText {
+			return Text(l.AsText() + r.AsText()), nil
+		}
+		if !l.numeric() || !r.numeric() {
+			return Value{}, fmt.Errorf("metadb: arithmetic on non-numeric values (%s %s %s)", l.Kind(), x.op, r.Kind())
+		}
+		if l.Kind() == KindInt && r.Kind() == KindInt && x.op != "/" {
+			a, b := l.AsInt(), r.AsInt()
+			switch x.op {
+			case "+":
+				return Int(a + b), nil
+			case "-":
+				return Int(a - b), nil
+			case "*":
+				return Int(a * b), nil
+			}
+		}
+		a, b := l.AsReal(), r.AsReal()
+		switch x.op {
+		case "+":
+			return Real(a + b), nil
+		case "-":
+			return Real(a - b), nil
+		case "*":
+			return Real(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null(), nil
+			}
+			if l.Kind() == KindInt && r.Kind() == KindInt {
+				return Int(l.AsInt() / r.AsInt()), nil
+			}
+			return Real(a / b), nil
+		}
+	}
+	return Value{}, fmt.Errorf("metadb: unknown operator %q", x.op)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+func truthy(v Value) bool {
+	switch v.Kind() {
+	case KindInt:
+		return v.AsInt() != 0
+	case KindReal:
+		return v.AsReal() != 0
+	case KindNull:
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+func (db *DB) execInsert(s insertStmt, params []Value) (int, error) {
+	t, ok := db.tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	colPos := make([]int, 0, len(t.cols))
+	if len(s.cols) == 0 {
+		for i := range t.cols {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range s.cols {
+			pos, ok := t.colIdx[normalizeIdent(c)]
+			if !ok {
+				return 0, fmt.Errorf("metadb: no column %q in table %q", c, s.table)
+			}
+			colPos = append(colPos, pos)
+		}
+	}
+	ctx := &evalCtx{params: params}
+	inserted := 0
+	for _, rowExprs := range s.rows {
+		if len(rowExprs) != len(colPos) {
+			return inserted, fmt.Errorf("metadb: INSERT has %d values for %d columns", len(rowExprs), len(colPos))
+		}
+		row := make([]Value, len(t.cols))
+		for i, e := range rowExprs {
+			v, err := ctx.eval(e)
+			if err != nil {
+				return inserted, err
+			}
+			cv, err := coerce(v, t.cols[colPos[i]].kind)
+			if err != nil {
+				return inserted, fmt.Errorf("%w (column %q)", err, t.cols[colPos[i]].name)
+			}
+			row[colPos[i]] = cv
+		}
+		id := t.nextID
+		t.nextID++
+		t.rows[id] = row
+		t.order = append(t.order, id)
+		for _, idx := range t.indexes {
+			key := row[idx.colPos].hashKey()
+			idx.m[key] = append(idx.m[key], id)
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+// candidateIDs returns the row ids to scan for a WHERE clause, using a
+// hash index when the clause contains a top-level `col = const`
+// conjunct on an indexed column; otherwise all rows.
+func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
+	var eqCols []struct {
+		col string
+		e   expr
+	}
+	var collect func(e expr)
+	collect = func(e expr) {
+		b, ok := e.(binExpr)
+		if !ok {
+			return
+		}
+		if b.op == "AND" {
+			collect(b.l)
+			collect(b.r)
+			return
+		}
+		if b.op != "=" {
+			return
+		}
+		if c, ok := b.l.(colExpr); ok && isConstExpr(b.r) {
+			eqCols = append(eqCols, struct {
+				col string
+				e   expr
+			}{normalizeIdent(c.name), b.r})
+		} else if c, ok := b.r.(colExpr); ok && isConstExpr(b.l) {
+			eqCols = append(eqCols, struct {
+				col string
+				e   expr
+			}{normalizeIdent(c.name), b.l})
+		}
+	}
+	collect(where)
+	ctx := &evalCtx{params: params}
+	for _, eq := range eqCols {
+		idx, ok := t.indexes[eq.col]
+		if !ok {
+			continue
+		}
+		v, err := ctx.eval(eq.e)
+		if err != nil {
+			continue
+		}
+		return idx.m[v.hashKey()], true
+	}
+	return t.order, false
+}
+
+func isConstExpr(e expr) bool {
+	switch x := e.(type) {
+	case litExpr, paramExpr:
+		return true
+	case unaryExpr:
+		return isConstExpr(x.e)
+	case binExpr:
+		return x.op != "AND" && x.op != "OR" && isConstExpr(x.l) && isConstExpr(x.r)
+	}
+	return false
+}
+
+// matchingIDs evaluates the WHERE clause over candidates, preserving
+// insertion order.
+func (t *table) matchingIDs(where expr, params []Value) ([]int64, error) {
+	cands, fromIndex := t.candidateIDs(where, params)
+	var out []int64
+	ctx := &evalCtx{t: t, params: params}
+	for _, id := range cands {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if where != nil {
+			ctx.row = row
+			v, err := ctx.eval(where)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !truthy(v) {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	if fromIndex {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out, nil
+}
+
+func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
+	t, ok := db.tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	ids, err := t.matchingIDs(s.where, params)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &evalCtx{t: t, params: params}
+	for _, id := range ids {
+		row := t.rows[id]
+		ctx.row = row
+		newRow := append([]Value(nil), row...)
+		for _, sc := range s.sets {
+			pos, ok := t.colIdx[normalizeIdent(sc.col)]
+			if !ok {
+				return 0, fmt.Errorf("metadb: no column %q in table %q", sc.col, s.table)
+			}
+			v, err := ctx.eval(sc.val)
+			if err != nil {
+				return 0, err
+			}
+			cv, err := coerce(v, t.cols[pos].kind)
+			if err != nil {
+				return 0, err
+			}
+			newRow[pos] = cv
+		}
+		for _, idx := range t.indexes {
+			oldKey := row[idx.colPos].hashKey()
+			newKey := newRow[idx.colPos].hashKey()
+			if oldKey != newKey {
+				idx.remove(oldKey, id)
+				idx.m[newKey] = append(idx.m[newKey], id)
+			}
+		}
+		t.rows[id] = newRow
+	}
+	return len(ids), nil
+}
+
+func (idx *index) remove(key string, id int64) {
+	ids := idx.m[key]
+	for i, v := range ids {
+		if v == id {
+			idx.m[key] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(idx.m[key]) == 0 {
+		delete(idx.m, key)
+	}
+}
+
+func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
+	t, ok := db.tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	ids, err := t.matchingIDs(s.where, params)
+	if err != nil {
+		return 0, err
+	}
+	doomed := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		doomed[id] = true
+		row := t.rows[id]
+		for _, idx := range t.indexes {
+			idx.remove(row[idx.colPos].hashKey(), id)
+		}
+		delete(t.rows, id)
+	}
+	if len(doomed) > 0 {
+		kept := t.order[:0]
+		for _, id := range t.order {
+			if !doomed[id] {
+				kept = append(kept, id)
+			}
+		}
+		t.order = kept
+	}
+	return len(ids), nil
+}
+
+// validateColumns rejects references to columns the table lacks, so
+// malformed queries fail even when no rows would be scanned.
+func (t *table) validateColumns(e expr) error {
+	switch x := e.(type) {
+	case nil, litExpr, paramExpr:
+		return nil
+	case colExpr:
+		if _, ok := t.colIdx[normalizeIdent(x.name)]; !ok {
+			return fmt.Errorf("metadb: no column %q in table %q", x.name, t.name)
+		}
+		return nil
+	case binExpr:
+		if err := t.validateColumns(x.l); err != nil {
+			return err
+		}
+		return t.validateColumns(x.r)
+	case unaryExpr:
+		return t.validateColumns(x.e)
+	case isNullExpr:
+		return t.validateColumns(x.e)
+	}
+	return nil
+}
+
+func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
+	t, ok := db.tables[normalizeIdent(s.table)]
+	if !ok {
+		return nil, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	if err := t.validateColumns(s.where); err != nil {
+		return nil, err
+	}
+	for _, it := range s.items {
+		if it.star {
+			continue
+		}
+		if err := t.validateColumns(it.expr); err != nil {
+			return nil, err
+		}
+	}
+	ids, err := t.matchingIDs(s.where, params)
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand the projection, replacing * with all columns.
+	var items []selectItem
+	aggregated := false
+	for _, it := range s.items {
+		if it.star {
+			for _, c := range t.cols {
+				items = append(items, selectItem{expr: colExpr{c.name}, name: c.name})
+			}
+			continue
+		}
+		if it.agg != "" {
+			aggregated = true
+		}
+		items = append(items, it)
+	}
+	if aggregated {
+		for _, it := range items {
+			if it.agg == "" {
+				return nil, fmt.Errorf("metadb: mixing aggregates and plain columns without GROUP BY")
+			}
+		}
+	}
+
+	cols := make([]string, len(items))
+	for i, it := range items {
+		cols[i] = it.name
+	}
+	res := &Rows{Columns: cols}
+	ctx := &evalCtx{t: t, params: params}
+
+	if aggregated {
+		out := make([]Value, len(items))
+		counts := make([]int64, len(items))
+		for _, id := range ids {
+			ctx.row = t.rows[id]
+			for i, it := range items {
+				switch it.agg {
+				case "COUNT":
+					if it.expr == nil {
+						counts[i]++
+						continue
+					}
+					v, err := ctx.eval(it.expr)
+					if err != nil {
+						return nil, err
+					}
+					if !v.IsNull() {
+						counts[i]++
+					}
+				case "MAX", "MIN":
+					v, err := ctx.eval(it.expr)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() {
+						continue
+					}
+					if out[i].IsNull() ||
+						(it.agg == "MAX" && compare(v, out[i]) > 0) ||
+						(it.agg == "MIN" && compare(v, out[i]) < 0) {
+						out[i] = v
+					}
+				}
+			}
+		}
+		for i, it := range items {
+			if it.agg == "COUNT" {
+				out[i] = Int(counts[i])
+			}
+		}
+		res.Data = [][]Value{out}
+		return res, nil
+	}
+
+	for _, id := range ids {
+		ctx.row = t.rows[id]
+		row := make([]Value, len(items))
+		for i, it := range items {
+			v, err := ctx.eval(it.expr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Data = append(res.Data, row)
+	}
+
+	if len(s.orderBy) > 0 {
+		// Order by the projected column when present; otherwise fall
+		// back to the source row's column value.
+		keyPos := make([]int, len(s.orderBy))
+		for i, k := range s.orderBy {
+			if _, ok := t.colIdx[normalizeIdent(k.col)]; !ok {
+				return nil, fmt.Errorf("metadb: ORDER BY unknown column %q", k.col)
+			}
+			keyPos[i] = -1
+			for j, c := range cols {
+				if normalizeIdent(c) == normalizeIdent(k.col) {
+					keyPos[i] = j
+					break
+				}
+			}
+		}
+		// For non-projected order columns, precompute key values.
+		var extKeys [][]Value
+		needExt := false
+		for _, kp := range keyPos {
+			if kp == -1 {
+				needExt = true
+			}
+		}
+		if needExt {
+			extKeys = make([][]Value, len(ids))
+			for r, id := range ids {
+				row := t.rows[id]
+				keys := make([]Value, len(s.orderBy))
+				for i, k := range s.orderBy {
+					keys[i] = row[t.colIdx[normalizeIdent(k.col)]]
+				}
+				extKeys[r] = keys
+			}
+		}
+		type sortable struct {
+			row  []Value
+			keys []Value
+		}
+		items2 := make([]sortable, len(res.Data))
+		for r := range res.Data {
+			keys := make([]Value, len(s.orderBy))
+			for i, kp := range keyPos {
+				if kp >= 0 {
+					keys[i] = res.Data[r][kp]
+				} else {
+					keys[i] = extKeys[r][i]
+				}
+			}
+			items2[r] = sortable{res.Data[r], keys}
+		}
+		sort.SliceStable(items2, func(a, b int) bool {
+			for i, k := range s.orderBy {
+				c := compare(items2[a].keys[i], items2[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		for r := range items2 {
+			res.Data[r] = items2[r].row
+		}
+	}
+
+	if s.limit != nil {
+		lv, err := (&evalCtx{params: params}).eval(s.limit)
+		if err != nil {
+			return nil, err
+		}
+		if lv.Kind() != KindInt {
+			return nil, fmt.Errorf("metadb: LIMIT must be an integer")
+		}
+		n := int(lv.AsInt())
+		if n < 0 {
+			n = 0
+		}
+		if n < len(res.Data) {
+			res.Data = res.Data[:n]
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,271 @@
+package metadb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Snapshot format:
+//
+//	magic "MDB1" | u32 tableCount
+//	per table: name | u32 colCount | cols (name, u8 kind)
+//	           u32 indexCount | indexes (name, column)
+//	           u32 rowCount | rows (values)
+//	value: u8 kind | payload (varies)
+//
+// Strings are u32 length + bytes. Integers are little-endian.
+
+var snapshotMagic = []byte("MDB1")
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("metadb: corrupt snapshot (string length %d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w io.Writer, v Value) error {
+	if _, err := w.Write([]byte{byte(v.kind)}); err != nil {
+		return err
+	}
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindInt:
+		return binary.Write(w, binary.LittleEndian, v.i)
+	case KindReal:
+		return binary.Write(w, binary.LittleEndian, math.Float64bits(v.r))
+	case KindText:
+		return writeString(w, v.s)
+	case KindBlob:
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(v.b))); err != nil {
+			return err
+		}
+		_, err := w.Write(v.b)
+		return err
+	}
+	return fmt.Errorf("metadb: cannot serialize kind %d", v.kind)
+}
+
+func readValue(r io.Reader) (Value, error) {
+	var kb [1]byte
+	if _, err := io.ReadFull(r, kb[:]); err != nil {
+		return Value{}, err
+	}
+	switch Kind(kb[0]) {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		var i int64
+		if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
+			return Value{}, err
+		}
+		return Int(i), nil
+	case KindReal:
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return Value{}, err
+		}
+		return Real(math.Float64frombits(bits)), nil
+	case KindText:
+		s, err := readString(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return Text(s), nil
+	case KindBlob:
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return Value{}, err
+		}
+		if n > 1<<30 {
+			return Value{}, fmt.Errorf("metadb: corrupt snapshot (blob length %d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		return Blob(buf), nil
+	}
+	return Value{}, fmt.Errorf("metadb: corrupt snapshot (value kind %d)", kb[0])
+}
+
+// Save writes a full snapshot of the database.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		if err := writeString(bw, t.name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.cols))); err != nil {
+			return err
+		}
+		for _, c := range t.cols {
+			if err := writeString(bw, c.name); err != nil {
+				return err
+			}
+			if _, err := bw.Write([]byte{byte(c.kind)}); err != nil {
+				return err
+			}
+		}
+		idxCols := make([]string, 0, len(t.indexes))
+		for c := range t.indexes {
+			idxCols = append(idxCols, c)
+		}
+		sort.Strings(idxCols)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(idxCols))); err != nil {
+			return err
+		}
+		for _, c := range idxCols {
+			if err := writeString(bw, t.indexes[c].name); err != nil {
+				return err
+			}
+			if err := writeString(bw, c); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.order))); err != nil {
+			return err
+		}
+		for _, id := range t.order {
+			for _, v := range t.rows[id] {
+				if err := writeValue(bw, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the database contents with a snapshot previously
+// written by Save.
+func (db *DB) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("metadb: reading snapshot header: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return fmt.Errorf("metadb: not a metadb snapshot (magic %q)", magic)
+	}
+	var tableCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &tableCount); err != nil {
+		return err
+	}
+	tables := make(map[string]*table, tableCount)
+	for ti := uint32(0); ti < tableCount; ti++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		t := &table{
+			name:    name,
+			colIdx:  make(map[string]int),
+			rows:    make(map[int64][]Value),
+			indexes: make(map[string]*index),
+		}
+		var colCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &colCount); err != nil {
+			return err
+		}
+		for ci := uint32(0); ci < colCount; ci++ {
+			cname, err := readString(br)
+			if err != nil {
+				return err
+			}
+			var kb [1]byte
+			if _, err := io.ReadFull(br, kb[:]); err != nil {
+				return err
+			}
+			t.colIdx[cname] = len(t.cols)
+			t.cols = append(t.cols, columnDef{cname, Kind(kb[0])})
+		}
+		var idxCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &idxCount); err != nil {
+			return err
+		}
+		type idxDef struct{ name, col string }
+		idxDefs := make([]idxDef, idxCount)
+		for ii := range idxDefs {
+			iname, err := readString(br)
+			if err != nil {
+				return err
+			}
+			icol, err := readString(br)
+			if err != nil {
+				return err
+			}
+			idxDefs[ii] = idxDef{iname, icol}
+		}
+		var rowCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &rowCount); err != nil {
+			return err
+		}
+		for ri := uint32(0); ri < rowCount; ri++ {
+			row := make([]Value, len(t.cols))
+			for ci := range row {
+				v, err := readValue(br)
+				if err != nil {
+					return err
+				}
+				row[ci] = v
+			}
+			id := t.nextID
+			t.nextID++
+			t.rows[id] = row
+			t.order = append(t.order, id)
+		}
+		for _, d := range idxDefs {
+			pos, ok := t.colIdx[d.col]
+			if !ok {
+				return fmt.Errorf("metadb: snapshot index on unknown column %q", d.col)
+			}
+			idx := &index{name: d.name, column: d.col, colPos: pos, m: make(map[string][]int64)}
+			for _, id := range t.order {
+				key := t.rows[id][pos].hashKey()
+				idx.m[key] = append(idx.m[key], id)
+			}
+			t.indexes[d.col] = idx
+		}
+		tables[name] = t
+	}
+	db.mu.Lock()
+	db.tables = tables
+	db.mu.Unlock()
+	return nil
+}

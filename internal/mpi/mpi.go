@@ -1,0 +1,703 @@
+// Package mpi implements the message-passing substrate SDM runs on: an
+// in-process analogue of the MPI runtime the paper uses. Ranks are
+// goroutines; point-to-point messages move through per-rank mailboxes
+// with MPI's non-overtaking tag-matching semantics; the collectives SDM
+// needs (Barrier, Bcast, Gather(v), Allgather(v), Scatter(v),
+// Alltoall(v), Reduce, Allreduce, Scan, Sendrecv) are provided with
+// deterministic results.
+//
+// Every rank carries a virtual clock (internal/sim). Communication
+// advances the clocks according to a latency/bandwidth model, so the
+// cost of SDM's index distribution — the quantity Figure 5 of the paper
+// measures — is simulated faithfully rather than measured on the host.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"sdm/internal/sim"
+)
+
+// Wildcard values for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes the simulated interconnect.
+type Config struct {
+	// Latency is the fixed per-message cost.
+	Latency sim.Duration
+	// Bandwidth is the per-link transfer rate in bytes/second.
+	// Zero means infinitely fast links (only latency is charged).
+	Bandwidth float64
+}
+
+// DefaultConfig models a late-1990s shared-memory interconnect in the
+// spirit of the Origin2000: ~10us latency, ~200 MB/s per link.
+func DefaultConfig() Config {
+	return Config{Latency: 10_000, Bandwidth: 200e6}
+}
+
+// World is a fixed-size group of simulated processes. It plays the role
+// of MPI_COMM_WORLD: create one per application run, then call Run with
+// the per-rank body.
+type World struct {
+	size  int
+	cfg   Config
+	boxes []*mailbox
+	rv    *rendezvous
+	comms []*Comm
+
+	aborted  atomic.Bool
+	abortMsg atomic.Value // string
+
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+}
+
+// NewWorld creates a world of n ranks. n must be positive.
+func NewWorld(n int, cfg Config) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: NewWorld with non-positive size %d", n))
+	}
+	w := &World{size: n, cfg: cfg}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.rv = newRendezvous(n)
+	w.comms = make([]*Comm, n)
+	for i := range w.comms {
+		w.comms[i] = &Comm{world: w, rank: i, clock: sim.NewClock()}
+	}
+	return w
+}
+
+// Size reports the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle of the given rank. It is
+// intended for harness code that inspects clocks after Run returns.
+func (w *World) Comm(rank int) *Comm { return w.comms[rank] }
+
+// MaxTime reports the latest virtual clock across all ranks; it is the
+// virtual makespan of everything run so far.
+func (w *World) MaxTime() sim.Time {
+	var t sim.Time
+	for _, c := range w.comms {
+		t = sim.MaxTime(t, c.clock.Now())
+	}
+	return t
+}
+
+// Traffic reports the cumulative number of point-to-point payload bytes
+// and messages sent. Collectives are modelled analytically and do not
+// contribute; SDM's ring index distribution, the paper's dominant
+// communication pattern, is pure point-to-point and is fully counted.
+func (w *World) Traffic() (bytes, messages int64) {
+	return w.sentBytes.Load(), w.sentMsgs.Load()
+}
+
+// Run executes fn once per rank, concurrently, and waits for all ranks
+// to finish. If any rank panics, the world is aborted (blocked ranks
+// are woken and fail too) and Run returns an error describing the first
+// panic. Run may be called repeatedly; clocks carry over, which lets a
+// harness phase several program stages through one world.
+func (w *World) Run(fn func(*Comm)) (err error) {
+	var wg sync.WaitGroup
+	var once sync.Once
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		c := w.comms[r]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					msg := fmt.Sprintf("rank %d: %v", c.rank, p)
+					once.Do(func() { err = fmt.Errorf("mpi: %s", msg) })
+					w.abort(msg)
+				}
+			}()
+			fn(c)
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// abort poisons the world so ranks blocked in Recv or collectives wake
+// up and panic instead of hanging forever.
+func (w *World) abort(msg string) {
+	w.abortMsg.Store(msg)
+	w.aborted.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.rv.mu.Lock()
+	w.rv.cond.Broadcast()
+	w.rv.mu.Unlock()
+}
+
+func (w *World) checkAbort() {
+	if w.aborted.Load() {
+		panic(fmt.Sprintf("world aborted: %v", w.abortMsg.Load()))
+	}
+}
+
+// Comm is a per-rank communicator handle, the analogue of an MPI
+// communicator bound to one process. It is not safe for concurrent use;
+// each rank goroutine owns its Comm exclusively.
+type Comm struct {
+	world *World
+	rank  int
+	clock *sim.Clock
+}
+
+// Rank reports this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock exposes the rank's virtual clock.
+func (c *Comm) Clock() *sim.Clock { return c.clock }
+
+// Now reports the rank's current virtual time.
+func (c *Comm) Now() sim.Time { return c.clock.Now() }
+
+// Compute charges d of local computation to this rank's clock.
+func (c *Comm) Compute(d sim.Duration) { c.clock.Advance(d) }
+
+// ComputeItems charges the time to process n items at rate items/sec.
+func (c *Comm) ComputeItems(n int64, rate float64) {
+	c.clock.Advance(sim.ComputeCost(n, rate))
+}
+
+// transferCost is the virtual cost of moving n payload bytes point to
+// point.
+func (c *Comm) transferCost(n int64) sim.Duration {
+	return sim.TransferCost(n, c.world.cfg.Latency, c.world.cfg.Bandwidth)
+}
+
+// message is an in-flight point-to-point payload.
+type message struct {
+	src     int
+	tag     int
+	payload any
+	bytes   int64
+	arrival sim.Time
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int64
+}
+
+// Send delivers payload to rank dst with the given tag. bytes is the
+// payload size used for cost accounting (use the typed helpers to avoid
+// computing it by hand). Send models a blocking standard-mode send: the
+// sender's clock advances by the full transfer cost, and the message
+// becomes available to the receiver at that same completion time.
+// Payloads are passed by reference: the sender must not mutate the
+// payload after sending.
+func (c *Comm) Send(dst, tag int, payload any, bytes int64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	c.world.checkAbort()
+	cost := c.transferCost(bytes)
+	c.clock.Advance(cost)
+	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, arrival: c.clock.Now()}
+	c.world.deliver(dst, m)
+}
+
+func (w *World) deliver(dst int, m message) {
+	w.sentMsgs.Add(1)
+	w.sentBytes.Add(m.bytes)
+	b := w.boxes[dst]
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Recv blocks until a message matching (src, tag) is available and
+// returns its payload. src may be AnySource and tag may be AnyTag.
+// Matching follows MPI's non-overtaking rule: among matching messages,
+// the earliest-sent from a given source is delivered first. The
+// receiver's clock advances to the message arrival time if it was still
+// in flight.
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	b := c.world.boxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		c.world.checkAbort()
+		for i, m := range b.queue {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				c.clock.AdvanceTo(m.arrival)
+				return m.payload, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+// Sendrecv concurrently sends to dst and receives from src, the idiom
+// SDM's ring-oriented index distribution is built on. Both transfers
+// overlap: the caller's clock ends at the later of send-completion and
+// receive-arrival rather than their sum.
+func (c *Comm) Sendrecv(dst, sendTag int, payload any, bytes int64, src, recvTag int) (any, Status) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Sendrecv to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	c.world.checkAbort()
+	sendDone := c.clock.Now().Add(c.transferCost(bytes))
+	m := message{src: c.rank, tag: sendTag, payload: payload, bytes: bytes, arrival: sendDone}
+	c.world.deliver(dst, m)
+	payloadIn, st := c.Recv(src, recvTag)
+	c.clock.AdvanceTo(sendDone)
+	return payloadIn, st
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+//
+// Collectives rendezvous all ranks, compute the result once,
+// deterministically, in rank order, and charge each rank the cost of a
+// standard algorithm for that collective (binomial tree, ring, or
+// pairwise exchange). All ranks leave a collective at the same virtual
+// time: the latest arrival plus the algorithm cost. Every rank must
+// invoke the same sequence of collectives, as in MPI; a mismatch panics.
+// ---------------------------------------------------------------------------
+
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     uint64
+	op      string
+	slots   []any
+	times   []sim.Time
+	result  any
+	doneAt  sim.Time
+}
+
+func newRendezvous(n int) *rendezvous {
+	r := &rendezvous{size: n, slots: make([]any, n), times: make([]sim.Time, n)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// exchange synchronizes all ranks. contribution is this rank's input;
+// combine runs exactly once (in the last-arriving rank) over the dense
+// rank-ordered slot array and returns (result, extraCost). Every rank
+// returns the shared result with its clock set to
+// max(arrival times) + extraCost.
+func (c *Comm) exchange(op string, contribution any, combine func(slots []any) (any, sim.Duration)) any {
+	w := c.world
+	r := w.rv
+	r.mu.Lock()
+	w.checkAbortLocked(r)
+	if r.arrived == 0 {
+		r.op = op
+	} else if r.op != op {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %s while %s in progress", c.rank, op, r.op))
+	}
+	myGen := r.gen
+	r.slots[c.rank] = contribution
+	r.times[c.rank] = c.clock.Now()
+	r.arrived++
+	if r.arrived == r.size {
+		var maxT sim.Time
+		for _, t := range r.times {
+			maxT = sim.MaxTime(maxT, t)
+		}
+		res, cost := combine(r.slots)
+		r.result = res
+		r.doneAt = maxT.Add(cost)
+		r.arrived = 0
+		r.gen++
+		r.cond.Broadcast()
+	} else {
+		for r.gen == myGen {
+			w.checkAbortLocked(r)
+			r.cond.Wait()
+		}
+	}
+	res := r.result
+	c.clock.AdvanceTo(r.doneAt)
+	r.mu.Unlock()
+	return res
+}
+
+func (w *World) checkAbortLocked(r *rendezvous) {
+	if w.aborted.Load() {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("world aborted: %v", w.abortMsg.Load()))
+	}
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// treeCost models a binomial-tree collective on n bytes: log2(p) rounds
+// each moving the full payload.
+func (c *Comm) treeCost(bytes int64) sim.Duration {
+	return sim.Duration(log2ceil(c.world.size)) * c.transferCost(bytes)
+}
+
+// ringCost models a ring collective in which total bytes flow through
+// every rank across p-1 rounds.
+func (c *Comm) ringCost(total int64) sim.Duration {
+	p := c.world.size
+	if p <= 1 {
+		return 0
+	}
+	perRound := total / int64(p)
+	round := c.transferCost(perRound)
+	return sim.Duration(p-1) * round
+}
+
+// Barrier blocks until every rank has entered it; all ranks leave at
+// the same virtual time, charged a dissemination-barrier cost.
+func (c *Comm) Barrier() {
+	cost := sim.Duration(log2ceil(c.world.size)) * c.world.cfg.Latency
+	c.exchange("Barrier", nil, func([]any) (any, sim.Duration) { return nil, cost })
+}
+
+// Bcast distributes root's value to every rank. bytes is the payload
+// size for cost accounting. Non-root ranks pass their (ignored) local
+// value, typically nil.
+func (c *Comm) Bcast(root int, v any, bytes int64) any {
+	c.checkRoot(root, "Bcast")
+	cost := c.treeCost(bytes)
+	return c.exchange("Bcast", v, func(slots []any) (any, sim.Duration) {
+		return slots[root], cost
+	})
+}
+
+// Gather collects one value from every rank, in rank order, delivered
+// to root; other ranks receive nil. bytes is the per-rank payload size.
+func (c *Comm) Gather(root int, v any, bytes int64) []any {
+	c.checkRoot(root, "Gather")
+	total := bytes * int64(c.world.size)
+	cost := sim.Duration(log2ceil(c.world.size))*c.world.cfg.Latency +
+		sim.TransferCost(total-bytes, 0, c.world.cfg.Bandwidth)
+	res := c.exchange("Gather", v, func(slots []any) (any, sim.Duration) {
+		out := make([]any, len(slots))
+		copy(out, slots)
+		return out, cost
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res.([]any)
+}
+
+// Allgather collects one value from every rank, in rank order, and
+// delivers the full array to all ranks (ring algorithm cost).
+func (c *Comm) Allgather(v any, bytes int64) []any {
+	total := bytes * int64(c.world.size)
+	cost := c.ringCost(total)
+	res := c.exchange("Allgather", v, func(slots []any) (any, sim.Duration) {
+		out := make([]any, len(slots))
+		copy(out, slots)
+		return out, cost
+	})
+	return res.([]any)
+}
+
+// Scatter distributes root's slice of per-rank values; rank i receives
+// values[i]. bytes is the per-destination payload size. Non-root ranks
+// pass nil.
+func (c *Comm) Scatter(root int, values []any, bytes int64) any {
+	c.checkRoot(root, "Scatter")
+	if c.rank == root && len(values) != c.world.size {
+		panic(fmt.Sprintf("mpi: Scatter root provided %d values for %d ranks", len(values), c.world.size))
+	}
+	total := bytes * int64(c.world.size)
+	cost := sim.Duration(log2ceil(c.world.size))*c.world.cfg.Latency +
+		sim.TransferCost(total-bytes, 0, c.world.cfg.Bandwidth)
+	res := c.exchange("Scatter", values, func(slots []any) (any, sim.Duration) {
+		return slots[root], cost
+	})
+	all := res.([]any)
+	return all[c.rank]
+}
+
+// alltoallPayload carries each rank's outgoing parts through exchange.
+type alltoallPayload struct {
+	parts []any
+	bytes int64 // total bytes this rank sends
+}
+
+// Alltoall performs a personalized all-to-all: parts[i] goes to rank i;
+// the returned slice holds, at position j, the part rank j sent here.
+// sendBytes is the total payload this rank contributes, used for the
+// pairwise-exchange cost model.
+func (c *Comm) Alltoall(parts []any, sendBytes int64) []any {
+	if len(parts) != c.world.size {
+		panic(fmt.Sprintf("mpi: Alltoall with %d parts for %d ranks", len(parts), c.world.size))
+	}
+	res := c.exchange("Alltoall", alltoallPayload{parts, sendBytes}, func(slots []any) (any, sim.Duration) {
+		p := len(slots)
+		var maxBytes int64
+		out := make([][]any, p)
+		for i := range out {
+			out[i] = make([]any, p)
+		}
+		for src, s := range slots {
+			pl := s.(alltoallPayload)
+			if pl.bytes > maxBytes {
+				maxBytes = pl.bytes
+			}
+			for dst, part := range pl.parts {
+				out[dst][src] = part
+			}
+		}
+		perPeer := maxBytes / int64(p)
+		cost := sim.Duration(p-1) * c.transferCost(perPeer)
+		return out, cost
+	})
+	return res.([][]any)[c.rank]
+}
+
+// Op selects a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func reduceInt64(vals []any, op Op) int64 {
+	acc := vals[0].(int64)
+	for _, v := range vals[1:] {
+		x := v.(int64)
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+func reduceFloat64(vals []any, op Op) float64 {
+	acc := vals[0].(float64)
+	for _, v := range vals[1:] {
+		x := v.(float64)
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+// AllreduceInt64 reduces one int64 per rank with op and returns the
+// result on every rank.
+func (c *Comm) AllreduceInt64(v int64, op Op) int64 {
+	cost := c.treeCost(8)
+	res := c.exchange("AllreduceInt64", v, func(slots []any) (any, sim.Duration) {
+		return reduceInt64(slots, op), cost
+	})
+	return res.(int64)
+}
+
+// AllreduceFloat64 reduces one float64 per rank with op, result on all
+// ranks. Summation is performed in rank order for determinism.
+func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
+	cost := c.treeCost(8)
+	res := c.exchange("AllreduceFloat64", v, func(slots []any) (any, sim.Duration) {
+		return reduceFloat64(slots, op), cost
+	})
+	return res.(float64)
+}
+
+// ReduceInt64 reduces to root; other ranks receive 0.
+func (c *Comm) ReduceInt64(root int, v int64, op Op) int64 {
+	c.checkRoot(root, "ReduceInt64")
+	cost := c.treeCost(8)
+	res := c.exchange("ReduceInt64", v, func(slots []any) (any, sim.Duration) {
+		return reduceInt64(slots, op), cost
+	})
+	if c.rank != root {
+		return 0
+	}
+	return res.(int64)
+}
+
+// ScanInt64 returns the inclusive prefix reduction over ranks 0..Rank.
+// With OpSum this is the offset-computation idiom SDM uses to place
+// each rank's block in a shared file.
+func (c *Comm) ScanInt64(v int64, op Op) int64 {
+	cost := c.treeCost(8)
+	res := c.exchange("ScanInt64", v, func(slots []any) (any, sim.Duration) {
+		prefixes := make([]int64, len(slots))
+		for i := range slots {
+			prefixes[i] = reduceInt64(slots[:i+1], op)
+		}
+		return prefixes, cost
+	})
+	return res.([]int64)[c.rank]
+}
+
+// ExscanInt64 returns the exclusive prefix sum (0 at rank 0).
+func (c *Comm) ExscanInt64(v int64, op Op) int64 {
+	incl := c.ScanInt64(v, op)
+	if op == OpSum {
+		return incl - v
+	}
+	panic("mpi: ExscanInt64 supports OpSum only")
+}
+
+func (c *Comm) checkRoot(root int, op string) {
+	if root < 0 || root >= c.world.size {
+		panic(fmt.Sprintf("mpi: %s with invalid root %d (size %d)", op, root, c.world.size))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed slice helpers. These wrap the any-based collectives with the
+// concrete slice types SDM moves around (edge indexes, data arrays),
+// computing payload sizes from the element type.
+// ---------------------------------------------------------------------------
+
+func sliceBytes[T any](n int) int64 {
+	var zero T
+	return int64(n) * int64(reflect.TypeOf(zero).Size())
+}
+
+// SendSlice sends a typed slice point-to-point.
+func SendSlice[T any](c *Comm, dst, tag int, s []T) {
+	c.Send(dst, tag, s, sliceBytes[T](len(s)))
+}
+
+// RecvSlice receives a typed slice point-to-point.
+func RecvSlice[T any](c *Comm, src, tag int) ([]T, Status) {
+	payload, st := c.Recv(src, tag)
+	if payload == nil {
+		return nil, st
+	}
+	return payload.([]T), st
+}
+
+// SendrecvSlice exchanges typed slices with ring neighbours.
+func SendrecvSlice[T any](c *Comm, dst, sendTag int, s []T, src, recvTag int) ([]T, Status) {
+	payload, st := c.Sendrecv(dst, sendTag, s, sliceBytes[T](len(s)), src, recvTag)
+	if payload == nil {
+		return nil, st
+	}
+	return payload.([]T), st
+}
+
+// BcastSlice broadcasts root's slice to all ranks. Non-root ranks may
+// pass nil.
+func BcastSlice[T any](c *Comm, root int, s []T) []T {
+	n := len(s)
+	if c.Rank() != root {
+		n = 0
+	}
+	maxN := int(c.AllreduceInt64(int64(n), OpMax))
+	res := c.Bcast(root, s, sliceBytes[T](maxN))
+	if res == nil {
+		return nil
+	}
+	return res.([]T)
+}
+
+// AllgatherSlice gathers each rank's slice; the result on every rank
+// holds rank i's contribution at index i.
+func AllgatherSlice[T any](c *Comm, s []T) [][]T {
+	res := c.Allgather(s, sliceBytes[T](len(s)))
+	out := make([][]T, len(res))
+	for i, v := range res {
+		if v != nil {
+			out[i] = v.([]T)
+		}
+	}
+	return out
+}
+
+// GatherSlice gathers to root (others receive nil).
+func GatherSlice[T any](c *Comm, root int, s []T) [][]T {
+	res := c.Gather(root, s, sliceBytes[T](len(s)))
+	if res == nil {
+		return nil
+	}
+	out := make([][]T, len(res))
+	for i, v := range res {
+		if v != nil {
+			out[i] = v.([]T)
+		}
+	}
+	return out
+}
+
+// AlltoallSlices sends parts[i] to rank i and returns the received
+// parts indexed by source rank.
+func AlltoallSlices[T any](c *Comm, parts [][]T) [][]T {
+	anyParts := make([]any, len(parts))
+	var total int
+	for i, p := range parts {
+		anyParts[i] = p
+		total += len(p)
+	}
+	res := c.Alltoall(anyParts, sliceBytes[T](total))
+	out := make([][]T, len(res))
+	for i, v := range res {
+		if v != nil {
+			out[i] = v.([]T)
+		}
+	}
+	return out
+}

@@ -1,0 +1,494 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdm/internal/sim"
+)
+
+// fastConfig keeps virtual costs tiny so logic-focused tests don't
+// depend on the cost model.
+func fastConfig() Config { return Config{Latency: 0, Bandwidth: 0} }
+
+func run(t *testing.T, n int, cfg Config, fn func(*Comm)) *World {
+	t.Helper()
+	w := NewWorld(n, cfg)
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("Run failed: %v", err)
+	}
+	return w
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	run(t, 2, fastConfig(), func(c *Comm) {
+		if c.Rank() == 0 {
+			SendSlice(c, 1, 7, []int64{1, 2, 3})
+		} else {
+			got, st := RecvSlice[int64](c, 0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Bytes != 24 {
+				t.Errorf("status = %+v", st)
+			}
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("payload = %v", got)
+			}
+		}
+	})
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	run(t, 3, fastConfig(), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			SendSlice(c, 2, 11, []int32{int32(c.Rank())})
+		case 1:
+			SendSlice(c, 2, 12, []int32{int32(c.Rank())})
+		case 2:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				got, st := RecvSlice[int32](c, AnySource, AnyTag)
+				if int(got[0]) != st.Source {
+					t.Errorf("payload %v from source %d", got, st.Source)
+				}
+				seen[st.Source] = true
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("sources seen: %v", seen)
+			}
+		}
+	})
+}
+
+func TestNonOvertaking(t *testing.T) {
+	// Messages from the same source with the same tag must arrive in
+	// send order.
+	run(t, 2, fastConfig(), func(c *Comm) {
+		const k = 50
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				SendSlice(c, 1, 3, []int64{int64(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				got, _ := RecvSlice[int64](c, 0, 3)
+				if got[0] != int64(i) {
+					t.Errorf("message %d arrived out of order: %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	run(t, 2, fastConfig(), func(c *Comm) {
+		if c.Rank() == 0 {
+			SendSlice(c, 1, 1, []int64{111})
+			SendSlice(c, 1, 2, []int64{222})
+		} else {
+			// Receive tag 2 first even though tag 1 was sent first.
+			got2, _ := RecvSlice[int64](c, 0, 2)
+			got1, _ := RecvSlice[int64](c, 0, 1)
+			if got2[0] != 222 || got1[0] != 111 {
+				t.Errorf("tag matching wrong: %v %v", got1, got2)
+			}
+		}
+	})
+}
+
+func TestSendCostAdvancesClocks(t *testing.T) {
+	cfg := Config{Latency: time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	run(t, 2, cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			SendSlice(c, 1, 0, make([]int64, 125_000)) // 1 MB => 1s + 1ms
+			want := sim.Time(time.Second + time.Millisecond)
+			if c.Now() != want {
+				t.Errorf("sender clock %v, want %v", c.Now(), want)
+			}
+		} else {
+			_, _ = RecvSlice[int64](c, 0, 0)
+			want := sim.Time(time.Second + time.Millisecond)
+			if c.Now() != want {
+				t.Errorf("receiver clock %v, want %v", c.Now(), want)
+			}
+		}
+	})
+}
+
+func TestRecvAfterComputeKeepsLaterClock(t *testing.T) {
+	cfg := Config{Latency: time.Millisecond, Bandwidth: 0}
+	run(t, 2, cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			SendSlice(c, 1, 0, []int64{1}) // arrives at 1ms
+		} else {
+			c.Compute(time.Second) // receiver is busy until 1s
+			_, _ = RecvSlice[int64](c, 0, 0)
+			if c.Now() != sim.Time(time.Second) {
+				t.Errorf("receiver clock %v, want 1s (message already waiting)", c.Now())
+			}
+		}
+	})
+}
+
+func TestSendrecvOverlaps(t *testing.T) {
+	cfg := Config{Latency: 0, Bandwidth: 1e6}
+	run(t, 2, cfg, func(c *Comm) {
+		peer := 1 - c.Rank()
+		buf := make([]int64, 125_000) // 1MB, 1s transfer
+		got, _ := SendrecvSlice(c, peer, 5, buf, peer, 5)
+		if len(got) != 125_000 {
+			t.Errorf("wrong payload size %d", len(got))
+		}
+		// Overlapped exchange: ~1s, not 2s.
+		if c.Now() != sim.Time(time.Second) {
+			t.Errorf("clock %v, want 1s", c.Now())
+		}
+	})
+}
+
+func TestRingShift(t *testing.T) {
+	// The SDM index-distribution pattern: pass a payload around the
+	// ring size-1 times; every rank must see every other rank's block.
+	const n = 5
+	run(t, n, fastConfig(), func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		cur := []int64{int64(c.Rank())}
+		seen := []int64{cur[0]}
+		for step := 0; step < n-1; step++ {
+			got, _ := SendrecvSlice(c, next, step, cur, prev, step)
+			cur = got
+			seen = append(seen, cur[0])
+		}
+		sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+		for i, v := range seen {
+			if v != int64(i) {
+				t.Errorf("rank %d saw %v", c.Rank(), seen)
+				break
+			}
+		}
+	})
+}
+
+func TestBarrierSyncsClocks(t *testing.T) {
+	run(t, 4, fastConfig(), func(c *Comm) {
+		c.Compute(time.Duration(c.Rank()+1) * time.Second)
+		c.Barrier()
+		if c.Now() != sim.Time(4*time.Second) {
+			t.Errorf("rank %d clock %v, want 4s", c.Rank(), c.Now())
+		}
+	})
+}
+
+func TestBarrierCost(t *testing.T) {
+	cfg := Config{Latency: time.Millisecond, Bandwidth: 0}
+	run(t, 8, cfg, func(c *Comm) {
+		c.Barrier() // log2(8)=3 rounds of 1ms
+		if c.Now() != sim.Time(3*time.Millisecond) {
+			t.Errorf("clock %v, want 3ms", c.Now())
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	run(t, 6, fastConfig(), func(c *Comm) {
+		var payload []float64
+		if c.Rank() == 2 {
+			payload = []float64{3.14, 2.71}
+		}
+		got := BcastSlice(c, 2, payload)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestGatherOrdersByRank(t *testing.T) {
+	run(t, 5, fastConfig(), func(c *Comm) {
+		parts := GatherSlice(c, 0, []int64{int64(c.Rank() * 10)})
+		if c.Rank() != 0 {
+			if parts != nil {
+				t.Errorf("non-root received %v", parts)
+			}
+			return
+		}
+		for i, p := range parts {
+			if len(p) != 1 || p[0] != int64(i*10) {
+				t.Errorf("slot %d = %v", i, p)
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	run(t, 4, fastConfig(), func(c *Comm) {
+		parts := AllgatherSlice(c, []int32{int32(c.Rank()), int32(c.Rank() * 2)})
+		if len(parts) != 4 {
+			t.Fatalf("got %d parts", len(parts))
+		}
+		for i, p := range parts {
+			if p[0] != int32(i) || p[1] != int32(i*2) {
+				t.Errorf("slot %d = %v", i, p)
+			}
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	run(t, 3, fastConfig(), func(c *Comm) {
+		var values []any
+		if c.Rank() == 1 {
+			values = []any{[]int64{0}, []int64{10}, []int64{20}}
+		}
+		got := c.Scatter(1, values, 8).([]int64)
+		if got[0] != int64(c.Rank()*10) {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestAlltoallSlices(t *testing.T) {
+	const n = 4
+	run(t, n, fastConfig(), func(c *Comm) {
+		parts := make([][]int64, n)
+		for i := range parts {
+			parts[i] = []int64{int64(c.Rank()*100 + i)}
+		}
+		got := AlltoallSlices(c, parts)
+		for src, p := range got {
+			want := int64(src*100 + c.Rank())
+			if len(p) != 1 || p[0] != want {
+				t.Errorf("rank %d from %d: %v, want %d", c.Rank(), src, p, want)
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	run(t, 5, fastConfig(), func(c *Comm) {
+		if got := c.AllreduceInt64(int64(c.Rank()+1), OpSum); got != 15 {
+			t.Errorf("sum = %d, want 15", got)
+		}
+		if got := c.AllreduceInt64(int64(c.Rank()), OpMax); got != 4 {
+			t.Errorf("max = %d, want 4", got)
+		}
+		if got := c.AllreduceInt64(int64(c.Rank()), OpMin); got != 0 {
+			t.Errorf("min = %d, want 0", got)
+		}
+		if got := c.AllreduceFloat64(0.5, OpSum); got != 2.5 {
+			t.Errorf("fsum = %v, want 2.5", got)
+		}
+	})
+}
+
+func TestReduceToRoot(t *testing.T) {
+	run(t, 4, fastConfig(), func(c *Comm) {
+		got := c.ReduceInt64(2, 10, OpSum)
+		if c.Rank() == 2 && got != 40 {
+			t.Errorf("root sum = %d, want 40", got)
+		}
+		if c.Rank() != 2 && got != 0 {
+			t.Errorf("non-root got %d", got)
+		}
+	})
+}
+
+func TestScanExscan(t *testing.T) {
+	run(t, 6, fastConfig(), func(c *Comm) {
+		v := int64(c.Rank() + 1)
+		incl := c.ScanInt64(v, OpSum)
+		wantIncl := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if incl != wantIncl {
+			t.Errorf("rank %d scan = %d, want %d", c.Rank(), incl, wantIncl)
+		}
+		excl := c.ExscanInt64(v, OpSum)
+		if excl != wantIncl-v {
+			t.Errorf("rank %d exscan = %d, want %d", c.Rank(), excl, wantIncl-v)
+		}
+	})
+}
+
+func TestCollectiveMismatchPanics(t *testing.T) {
+	w := NewWorld(2, fastConfig())
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.AllreduceInt64(1, OpSum)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "collective mismatch") {
+		t.Fatalf("err = %v, want collective mismatch", err)
+	}
+}
+
+func TestPanicAbortsWorld(t *testing.T) {
+	w := NewWorld(3, fastConfig())
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("deliberate failure")
+		}
+		// Other ranks block forever unless the abort wakes them.
+		_, _ = c.Recv(AnySource, AnyTag)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToInvalidRank(t *testing.T) {
+	w := NewWorld(2, fastConfig())
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(5, 0, nil, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid rank") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w := NewWorld(2, fastConfig())
+	_ = w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			SendSlice(c, 1, 0, make([]float64, 100)) // 800 bytes
+		} else {
+			_, _ = RecvSlice[float64](c, 0, 0)
+		}
+	})
+	bytes, msgs := w.Traffic()
+	if bytes != 800 || msgs != 1 {
+		t.Fatalf("traffic = %d bytes %d msgs, want 800, 1", bytes, msgs)
+	}
+}
+
+func TestRunRepeatedPhases(t *testing.T) {
+	w := NewWorld(3, fastConfig())
+	var total atomic.Int64
+	for phase := 0; phase < 3; phase++ {
+		if err := w.Run(func(c *Comm) {
+			total.Add(c.AllreduceInt64(1, OpSum))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total.Load() != 27 { // 3 phases * 3 ranks * sum(3)
+		t.Fatalf("total = %d, want 27", total.Load())
+	}
+}
+
+func TestBcastTreeCost(t *testing.T) {
+	cfg := Config{Latency: time.Millisecond, Bandwidth: 1e9}
+	run(t, 8, cfg, func(c *Comm) {
+		var buf []int64
+		if c.Rank() == 0 {
+			buf = make([]int64, 125_000) // 1 MB: 1ms per round at 1GB/s
+		}
+		BcastSlice(c, 0, buf)
+		// AllreduceInt64 in BcastSlice costs 3 rounds of (1ms + 8ns for
+		// its 8-byte payload); the Bcast itself 3 rounds of (1ms + 1ms).
+		want := sim.Time(3*(time.Millisecond+8*time.Nanosecond) + 3*2*time.Millisecond)
+		if c.Now() != want {
+			t.Errorf("clock %v, want %v", c.Now(), want)
+		}
+	})
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 100: 7}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestAllreduceMatchesSerialProperty cross-checks the collective against
+// a serial reference for random inputs and world sizes.
+func TestAllreduceMatchesSerialProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 || len(vals) > 16 {
+			return true // world size limits
+		}
+		var want int64
+		for _, v := range vals {
+			want += v
+		}
+		var got atomic.Int64
+		w := NewWorld(len(vals), fastConfig())
+		err := w.Run(func(c *Comm) {
+			r := c.AllreduceInt64(vals[c.Rank()], OpSum)
+			if c.Rank() == 0 {
+				got.Store(r)
+			}
+		})
+		return err == nil && got.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallTransposeProperty: alltoall twice is the identity when
+// each part is returned to its sender.
+func TestAlltoallTransposeProperty(t *testing.T) {
+	f := func(seed int64, sizeHint uint8) bool {
+		n := int(sizeHint%6) + 2
+		w := NewWorld(n, fastConfig())
+		ok := atomic.Bool{}
+		ok.Store(true)
+		err := w.Run(func(c *Comm) {
+			parts := make([][]int64, n)
+			for i := range parts {
+				parts[i] = []int64{seed + int64(c.Rank())*1000 + int64(i)}
+			}
+			recv := AlltoallSlices(c, parts)
+			back := AlltoallSlices(c, recv)
+			// back[i] must be what this rank originally addressed to i...
+			// after two transposes each part returns to its owner.
+			for i := range back {
+				if back[i][0] != parts[i][0] {
+					ok.Store(false)
+				}
+			}
+		})
+		return err == nil && ok.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0, fastConfig())
+}
+
+func TestMaxTime(t *testing.T) {
+	w := NewWorld(3, fastConfig())
+	_ = w.Run(func(c *Comm) {
+		c.Compute(time.Duration(c.Rank()) * time.Second)
+	})
+	if got := w.MaxTime(); got != sim.Time(2*time.Second) {
+		t.Fatalf("MaxTime = %v, want 2s", got)
+	}
+}
+
+func ExampleComm_ScanInt64() {
+	w := NewWorld(4, Config{})
+	results := make([]int64, 4)
+	_ = w.Run(func(c *Comm) {
+		results[c.Rank()] = c.ExscanInt64(10, OpSum)
+	})
+	fmt.Println(results)
+	// Output: [0 10 20 30]
+}

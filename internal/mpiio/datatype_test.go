@@ -1,0 +1,279 @@
+package mpiio
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func segsOf(d *Datatype) []Segment { return d.Segments() }
+
+func TestBytesType(t *testing.T) {
+	d := Bytes(10)
+	if d.Size() != 10 || d.Extent() != 10 {
+		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
+	}
+	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{0, 10}}) {
+		t.Fatalf("segs = %v", got)
+	}
+	if z := Bytes(0); z.Size() != 0 || len(z.Segments()) != 0 {
+		t.Fatal("Bytes(0) not empty")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	d := Contiguous(3, Bytes(4))
+	if d.Size() != 12 || d.Extent() != 12 {
+		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
+	}
+	// Adjacent blocks coalesce into one segment.
+	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{0, 12}}) {
+		t.Fatalf("segs = %v", got)
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 elements (4 bytes each), stride 5 elements.
+	d := Vector(3, 2, 5, Bytes(4))
+	want := []Segment{{0, 8}, {20, 8}, {40, 8}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+	if d.Size() != 24 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if d.Extent() != 48 { // (2 full strides)*20 + blocklen 2*4
+		t.Fatalf("extent = %d", d.Extent())
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// The map-array pattern: single elements at global indexes.
+	d := IndexedBlock(1, []int{7, 2, 5}, Bytes(8))
+	want := []Segment{{16, 8}, {40, 8}, {56, 8}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+	if d.Size() != 24 || d.Extent() != 64 {
+		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
+	}
+}
+
+func TestIndexedAdjacentCoalesce(t *testing.T) {
+	d := IndexedBlock(1, []int{3, 1, 2}, Bytes(8))
+	want := []Segment{{8, 24}} // indexes 1,2,3 are adjacent
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+}
+
+func TestIndexedVariableBlocks(t *testing.T) {
+	d := Indexed([]int{2, 1}, []int{0, 4}, Bytes(4))
+	want := []Segment{{0, 8}, {16, 4}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v", got)
+	}
+}
+
+func TestHindexed(t *testing.T) {
+	d := Hindexed([]int{1, 2}, []int64{100, 3}, Bytes(8))
+	want := []Segment{{3, 16}, {100, 8}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v", got)
+	}
+}
+
+func TestStructType(t *testing.T) {
+	d := StructType([]int{1, 1}, []int64{0, 10}, []*Datatype{Bytes(4), Bytes(8)})
+	want := []Segment{{0, 4}, {10, 8}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v", got)
+	}
+	if d.Size() != 12 || d.Extent() != 18 {
+		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
+	}
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of 8-byte elements; take rows 1-2, cols 2-4.
+	d := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, Bytes(8))
+	want := []Segment{{(1*6 + 2) * 8, 24}, {(2*6 + 2) * 8, 24}}
+	if got := segsOf(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+	if d.Extent() != 4*6*8 {
+		t.Fatalf("extent = %d", d.Extent())
+	}
+}
+
+func TestSubarray1DAnd3D(t *testing.T) {
+	d1 := Subarray([]int{10}, []int{4}, []int{3}, Bytes(2))
+	if got := segsOf(d1); !reflect.DeepEqual(got, []Segment{{6, 8}}) {
+		t.Fatalf("1d segs = %v", got)
+	}
+	d3 := Subarray([]int{2, 3, 4}, []int{2, 2, 2}, []int{0, 1, 1}, Bytes(1))
+	// rows: (0,1,*),(0,2,*),(1,1,*),(1,2,*) each 2 bytes from col 1
+	want := []Segment{{5, 2}, {9, 2}, {17, 2}, {21, 2}}
+	if got := segsOf(d3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("3d segs = %v, want %v", got, want)
+	}
+}
+
+func TestSubarrayEmpty(t *testing.T) {
+	d := Subarray([]int{4, 4}, []int{0, 2}, []int{0, 0}, Bytes(8))
+	if d.Size() != 0 {
+		t.Fatalf("empty subarray has size %d", d.Size())
+	}
+	if d.Extent() != 4*4*8 {
+		t.Fatalf("empty subarray extent %d", d.Extent())
+	}
+}
+
+func TestOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping segments did not panic")
+		}
+	}()
+	Indexed([]int{2, 1}, []int{0, 1}, Bytes(4)) // block 0 covers elem 0-1, block 1 at elem 1
+}
+
+func TestMapRangeContiguous(t *testing.T) {
+	d := Bytes(100)
+	got := d.mapRange(1000, 30, 50)
+	if !reflect.DeepEqual(got, []Segment{{1030, 50}}) {
+		t.Fatalf("segs = %v", got)
+	}
+}
+
+func TestMapRangeTiling(t *testing.T) {
+	// Type: 4 data bytes at offset 0 of an 8-byte extent. Logical bytes
+	// 0..3 -> phys 0..3, logical 4..7 -> phys 8..11, etc.
+	d := newDatatype([]Segment{{0, 4}}, 8)
+	got := d.mapRange(0, 2, 8)
+	want := []Segment{{2, 2}, {8, 4}, {16, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+}
+
+func TestMapRangeCrossTileCoalesce(t *testing.T) {
+	// Data at the tail of the extent followed by data at the head of
+	// the next tile is physically adjacent and must coalesce.
+	d := newDatatype([]Segment{{4, 4}}, 8)
+	got := d.mapRange(0, 0, 8)
+	// tile0 data at [4,8), tile1 data at [12,16): not adjacent.
+	want := []Segment{{4, 4}, {12, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+
+	full := newDatatype([]Segment{{0, 8}}, 8)
+	got = full.mapRange(0, 0, 24)
+	if !reflect.DeepEqual(got, []Segment{{0, 24}}) {
+		t.Fatalf("full tiling segs = %v", got)
+	}
+}
+
+func TestMapRangeIrregularView(t *testing.T) {
+	// Map array {5, 0, 3} of 8-byte elements: local elements land at
+	// global slots 5, 0, 3. Note segments are sorted by offset, so the
+	// local order is recovered via the sorted displacements 0,3,5.
+	d := IndexedBlock(1, []int{5, 0, 3}, Bytes(8))
+	got := d.mapRange(0, 0, 24)
+	want := []Segment{{0, 8}, {24, 8}, {40, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+	// Partial range within one tile.
+	got = d.mapRange(0, 8, 8)
+	if !reflect.DeepEqual(got, []Segment{{24, 8}}) {
+		t.Fatalf("partial segs = %v", got)
+	}
+}
+
+func TestMapRangeWithDisplacement(t *testing.T) {
+	d := IndexedBlock(1, []int{1, 3}, Bytes(4))
+	got := d.mapRange(100, 0, 8)
+	want := []Segment{{104, 4}, {112, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segs = %v, want %v", got, want)
+	}
+}
+
+func TestMapRangeZeroLen(t *testing.T) {
+	if got := Bytes(8).mapRange(0, 0, 0); got != nil {
+		t.Fatalf("zero-length mapRange = %v", got)
+	}
+}
+
+func TestMapRangeZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mapRange on empty type did not panic")
+		}
+	}()
+	Bytes(0).mapRange(0, 0, 1)
+}
+
+// Property: mapped segments preserve total length, are sorted,
+// non-overlapping, and fall inside the tiled segment pattern.
+func TestMapRangeProperty(t *testing.T) {
+	f := func(dispRaw uint16, logicalRaw uint16, nRaw uint16, pick uint8) bool {
+		types := []*Datatype{
+			Bytes(16),
+			newDatatype([]Segment{{0, 4}}, 8),
+			newDatatype([]Segment{{2, 3}, {7, 1}}, 10),
+			IndexedBlock(1, []int{9, 1, 4}, Bytes(8)),
+			Vector(3, 2, 4, Bytes(4)),
+		}
+		d := types[int(pick)%len(types)]
+		disp := int64(dispRaw % 512)
+		logical := int64(logicalRaw % 1024)
+		n := int64(nRaw%512) + 1
+		segs := d.mapRange(disp, logical, n)
+		var total int64
+		prevEnd := int64(-1)
+		for _, s := range segs {
+			if s.Len <= 0 || s.Off < disp {
+				return false
+			}
+			if s.Off <= prevEnd { // must be strictly increasing and disjoint (coalesced)
+				return false
+			}
+			prevEnd = s.Off + s.Len - 1
+			total += s.Len
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: consecutive logical ranges map to consecutive physical
+// coverage — mapping [0,a) then [a,b) covers the same bytes as [0,b).
+func TestMapRangeSplitConsistencyProperty(t *testing.T) {
+	d := IndexedBlock(1, []int{4, 0, 7, 2}, Bytes(8))
+	f := func(aRaw, bRaw uint16) bool {
+		a := int64(aRaw % 200)
+		b := a + int64(bRaw%200) + 1
+		first := d.mapRange(0, 0, a)
+		second := d.mapRange(0, a, b-a)
+		whole := d.mapRange(0, 0, b)
+		merged := append(append([]Segment{}, first...), second...)
+		// Re-coalesce merged.
+		var out []Segment
+		for _, s := range merged {
+			if k := len(out); k > 0 && out[k-1].Off+out[k-1].Len == s.Off {
+				out[k-1].Len += s.Len
+			} else {
+				out = append(out, s)
+			}
+		}
+		return reflect.DeepEqual(out, whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

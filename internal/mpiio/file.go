@@ -1,0 +1,445 @@
+package mpiio
+
+import (
+	"io"
+	"sort"
+
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+)
+
+// Hints mirror the MPI-IO info keys ROMIO's two-phase implementation
+// consumes.
+type Hints struct {
+	// CBNodes is the number of aggregator ranks in collective I/O.
+	// Zero means every rank aggregates (the dense default).
+	CBNodes int
+	// CBBufferSize caps the size of each aggregator file-system request
+	// (ROMIO's cb_buffer_size, default 4 MiB). Zero uses the default.
+	CBBufferSize int64
+	// DisableCollective forces WriteAtAll/ReadAtAll to fall back to
+	// independent per-segment requests — the ablation knob for
+	// measuring what collective buffering buys.
+	DisableCollective bool
+}
+
+const defaultCBBufferSize = 4 << 20
+
+// File is an MPI-IO style file handle: a pfs handle plus a view, bound
+// to one rank's communicator. Collective operations must be called by
+// every rank of the communicator, as in MPI.
+type File struct {
+	h     *pfs.Handle
+	comm  *mpi.Comm
+	hints Hints
+
+	disp     int64
+	filetype *Datatype
+}
+
+// Open opens name collectively: every rank calls Open and receives its
+// own handle. The initial view is contiguous bytes from offset zero.
+func Open(c *mpi.Comm, sys *pfs.System, name string, mode pfs.Mode, hints Hints) (*File, error) {
+	h, err := sys.Open(name, mode, c.Clock())
+	if err != nil {
+		return nil, err
+	}
+	if hints.CBBufferSize <= 0 {
+		hints.CBBufferSize = defaultCBBufferSize
+	}
+	if hints.CBNodes <= 0 || hints.CBNodes > c.Size() {
+		hints.CBNodes = c.Size()
+	}
+	return &File{h: h, comm: c, hints: hints, disp: 0, filetype: nil}, nil
+}
+
+// Close releases the handle.
+func (f *File) Close() error { return f.h.Close() }
+
+// Handle exposes the underlying pfs handle (for size queries in tests).
+func (f *File) Handle() *pfs.Handle { return f.h }
+
+// SetView installs a file view: logical byte L of subsequent reads and
+// writes maps to the L-th data byte of filetype tiled from displacement
+// disp (MPI_File_set_view with etype = MPI_BYTE). A nil filetype means
+// contiguous bytes. Charges the view-definition cost the paper's level
+// comparison measures.
+func (f *File) SetView(disp int64, filetype *Datatype) {
+	f.disp = disp
+	f.filetype = filetype
+	f.h.ChargeView()
+}
+
+// physSegments maps the logical range [off, off+n) through the view.
+func (f *File) physSegments(off, n int64) []Segment {
+	if f.filetype == nil {
+		if n <= 0 {
+			return nil
+		}
+		return []Segment{{f.disp + off, n}}
+	}
+	return f.filetype.mapRange(f.disp, off, n)
+}
+
+// WriteAt writes data at logical offset off through the view,
+// independently (one file-system request per physical segment). This is
+// the path the paper's "original" applications and the ablation use.
+func (f *File) WriteAt(off int64, data []byte) error {
+	segs := f.physSegments(off, int64(len(data)))
+	pos := int64(0)
+	for _, s := range segs {
+		if _, err := f.h.WriteAt(data[pos:pos+s.Len], s.Off); err != nil {
+			return err
+		}
+		pos += s.Len
+	}
+	return nil
+}
+
+// ReadAt fills data from logical offset off through the view,
+// independently. Reads extending past EOF return io.EOF with the
+// prefix filled, matching pfs semantics.
+func (f *File) ReadAt(off int64, data []byte) error {
+	segs := f.physSegments(off, int64(len(data)))
+	pos := int64(0)
+	for _, s := range segs {
+		n, err := f.h.ReadAt(data[pos:pos+s.Len], s.Off)
+		pos += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase collective I/O.
+//
+// Phase 0: every rank flattens its request into physical segments and
+// the ranks agree (allgather) on the union's extent. The extent is
+// split into stripe-aligned file domains, one per aggregator.
+// Phase 1: each rank routes segment descriptors (plus data, for writes)
+// to the owning aggregators with an all-to-all.
+// Phase 2: aggregators coalesce the segments in their domain and issue
+// large contiguous file-system requests, bounded by cb_buffer_size; for
+// reads the data flows back through a second all-to-all.
+// ---------------------------------------------------------------------------
+
+// wireSeg pairs a physical segment with the position of its payload in
+// the owner's local buffer, so read responses can be scattered back.
+type wireSeg struct {
+	Seg Segment
+	Pos int64 // offset in the requesting rank's user buffer
+}
+
+// ioParcel is the unit routed between ranks in phase 1.
+type ioParcel struct {
+	Segs []wireSeg
+	Data []byte // write payload, concatenated in Segs order; nil for reads
+}
+
+func (p ioParcel) bytes() int64 {
+	n := int64(len(p.Data)) + int64(len(p.Segs))*24
+	return n
+}
+
+// domainOf returns the aggregator index owning byte offset off.
+func domainOf(off, lo int64, domain int64) int {
+	if domain <= 0 {
+		return 0
+	}
+	return int((off - lo) / domain)
+}
+
+// alignUp rounds n up to a multiple of align (align >= 1).
+func alignUp(n, align int64) int64 {
+	if align <= 1 {
+		return n
+	}
+	r := n % align
+	if r == 0 {
+		return n
+	}
+	return n + align - r
+}
+
+// collectiveRange agrees on the global [lo, hi) extent of this
+// collective operation and the per-aggregator domain size.
+func (f *File) collectiveRange(segs []Segment) (lo, hi, domain int64, nAgg int) {
+	myLo, myHi := int64(1<<62), int64(-1)
+	if len(segs) > 0 {
+		myLo = segs[0].Off
+		last := segs[len(segs)-1]
+		myHi = last.Off + last.Len
+	}
+	lo = f.comm.AllreduceInt64(myLo, mpi.OpMin)
+	hi = f.comm.AllreduceInt64(myHi, mpi.OpMax)
+	if hi <= lo {
+		return 0, 0, 0, 0
+	}
+	nAgg = f.hints.CBNodes
+	stripe := f.h.StripeSize()
+	domain = alignUp(alignUp(hi-lo, int64(nAgg))/int64(nAgg), stripe)
+	return lo, hi, domain, nAgg
+}
+
+// routeSegments splits this rank's segments across aggregator domains,
+// producing one parcel per aggregator rank. Aggregators are ranks
+// 0..nAgg-1 (rank r aggregates domain r).
+func routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg, size int) []ioParcel {
+	parcels := make([]ioParcel, size)
+	pos := int64(0)
+	for _, s := range segs {
+		remaining := s
+		for remaining.Len > 0 {
+			agg := domainOf(remaining.Off, lo, domain)
+			if agg >= nAgg {
+				agg = nAgg - 1
+			}
+			domainEnd := lo + int64(agg+1)*domain
+			take := remaining.Len
+			if remaining.Off+take > domainEnd && agg != nAgg-1 {
+				take = domainEnd - remaining.Off
+			}
+			p := &parcels[agg]
+			p.Segs = append(p.Segs, wireSeg{Segment{remaining.Off, take}, pos})
+			if data != nil {
+				p.Data = append(p.Data, data[pos:pos+take]...)
+			}
+			pos += take
+			remaining.Off += take
+			remaining.Len -= take
+		}
+	}
+	return parcels
+}
+
+// exchangeParcels performs the phase-1 all-to-all.
+func (f *File) exchangeParcels(parcels []ioParcel) []ioParcel {
+	anyParts := make([]any, len(parcels))
+	var total int64
+	for i := range parcels {
+		anyParts[i] = parcels[i]
+		total += parcels[i].bytes()
+	}
+	res := f.comm.Alltoall(anyParts, total)
+	out := make([]ioParcel, len(res))
+	for i, v := range res {
+		if v != nil {
+			out[i] = v.(ioParcel)
+		}
+	}
+	return out
+}
+
+// aggSeg tracks an incoming segment and its origin for the return trip.
+type aggSeg struct {
+	seg    Segment
+	src    int   // requesting rank
+	srcIdx int   // index within that rank's parcel
+	dataAt int64 // offset of payload within the parcel's Data
+}
+
+// gatherAggSegs flattens incoming parcels into a sorted segment list.
+func gatherAggSegs(incoming []ioParcel) []aggSeg {
+	var all []aggSeg
+	for src, p := range incoming {
+		pos := int64(0)
+		for i, ws := range p.Segs {
+			all = append(all, aggSeg{seg: ws.Seg, src: src, srcIdx: i, dataAt: pos})
+			pos += ws.Seg.Len
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seg.Off < all[j].seg.Off })
+	return all
+}
+
+// sieveRun is one aggregator file access: a contiguous span of the
+// file covering one or more segments, possibly with small holes between
+// them (data sieving, as ROMIO performs inside its collective buffer).
+type sieveRun struct {
+	start, end int64 // file span [start, end)
+	segs       []aggSeg
+	holes      bool
+}
+
+// sieveRuns groups sorted aggSegs into spanning runs: adjacent and
+// overlapping segments always share a run (reads of ghost elements
+// arrive from several ranks and legitimately overlap); hole-separated
+// segments share one when the hole is below maxGap (cheaper to read
+// through than to re-request). Runs are the units the aggregator turns
+// into chunked file requests.
+func sieveRuns(all []aggSeg, maxGap int64) []sieveRun {
+	var runs []sieveRun
+	var cur sieveRun
+	for _, a := range all {
+		if len(cur.segs) > 0 {
+			gap := a.seg.Off - cur.end // negative on overlap
+			if gap <= maxGap {
+				if gap > 0 {
+					cur.holes = true
+				}
+				cur.segs = append(cur.segs, a)
+				if end := a.seg.Off + a.seg.Len; end > cur.end {
+					cur.end = end
+				}
+				continue
+			}
+			runs = append(runs, cur)
+		}
+		cur = sieveRun{start: a.seg.Off, end: a.seg.Off + a.seg.Len, segs: []aggSeg{a}}
+	}
+	if len(cur.segs) > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
+// chunkedWrite issues buf at off in cb_buffer_size pieces, the
+// granularity of the aggregator's staging buffer.
+func (f *File) chunkedWrite(buf []byte, off int64) error {
+	for cs := int64(0); cs < int64(len(buf)); cs += f.hints.CBBufferSize {
+		ce := cs + f.hints.CBBufferSize
+		if ce > int64(len(buf)) {
+			ce = int64(len(buf))
+		}
+		if _, err := f.h.WriteAt(buf[cs:ce], off+cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkedRead fills buf from off in cb_buffer_size pieces; reads past
+// EOF zero-fill.
+func (f *File) chunkedRead(buf []byte, off int64) error {
+	for cs := int64(0); cs < int64(len(buf)); cs += f.hints.CBBufferSize {
+		ce := cs + f.hints.CBBufferSize
+		if ce > int64(len(buf)) {
+			ce = int64(len(buf))
+		}
+		if _, err := f.h.ReadAt(buf[cs:ce], off+cs); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAtAll collectively writes each rank's data at its logical offset
+// through the view. Every rank of the communicator must participate
+// (pass a nil/empty slice to contribute nothing).
+func (f *File) WriteAtAll(off int64, data []byte) error {
+	if f.hints.DisableCollective {
+		err := f.WriteAt(off, data)
+		f.comm.Barrier()
+		return err
+	}
+	segs := f.physSegments(off, int64(len(data)))
+	lo, _, domain, nAgg := f.collectiveRange(segs)
+	if nAgg == 0 {
+		return nil // nothing to write anywhere
+	}
+	parcels := routeSegments(segs, data, lo, domain, nAgg, f.comm.Size())
+	incoming := f.exchangeParcels(parcels)
+
+	// Phase 2: aggregate and issue contiguous writes, chunked at
+	// cb_buffer_size as ROMIO's two-phase buffers are. Runs with small
+	// interior holes are data-sieved: read-modify-write of the whole
+	// span beats per-piece requests.
+	if f.comm.Rank() < nAgg {
+		all := gatherAggSegs(incoming)
+		for _, run := range sieveRuns(all, f.h.SieveGap()) {
+			buf := make([]byte, run.end-run.start)
+			if run.holes {
+				if err := f.chunkedRead(buf, run.start); err != nil {
+					return err
+				}
+			}
+			for _, a := range run.segs {
+				src := incoming[a.src].Data[a.dataAt : a.dataAt+a.seg.Len]
+				copy(buf[a.seg.Off-run.start:], src)
+			}
+			if err := f.chunkedWrite(buf, run.start); err != nil {
+				return err
+			}
+		}
+	}
+	f.comm.Barrier()
+	return nil
+}
+
+// readReply carries phase-2 data back to requesters: Data[i] answers
+// the i-th wireSeg the requester sent.
+type readReply struct {
+	Data [][]byte
+}
+
+func (r readReply) bytes() int64 {
+	var n int64
+	for _, d := range r.Data {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// ReadAtAll collectively fills each rank's buffer from its logical
+// offset through the view. Short reads (past EOF) zero-fill, mirroring
+// a collective read of a hole; an error is returned only for structural
+// failures.
+func (f *File) ReadAtAll(off int64, data []byte) error {
+	if f.hints.DisableCollective {
+		err := f.ReadAt(off, data)
+		f.comm.Barrier()
+		if err == io.EOF {
+			err = nil
+		}
+		return err
+	}
+	segs := f.physSegments(off, int64(len(data)))
+	lo, _, domain, nAgg := f.collectiveRange(segs)
+	if nAgg == 0 {
+		return nil
+	}
+	parcels := routeSegments(segs, nil, lo, domain, nAgg, f.comm.Size())
+	incoming := f.exchangeParcels(parcels)
+
+	// Phase 2: aggregators read their domains as spanning runs (data
+	// sieving through small holes) and split the data per requester.
+	replies := make([]readReply, f.comm.Size())
+	if f.comm.Rank() < nAgg {
+		for i := range replies {
+			replies[i].Data = make([][]byte, len(incoming[i].Segs))
+		}
+		all := gatherAggSegs(incoming)
+		for _, run := range sieveRuns(all, f.h.SieveGap()) {
+			buf := make([]byte, run.end-run.start)
+			if err := f.chunkedRead(buf, run.start); err != nil {
+				return err
+			}
+			for _, a := range run.segs {
+				replies[a.src].Data[a.srcIdx] = buf[a.seg.Off-run.start : a.seg.Off-run.start+a.seg.Len]
+			}
+		}
+	}
+	anyReplies := make([]any, len(replies))
+	var total int64
+	for i := range replies {
+		anyReplies[i] = replies[i]
+		total += replies[i].bytes()
+	}
+	back := f.comm.Alltoall(anyReplies, total)
+
+	// Scatter returned data into the user buffer using the positions
+	// recorded when routing.
+	for agg, v := range back {
+		if v == nil {
+			continue
+		}
+		reply := v.(readReply)
+		for i, d := range reply.Data {
+			ws := parcels[agg].Segs[i]
+			copy(data[ws.Pos:ws.Pos+ws.Seg.Len], d)
+		}
+	}
+	return nil
+}

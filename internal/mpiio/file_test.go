@@ -1,0 +1,360 @@
+package mpiio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+)
+
+func freeSys() *pfs.System {
+	return pfs.NewSystem(pfs.Config{NumServers: 4, StripeSize: 4096})
+}
+
+func fastWorld(n int) *mpi.World { return mpi.NewWorld(n, mpi.Config{}) }
+
+func runIO(t *testing.T, n int, sys *pfs.System, fn func(*mpi.Comm)) {
+	t.Helper()
+	if err := fastWorld(n).Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentWriteReadThroughView(t *testing.T) {
+	sys := freeSys()
+	runIO(t, 1, sys, func(c *mpi.Comm) {
+		f, err := Open(c, sys, "v", pfs.CreateMode, Hints{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		// View: elements at global slots 3, 1 (8-byte each).
+		f.SetView(0, IndexedBlock(1, []int{3, 1}, Bytes(8)))
+		data := []byte{1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2}
+		if err := f.WriteAt(0, data); err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, 16)
+		if err := f.ReadAt(0, got); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip = %v", got)
+		}
+	})
+	// Raw file layout: slot 1 holds the 1s (sorted first), slot 3 the 2s.
+	raw, err := sys.ReadFile("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[8] != 1 || raw[24] != 2 {
+		t.Fatalf("physical layout wrong: % x", raw)
+	}
+	if len(raw) != 32 {
+		t.Fatalf("file size %d", len(raw))
+	}
+}
+
+func TestCollectiveWriteMatchesIndependent(t *testing.T) {
+	// Both paths must produce byte-identical files.
+	mkData := func(rank int) []byte {
+		buf := make([]byte, 64)
+		for i := range buf {
+			buf[i] = byte(rank*37 + i)
+		}
+		return buf
+	}
+	write := func(collective bool) []byte {
+		sys := freeSys()
+		world := fastWorld(4)
+		_ = world.Run(func(c *mpi.Comm) {
+			f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{DisableCollective: !collective})
+			defer f.Close()
+			// Interleaved round-robin view per rank: element i of rank r
+			// lands at global slot i*4+r (8-byte elements).
+			displs := make([]int, 8)
+			for i := range displs {
+				displs[i] = i*4 + c.Rank()
+			}
+			f.SetView(0, IndexedBlock(1, displs, Bytes(8)))
+			if err := f.WriteAtAll(0, mkData(c.Rank())); err != nil {
+				t.Error(err)
+			}
+		})
+		data, _ := sys.ReadFile("f")
+		return data
+	}
+	coll, ind := write(true), write(false)
+	if !bytes.Equal(coll, ind) {
+		t.Fatal("collective and independent writes differ")
+	}
+	if len(coll) != 4*64 {
+		t.Fatalf("file size %d", len(coll))
+	}
+}
+
+func TestCollectiveReadMatchesWrite(t *testing.T) {
+	sys := freeSys()
+	world := fastWorld(3)
+	var wrote, read [3][]byte
+	_ = world.Run(func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{})
+		defer f.Close()
+		displs := make([]int, 10)
+		for i := range displs {
+			displs[i] = i*3 + c.Rank()
+		}
+		f.SetView(0, IndexedBlock(1, displs, Bytes(8)))
+		buf := make([]byte, 80)
+		for i := range buf {
+			buf[i] = byte(c.Rank()*91 + i)
+		}
+		wrote[c.Rank()] = buf
+		if err := f.WriteAtAll(0, buf); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 80)
+		if err := f.ReadAtAll(0, got); err != nil {
+			t.Error(err)
+		}
+		read[c.Rank()] = got
+	})
+	for r := range wrote {
+		if !bytes.Equal(wrote[r], read[r]) {
+			t.Fatalf("rank %d read back different data", r)
+		}
+	}
+}
+
+func TestCollectiveWithIdleRanks(t *testing.T) {
+	// Ranks with no data still participate in the collective.
+	sys := freeSys()
+	runIO(t, 4, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{})
+		defer f.Close()
+		if c.Rank() == 2 {
+			f.SetView(0, Bytes(16))
+			if err := f.WriteAtAll(0, []byte("0123456789abcdef")); err != nil {
+				t.Error(err)
+			}
+		} else {
+			f.SetView(0, Bytes(16))
+			if err := f.WriteAtAll(0, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	data, _ := sys.ReadFile("f")
+	if string(data) != "0123456789abcdef" {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestCollectiveAllEmpty(t *testing.T) {
+	sys := freeSys()
+	runIO(t, 3, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{})
+		defer f.Close()
+		if err := f.WriteAtAll(0, nil); err != nil {
+			t.Error(err)
+		}
+		if err := f.ReadAtAll(0, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestReadAtAllZeroFillsPastEOF(t *testing.T) {
+	sys := freeSys()
+	_ = sys.WriteFile("f", []byte{9, 9})
+	runIO(t, 2, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.ReadOnly, Hints{})
+		defer f.Close()
+		buf := []byte{7, 7, 7, 7}
+		if err := f.ReadAtAll(int64(c.Rank())*4, buf); err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 && (buf[0] != 9 || buf[2] != 0) {
+			t.Errorf("rank 0 buf = %v", buf)
+		}
+		if c.Rank() == 1 {
+			for _, b := range buf {
+				if b != 0 {
+					t.Errorf("rank 1 buf = %v", buf)
+					break
+				}
+			}
+		}
+	})
+}
+
+func TestFewerAggregatorsThanRanks(t *testing.T) {
+	sys := freeSys()
+	runIO(t, 4, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{CBNodes: 2})
+		defer f.Close()
+		buf := make([]byte, 1000)
+		for i := range buf {
+			buf[i] = byte(c.Rank() + 1)
+		}
+		if err := f.WriteAtAll(int64(c.Rank())*1000, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	data, _ := sys.ReadFile("f")
+	if len(data) != 4000 {
+		t.Fatalf("size %d", len(data))
+	}
+	for r := 0; r < 4; r++ {
+		if data[r*1000] != byte(r+1) || data[r*1000+999] != byte(r+1) {
+			t.Fatalf("rank %d region corrupted", r)
+		}
+	}
+}
+
+func TestSmallCBBufferChunksRequests(t *testing.T) {
+	sys := freeSys()
+	runIO(t, 2, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{CBBufferSize: 512})
+		defer f.Close()
+		buf := make([]byte, 4096)
+		for i := range buf {
+			buf[i] = byte(c.Rank()*3 + 1)
+		}
+		if err := f.WriteAtAll(int64(c.Rank())*4096, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	st := sys.Stats()
+	if st.WriteReqs < 16 { // 8 KiB / 512 B = 16 chunks minimum
+		t.Fatalf("WriteReqs = %d, want >= 16 with 512-byte cb buffer", st.WriteReqs)
+	}
+	data, _ := sys.ReadFile("f")
+	if len(data) != 8192 || data[0] != 1 || data[8191] != 4 {
+		t.Fatalf("content corrupted: len=%d", len(data))
+	}
+}
+
+func TestCollectiveCoalescesRequests(t *testing.T) {
+	// 4 ranks interleave 8-byte elements. Independent I/O would make
+	// hundreds of requests; two-phase should make only a few large ones.
+	countReqs := func(disable bool) int64 {
+		sys := freeSys()
+		_ = fastWorld(4).Run(func(c *mpi.Comm) {
+			f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{DisableCollective: disable})
+			defer f.Close()
+			displs := make([]int, 128)
+			for i := range displs {
+				displs[i] = i*4 + c.Rank()
+			}
+			f.SetView(0, IndexedBlock(1, displs, Bytes(8)))
+			_ = f.WriteAtAll(0, make([]byte, 1024))
+		})
+		return sys.Stats().WriteReqs
+	}
+	coll := countReqs(false)
+	ind := countReqs(true)
+	if coll*10 > ind {
+		t.Fatalf("two-phase made %d requests vs %d independent; expected >=10x reduction", coll, ind)
+	}
+}
+
+func TestViewCostCharged(t *testing.T) {
+	cfg := pfs.Config{NumServers: 1, StripeSize: 1024, ViewCost: 1000}
+	sys := pfs.NewSystem(cfg)
+	runIO(t, 1, sys, func(c *mpi.Comm) {
+		f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{})
+		defer f.Close()
+		before := c.Now()
+		f.SetView(0, Bytes(8))
+		if c.Now()-before != 1000 {
+			t.Errorf("view cost not charged: %v", c.Now()-before)
+		}
+	})
+}
+
+func TestOpenMissing(t *testing.T) {
+	sys := freeSys()
+	w := fastWorld(1)
+	err := w.Run(func(c *mpi.Comm) {
+		if _, err := Open(c, sys, "missing", pfs.ReadOnly, Hints{}); err == nil {
+			t.Error("open of missing file succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random interleaved layouts and rank counts, collective
+// write followed by collective read is the identity, and the physical
+// file equals a serially computed reference.
+func TestTwoPhaseRandomLayoutsProperty(t *testing.T) {
+	f := func(seed int64, nRanksRaw, elemsRaw uint8) bool {
+		nRanks := int(nRanksRaw%4) + 1
+		elemsPerRank := int(elemsRaw%32) + 1
+		total := nRanks * elemsPerRank
+		// Build a random permutation of global slots deterministically.
+		perm := make([]int, total)
+		for i := range perm {
+			perm[i] = i
+		}
+		s := seed
+		for i := total - 1; i > 0; i-- {
+			s = s*6364136223846793005 + 1442695040888963407
+			j := int(uint64(s) % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		ref := make([]byte, total*8)
+		sys := freeSys()
+		world := fastWorld(nRanks)
+		ok := true
+		err := world.Run(func(c *mpi.Comm) {
+			f, _ := Open(c, sys, "f", pfs.CreateMode, Hints{})
+			defer f.Close()
+			displs := perm[c.Rank()*elemsPerRank : (c.Rank()+1)*elemsPerRank]
+			f.SetView(0, IndexedBlock(1, displs, Bytes(8)))
+			buf := make([]byte, elemsPerRank*8)
+			// Value = global slot index, so the reference is easy: the
+			// sorted displacements determine which value lands where.
+			sorted := append([]int{}, displs...)
+			for i := 0; i < len(sorted); i++ {
+				for j := i + 1; j < len(sorted); j++ {
+					if sorted[j] < sorted[i] {
+						sorted[i], sorted[j] = sorted[j], sorted[i]
+					}
+				}
+			}
+			for i, g := range sorted {
+				binary.LittleEndian.PutUint64(buf[i*8:], uint64(g))
+			}
+			if err := f.WriteAtAll(0, buf); err != nil {
+				ok = false
+			}
+			got := make([]byte, len(buf))
+			if err := f.ReadAtAll(0, got); err != nil {
+				ok = false
+			}
+			if !bytes.Equal(got, buf) {
+				ok = false
+			}
+		})
+		if err != nil || !ok {
+			return false
+		}
+		for g := 0; g < total; g++ {
+			binary.LittleEndian.PutUint64(ref[g*8:], uint64(g))
+		}
+		data, _ := sys.ReadFile("f")
+		return bytes.Equal(data, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"testing"
+
+	"sdm/internal/sim"
+)
+
+func newBenchRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
+
+func benchGraph(b *testing.B, w, h int) *Graph {
+	b.Helper()
+	var e1, e2 []int32
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				e1 = append(e1, id(x, y))
+				e2 = append(e2, id(x+1, y))
+			}
+			if y+1 < h {
+				e1 = append(e1, id(x, y))
+				e2 = append(e2, id(x, y+1))
+			}
+		}
+	}
+	g, err := FromEdges(w*h, e1, e2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkMultilevel64x64x8(b *testing.B) {
+	g := benchGraph(b, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multilevel(g, 8, Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarsenOneLevel(b *testing.B) {
+	g := benchGraph(b, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := newBenchRNG(uint64(i) + 1)
+		coarsen(g, rng)
+	}
+}
+
+func BenchmarkEdgeCut(b *testing.B) {
+	g := benchGraph(b, 128, 128)
+	v, err := Multilevel(g, 16, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeCut(g, v)
+	}
+}

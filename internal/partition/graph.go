@@ -1,0 +1,177 @@
+// Package partition generates the partitioning vector irregular
+// applications feed SDM. The paper assumes the vector comes from MeTis;
+// this package implements the same contract from scratch: a multilevel
+// graph partitioner (heavy-edge matching coarsening, greedy graph
+// growing initial partition, boundary Kernighan–Lin/FM refinement) plus
+// block and random baselines, and the quality metrics (edge cut,
+// balance) needed to validate it.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph in compressed sparse row form. Vertex v
+// has neighbours Adj[XAdj[v]:XAdj[v+1]] with matching EWgt entries.
+type Graph struct {
+	XAdj []int32 // length n+1
+	Adj  []int32
+	VWgt []int32 // vertex weights; nil means all 1
+	EWgt []int32 // edge weights; nil means all 1
+}
+
+// NumVertices reports the vertex count.
+func (g *Graph) NumVertices() int { return len(g.XAdj) - 1 }
+
+// NumEdges reports the undirected edge count (each edge stored twice).
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// vwgt returns v's weight.
+func (g *Graph) vwgt(v int32) int32 {
+	if g.VWgt == nil {
+		return 1
+	}
+	return g.VWgt[v]
+}
+
+// ewgt returns the weight of adjacency slot i.
+func (g *Graph) ewgt(i int32) int32 {
+	if g.EWgt == nil {
+		return 1
+	}
+	return g.EWgt[i]
+}
+
+// TotalVWgt sums all vertex weights.
+func (g *Graph) TotalVWgt() int64 {
+	var t int64
+	if g.VWgt == nil {
+		return int64(g.NumVertices())
+	}
+	for _, w := range g.VWgt {
+		t += int64(w)
+	}
+	return t
+}
+
+// FromEdges builds a CSR graph over nNodes vertices from an edge list
+// (the mesh's edge1/edge2 arrays). Self loops are dropped and duplicate
+// edges merge with accumulated weight, so irregular meshes with repeated
+// connectivity are handled.
+func FromEdges(nNodes int, edge1, edge2 []int32) (*Graph, error) {
+	if len(edge1) != len(edge2) {
+		return nil, fmt.Errorf("partition: edge1 has %d entries, edge2 %d", len(edge1), len(edge2))
+	}
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]int32, len(edge1))
+	for i := range edge1 {
+		u, v := edge1[i], edge2[i]
+		if u < 0 || v < 0 || int(u) >= nNodes || int(v) >= nNodes {
+			return nil, fmt.Errorf("partition: edge %d (%d,%d) out of range [0,%d)", i, u, v, nNodes)
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		seen[pair{u, v}]++
+	}
+	deg := make([]int32, nNodes)
+	for p := range seen {
+		deg[p.u]++
+		deg[p.v]++
+	}
+	xadj := make([]int32, nNodes+1)
+	for i := 0; i < nNodes; i++ {
+		xadj[i+1] = xadj[i] + deg[i]
+	}
+	adj := make([]int32, xadj[nNodes])
+	ewgt := make([]int32, xadj[nNodes])
+	fill := make([]int32, nNodes)
+	// Deterministic order: sort the unique edges.
+	pairs := make([]pair, 0, len(seen))
+	for p := range seen {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].v < pairs[j].v
+	})
+	for _, p := range pairs {
+		w := seen[p]
+		adj[xadj[p.u]+fill[p.u]] = p.v
+		ewgt[xadj[p.u]+fill[p.u]] = w
+		fill[p.u]++
+		adj[xadj[p.v]+fill[p.v]] = p.u
+		ewgt[xadj[p.v]+fill[p.v]] = w
+		fill[p.v]++
+	}
+	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt}, nil
+}
+
+// Vector is a partitioning vector: Vector[node] is the rank the node is
+// assigned to. This is the structure the paper requires to be
+// "replicated among processes".
+type Vector []int32
+
+// Counts tallies nodes per part.
+func (v Vector) Counts(nparts int) []int64 {
+	counts := make([]int64, nparts)
+	for _, p := range v {
+		counts[p]++
+	}
+	return counts
+}
+
+// Validate checks every assignment is within [0, nparts).
+func (v Vector) Validate(nparts int) error {
+	for i, p := range v {
+		if p < 0 || int(p) >= nparts {
+			return fmt.Errorf("partition: node %d assigned to invalid part %d", i, p)
+		}
+	}
+	return nil
+}
+
+// EdgeCut counts the total weight of edges crossing part boundaries.
+func EdgeCut(g *Graph, v Vector) int64 {
+	var cut int64
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
+			w := g.Adj[i]
+			if v[u] != v[w] {
+				cut += int64(g.ewgt(i))
+			}
+		}
+	}
+	return cut / 2 // every crossing counted from both sides
+}
+
+// Balance reports max part weight divided by average part weight
+// (1.0 is perfect).
+func Balance(g *Graph, v Vector, nparts int) float64 {
+	if nparts <= 0 || len(v) == 0 {
+		return 1
+	}
+	weights := make([]int64, nparts)
+	for node, p := range v {
+		weights[p] += int64(g.vwgt(int32(node)))
+	}
+	var max, total int64
+	for _, w := range weights {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	avg := float64(total) / float64(nparts)
+	if avg == 0 {
+		return 1
+	}
+	return float64(max) / avg
+}

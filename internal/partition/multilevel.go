@@ -1,0 +1,358 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"sdm/internal/sim"
+)
+
+// Block assigns nodes to parts in contiguous equal ranges — the naive
+// baseline.
+func Block(n, nparts int) Vector {
+	v := make(Vector, n)
+	if nparts <= 0 {
+		return v
+	}
+	per := (n + nparts - 1) / nparts
+	for i := 0; i < n; i++ {
+		p := i / per
+		if p >= nparts {
+			p = nparts - 1
+		}
+		v[i] = int32(p)
+	}
+	return v
+}
+
+// Random assigns nodes uniformly at random (deterministic in seed) —
+// the worst-case baseline for locality.
+func Random(n, nparts int, seed uint64) Vector {
+	rng := sim.NewRNG(seed)
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = int32(rng.Intn(nparts))
+	}
+	return v
+}
+
+// Options tunes the multilevel partitioner.
+type Options struct {
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (default 30*nparts).
+	CoarsenTo int
+	// RefinePasses bounds boundary-refinement sweeps per level
+	// (default 4).
+	RefinePasses int
+	// ImbalanceTol is the allowed max/avg part weight (default 1.05).
+	ImbalanceTol float64
+	// Seed drives matching and growing order.
+	Seed uint64
+}
+
+func (o *Options) fill(nparts int) {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 30 * nparts
+		if o.CoarsenTo < 64 {
+			o.CoarsenTo = 64
+		}
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	if o.ImbalanceTol <= 1 {
+		o.ImbalanceTol = 1.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Multilevel partitions g into nparts parts with a MeTis-style
+// multilevel scheme and returns the partitioning vector.
+func Multilevel(g *Graph, nparts int, opts Options) (Vector, error) {
+	if nparts <= 0 {
+		return nil, fmt.Errorf("partition: nparts must be positive, got %d", nparts)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return Vector{}, nil
+	}
+	if nparts == 1 {
+		return make(Vector, n), nil
+	}
+	if nparts >= n {
+		// Degenerate: one node per part.
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = int32(i % nparts)
+		}
+		return v, nil
+	}
+	opts.fill(nparts)
+
+	// Coarsening phase: build a hierarchy of smaller graphs.
+	type level struct {
+		g     *Graph
+		cmap  []int32 // fine vertex -> coarse vertex
+		finer *Graph
+	}
+	var levels []level
+	cur := g
+	rng := sim.NewRNG(opts.Seed)
+	for cur.NumVertices() > opts.CoarsenTo {
+		coarse, cmap := coarsen(cur, rng)
+		if coarse.NumVertices() >= cur.NumVertices()*95/100 {
+			break // matching stalled; further coarsening is pointless
+		}
+		levels = append(levels, level{g: coarse, cmap: cmap, finer: cur})
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest graph.
+	part := growPartition(cur, nparts, rng)
+	refine(cur, part, nparts, opts)
+
+	// Uncoarsening: project and refine at each finer level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		finerPart := make(Vector, lv.finer.NumVertices())
+		for v := range finerPart {
+			finerPart[v] = part[lv.cmap[v]]
+		}
+		part = finerPart
+		refine(lv.finer, part, nparts, opts)
+	}
+	return part, nil
+}
+
+// coarsen contracts a heavy-edge matching of g.
+func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, u32 := range order {
+		u := int32(u32)
+		if match[u] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
+			v := g.Adj[i]
+			if match[v] == -1 && v != u && g.ewgt(i) > bestW {
+				best, bestW = v, g.ewgt(i)
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = u
+		} else {
+			match[u] = u
+		}
+	}
+	// Number coarse vertices.
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	for u := int32(0); u < int32(n); u++ {
+		if cmap[u] != -1 {
+			continue
+		}
+		cmap[u] = nc
+		if match[u] != u && match[u] >= 0 {
+			cmap[match[u]] = nc
+		}
+		nc++
+	}
+	// Build the coarse graph.
+	vwgt := make([]int32, nc)
+	for u := int32(0); u < int32(n); u++ {
+		vwgt[cmap[u]] += g.vwgt(u)
+	}
+	type edge struct{ u, v int32 }
+	wmap := make(map[edge]int32)
+	for u := int32(0); u < int32(n); u++ {
+		cu := cmap[u]
+		for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
+			cv := cmap[g.Adj[i]]
+			if cu == cv {
+				continue
+			}
+			a, b := cu, cv
+			if a > b {
+				a, b = b, a
+			}
+			wmap[edge{a, b}] += g.ewgt(i)
+		}
+	}
+	pairs := make([]edge, 0, len(wmap))
+	for e := range wmap {
+		pairs = append(pairs, e)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].v < pairs[j].v
+	})
+	deg := make([]int32, nc)
+	for _, e := range pairs {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	xadj := make([]int32, nc+1)
+	for i := int32(0); i < nc; i++ {
+		xadj[i+1] = xadj[i] + deg[i]
+	}
+	adj := make([]int32, xadj[nc])
+	ew := make([]int32, xadj[nc])
+	fill := make([]int32, nc)
+	for _, e := range pairs {
+		w := wmap[e] / 2 // each fine edge contributes from both endpoints
+		adj[xadj[e.u]+fill[e.u]] = e.v
+		ew[xadj[e.u]+fill[e.u]] = w
+		fill[e.u]++
+		adj[xadj[e.v]+fill[e.v]] = e.u
+		ew[xadj[e.v]+fill[e.v]] = w
+		fill[e.v]++
+	}
+	return &Graph{XAdj: xadj, Adj: adj, VWgt: vwgt, EWgt: ew}, cmap
+}
+
+// growPartition seeds nparts regions and grows them by BFS, weight-
+// balanced (greedy graph growing).
+func growPartition(g *Graph, nparts int, rng *sim.RNG) Vector {
+	n := g.NumVertices()
+	part := make(Vector, n)
+	for i := range part {
+		part[i] = -1
+	}
+	target := (g.TotalVWgt() + int64(nparts) - 1) / int64(nparts)
+	weights := make([]int64, nparts)
+	var frontier [][]int32
+	frontier = make([][]int32, nparts)
+	// Seed each part with a random unassigned vertex.
+	for p := 0; p < nparts; p++ {
+		for tries := 0; tries < 2*n; tries++ {
+			s := int32(rng.Intn(n))
+			if part[s] == -1 {
+				part[s] = int32(p)
+				weights[p] += int64(g.vwgt(s))
+				frontier[p] = append(frontier[p], s)
+				break
+			}
+		}
+	}
+	// Round-robin growth, lightest part first.
+	for {
+		progress := false
+		order := make([]int, nparts)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return weights[order[a]] < weights[order[b]] })
+		for _, p := range order {
+			if weights[p] >= target {
+				continue
+			}
+			// Take one vertex from the frontier.
+			for len(frontier[p]) > 0 && weights[p] < target {
+				u := frontier[p][0]
+				frontier[p] = frontier[p][1:]
+				for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
+					v := g.Adj[i]
+					if part[v] == -1 {
+						part[v] = int32(p)
+						weights[p] += int64(g.vwgt(v))
+						frontier[p] = append(frontier[p], v)
+						progress = true
+						if weights[p] >= target {
+							break
+						}
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Any disconnected leftovers go to the lightest part.
+	for u := 0; u < n; u++ {
+		if part[u] == -1 {
+			best := 0
+			for p := 1; p < nparts; p++ {
+				if weights[p] < weights[best] {
+					best = p
+				}
+			}
+			part[u] = int32(best)
+			weights[best] += int64(g.vwgt(int32(u)))
+		}
+	}
+	return part
+}
+
+// refine runs boundary FM-style passes: move boundary vertices to the
+// neighbouring part with the best edge-cut gain, subject to balance.
+func refine(g *Graph, part Vector, nparts int, opts Options) {
+	n := g.NumVertices()
+	weights := make([]int64, nparts)
+	for u := 0; u < n; u++ {
+		weights[part[u]] += int64(g.vwgt(int32(u)))
+	}
+	total := g.TotalVWgt()
+	maxW := int64(float64(total) / float64(nparts) * opts.ImbalanceTol)
+	if maxW <= 0 {
+		maxW = 1
+	}
+	gains := make([]int64, nparts)
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for u := 0; u < n; u++ {
+			pu := part[u]
+			// Compute connectivity to each adjacent part.
+			var parts []int32
+			for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
+				pv := part[g.Adj[i]]
+				if gains[pv] == 0 {
+					parts = append(parts, pv)
+				}
+				gains[pv] += int64(g.ewgt(i))
+			}
+			internal := gains[pu]
+			bestPart := pu
+			bestGain := int64(0)
+			for _, pv := range parts {
+				if pv == pu {
+					continue
+				}
+				gain := gains[pv] - internal
+				w := int64(g.vwgt(int32(u)))
+				if gain > bestGain && weights[pv]+w <= maxW && weights[pu]-w > 0 {
+					bestGain = gain
+					bestPart = pv
+				}
+			}
+			for _, pv := range parts {
+				gains[pv] = 0
+			}
+			if bestPart != pu {
+				w := int64(g.vwgt(int32(u)))
+				weights[pu] -= w
+				weights[bestPart] += w
+				part[u] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// gridGraph builds a w x h 2D grid graph via FromEdges.
+func gridGraph(t *testing.T, w, h int) *Graph {
+	t.Helper()
+	var e1, e2 []int32
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				e1 = append(e1, id(x, y))
+				e2 = append(e2, id(x+1, y))
+			}
+			if y+1 < h {
+				e1 = append(e1, id(x, y))
+				e2 = append(e2, id(x, y+1))
+			}
+		}
+	}
+	g, err := FromEdges(w*h, e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g, err := FromEdges(4, []int32{0, 1, 2, 0}, []int32{1, 2, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d, want 4 vertices and 3 unique edges", g.NumVertices(), g.NumEdges())
+	}
+	// Degree of node 1 is 3 (0, 2, and the duplicate edge 0-1 merges).
+	deg1 := g.XAdj[2] - g.XAdj[1]
+	if deg1 != 2 {
+		t.Fatalf("deg(1) = %d, want 2 (duplicate edges merged)", deg1)
+	}
+}
+
+func TestFromEdgesMergesDuplicatesIntoWeight(t *testing.T) {
+	g, err := FromEdges(2, []int32{0, 1, 0}, []int32{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	if g.EWgt[0] != 3 {
+		t.Fatalf("merged weight = %d, want 3", g.EWgt[0])
+	}
+}
+
+func TestFromEdgesDropsSelfLoops(t *testing.T) {
+	g, err := FromEdges(3, []int32{0, 1, 2}, []int32{0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("E = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges(2, []int32{0}, []int32{5}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, []int32{0, 1}, []int32{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBlockVector(t *testing.T) {
+	v := Block(10, 3)
+	if err := v.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	counts := v.Counts(3)
+	if counts[0] != 4 || counts[1] != 4 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if v[0] != 0 || v[9] != 2 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestRandomVectorDeterministic(t *testing.T) {
+	a := Random(100, 4, 7)
+	b := Random(100, 4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different vectors")
+		}
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCutAndBalance(t *testing.T) {
+	// Path 0-1-2-3 split in the middle: cut 1.
+	g, _ := FromEdges(4, []int32{0, 1, 2}, []int32{1, 2, 3})
+	v := Vector{0, 0, 1, 1}
+	if cut := EdgeCut(g, v); cut != 1 {
+		t.Fatalf("cut = %d", cut)
+	}
+	if b := Balance(g, v, 2); b != 1.0 {
+		t.Fatalf("balance = %v", b)
+	}
+	// All in one part: cut 0, max imbalance.
+	v = Vector{0, 0, 0, 0}
+	if cut := EdgeCut(g, v); cut != 0 {
+		t.Fatalf("cut = %d", cut)
+	}
+	if b := Balance(g, v, 2); b != 2.0 {
+		t.Fatalf("balance = %v", b)
+	}
+}
+
+func TestMultilevelPartitionsGrid(t *testing.T) {
+	g := gridGraph(t, 32, 32)
+	for _, nparts := range []int{2, 4, 8} {
+		v, err := Multilevel(g, nparts, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != g.NumVertices() {
+			t.Fatalf("vector length %d", len(v))
+		}
+		if err := v.Validate(nparts); err != nil {
+			t.Fatal(err)
+		}
+		// Every part non-empty.
+		for p, c := range v.Counts(nparts) {
+			if c == 0 {
+				t.Fatalf("nparts=%d: part %d empty", nparts, p)
+			}
+		}
+		if b := Balance(g, v, nparts); b > 1.25 {
+			t.Fatalf("nparts=%d: balance %.3f too poor", nparts, b)
+		}
+		// Quality: better than random, and sane in absolute terms. A
+		// perfect 4-way split of a 32x32 grid cuts ~64 edges; random
+		// cuts ~1500.
+		randomCut := EdgeCut(g, Random(g.NumVertices(), nparts, 5))
+		mlCut := EdgeCut(g, v)
+		if mlCut*3 > randomCut {
+			t.Fatalf("nparts=%d: multilevel cut %d not clearly better than random %d",
+				nparts, mlCut, randomCut)
+		}
+	}
+}
+
+func TestMultilevelEdgeCases(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	// One part: all zero.
+	v, err := Multilevel(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range v {
+		if p != 0 {
+			t.Fatal("nparts=1 produced nonzero assignment")
+		}
+	}
+	// More parts than nodes.
+	v, err = Multilevel(g, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	// Empty graph.
+	empty := &Graph{XAdj: []int32{0}}
+	if v, err := Multilevel(empty, 4, Options{}); err != nil || len(v) != 0 {
+		t.Fatalf("empty graph: %v, %v", v, err)
+	}
+	// Invalid nparts.
+	if _, err := Multilevel(g, 0, Options{}); err == nil {
+		t.Fatal("nparts=0 accepted")
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := gridGraph(t, 16, 16)
+	a, _ := Multilevel(g, 4, Options{Seed: 11})
+	b, _ := Multilevel(g, 4, Options{Seed: 11})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestMultilevelDisconnectedGraph(t *testing.T) {
+	// Two disjoint triangles plus isolated vertices.
+	e1 := []int32{0, 1, 2, 4, 5, 6}
+	e2 := []int32{1, 2, 0, 5, 6, 4}
+	g, _ := FromEdges(9, e1, e2)
+	v, err := Multilevel(g, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	counts := v.Counts(2)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// Property: multilevel always produces a complete, valid, reasonably
+// balanced assignment on random graphs.
+func TestMultilevelProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, partsRaw, extraRaw uint8) bool {
+		n := int(nRaw)%200 + 10
+		nparts := int(partsRaw)%6 + 2
+		// Random connected-ish graph: a ring plus extra chords.
+		var e1, e2 []int32
+		for i := 0; i < n; i++ {
+			e1 = append(e1, int32(i))
+			e2 = append(e2, int32((i+1)%n))
+		}
+		extra := int(extraRaw) % (2 * n)
+		s := seed | 1
+		for i := 0; i < extra; i++ {
+			s = s*2862933555777941757 + 3037000493
+			a := int32(s % uint64(n))
+			s = s*2862933555777941757 + 3037000493
+			b := int32(s % uint64(n))
+			e1 = append(e1, a)
+			e2 = append(e2, b)
+		}
+		g, err := FromEdges(n, e1, e2)
+		if err != nil {
+			return false
+		}
+		v, err := Multilevel(g, nparts, Options{Seed: seed})
+		if err != nil || len(v) != n {
+			return false
+		}
+		if v.Validate(nparts) != nil {
+			return false
+		}
+		if nparts < n {
+			for _, c := range v.Counts(nparts) {
+				if c == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,610 @@
+// Package pfs simulates the striped parallel file system underneath
+// SDM — the role played by SGI XFS over 10 Fibre Channel controllers
+// and 110 disks on the paper's Origin2000.
+//
+// Files are really stored (in memory, as sparse 64 KiB pages, dumpable
+// to a host directory), so correctness is testable end to end. Costs
+// are simulated: every byte range maps onto stripe units that live on
+// one of a configurable number of I/O servers; each server is a serial
+// resource (internal/sim.Resource) charging a fixed per-request latency
+// plus bytes/bandwidth, and a metadata server charges file-open, close,
+// and file-view costs. These are exactly the knobs the paper's
+// evaluation turns: low open/view cost on XFS (Figure 6's small
+// level-1/2/3 differences), request latency dominating small per-process
+// buffers (Figure 7's 32→64 process degradation), and serial-vs-parallel
+// access (Figure 5 and 7's original-vs-SDM gaps).
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdm/internal/sim"
+)
+
+// pageSize is the granularity of the sparse in-memory backing store.
+const pageSize = 64 * 1024
+
+// Errors returned by the file system.
+var (
+	ErrNotExist = errors.New("pfs: file does not exist")
+	ErrExist    = errors.New("pfs: file already exists")
+	ErrClosed   = errors.New("pfs: handle is closed")
+	ErrReadOnly = errors.New("pfs: handle opened read-only")
+)
+
+// Config describes the simulated storage hardware and file-system
+// software costs.
+type Config struct {
+	// NumServers is the number of independent I/O servers (stripes
+	// round-robin across them). Must be >= 1.
+	NumServers int
+	// StripeSize is the stripe unit in bytes. Must be >= 1.
+	StripeSize int64
+	// ServerBandwidth is each server's streaming rate in bytes/second.
+	// Zero means infinitely fast servers.
+	ServerBandwidth float64
+	// RequestLatency is the fixed cost a server charges per request
+	// (seek + controller overhead). Large contiguous requests amortize
+	// it; many small requests pay it repeatedly.
+	RequestLatency sim.Duration
+	// OpenCost, CloseCost and ViewCost are metadata costs charged per
+	// file open, close, and file-view definition respectively. The
+	// paper's level 1/2/3 file organizations differ exactly in how
+	// often these are paid.
+	OpenCost  sim.Duration
+	CloseCost sim.Duration
+	ViewCost  sim.Duration
+}
+
+// DefaultConfig resembles the paper's platform: 10 I/O servers,
+// 512 KiB stripes, ~35 MB/s per server, with XFS's cheap opens.
+func DefaultConfig() Config {
+	return Config{
+		NumServers:      10,
+		StripeSize:      512 * 1024,
+		ServerBandwidth: 35e6,
+		RequestLatency:  800_000, // 0.8 ms
+		OpenCost:        1_500_000,
+		CloseCost:       500_000,
+		ViewCost:        300_000,
+	}
+}
+
+// Stats aggregates observable activity, for tests and reports.
+type Stats struct {
+	Opens        int64
+	Creates      int64
+	Closes       int64
+	Views        int64
+	ReadRequests int64
+	WriteReqs    int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// System is one parallel file system instance: a flat namespace of
+// striped files plus the simulated hardware. It is safe for concurrent
+// use by many rank goroutines.
+type System struct {
+	cfg     Config
+	mu      sync.Mutex
+	files   map[string]*file
+	servers []*sim.Resource
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// NewSystem creates a file system with the given hardware profile.
+func NewSystem(cfg Config) *System {
+	if cfg.NumServers < 1 {
+		panic(fmt.Sprintf("pfs: NumServers must be >= 1, got %d", cfg.NumServers))
+	}
+	if cfg.StripeSize < 1 {
+		panic(fmt.Sprintf("pfs: StripeSize must be >= 1, got %d", cfg.StripeSize))
+	}
+	s := &System{
+		cfg:   cfg,
+		files: make(map[string]*file),
+	}
+	s.servers = make([]*sim.Resource, cfg.NumServers)
+	for i := range s.servers {
+		s.servers[i] = &sim.Resource{}
+	}
+	return s
+}
+
+// Config returns the system's hardware profile.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of cumulative activity counters.
+func (s *System) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// ServerBusy reports each server's cumulative busy time, for
+// utilization analysis.
+func (s *System) ServerBusy() []sim.Duration {
+	out := make([]sim.Duration, len(s.servers))
+	for i, r := range s.servers {
+		out[i], _ = r.Stats()
+	}
+	return out
+}
+
+// ResetSchedules clears all server and metadata queues (not file
+// contents), so consecutive experiments on one system start from an
+// idle disk array.
+func (s *System) ResetSchedules() {
+	for _, r := range s.servers {
+		r.Reset()
+	}
+}
+
+// file is the shared state of one stored file.
+type file struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte
+	size  int64
+}
+
+func (f *file) writeAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > f.size {
+		f.size = end
+	}
+	for len(p) > 0 {
+		page := off / pageSize
+		po := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		buf := f.pages[page]
+		if buf == nil {
+			buf = make([]byte, pageSize)
+			f.pages[page] = buf
+		}
+		copy(buf[po:po+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+func (f *file) readAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	avail := f.size - off
+	short := false
+	if want > avail {
+		want = avail
+		short = true
+	}
+	read := int64(0)
+	for read < want {
+		page := (off + read) / pageSize
+		po := (off + read) % pageSize
+		n := want - read
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		if buf := f.pages[page]; buf != nil {
+			copy(p[read:read+n], buf[po:po+n])
+		} else {
+			for i := read; i < read+n; i++ {
+				p[i] = 0
+			}
+		}
+		read += n
+	}
+	if short {
+		return int(read), io.EOF
+	}
+	return int(read), nil
+}
+
+func (f *file) truncate(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.size = n
+	for page := range f.pages {
+		if page*pageSize >= n {
+			delete(f.pages, page)
+		}
+	}
+}
+
+// Mode selects how a file is opened.
+type Mode int
+
+// Open modes.
+const (
+	ReadOnly Mode = iota
+	ReadWrite
+	// CreateMode creates the file if missing and opens it read-write.
+	CreateMode
+)
+
+// Handle is one process's view of an open file. A Handle is bound to a
+// clock (the opening rank's) and is not safe for concurrent use; each
+// rank opens its own handle, as MPI-IO processes do.
+type Handle struct {
+	sys    *System
+	f      *file
+	name   string
+	clock  *sim.Clock
+	mode   Mode
+	closed bool
+}
+
+// Open opens (or with CreateMode, creates) a file, charging the open
+// cost to the opening rank's clock.
+func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error) {
+	s.mu.Lock()
+	f, ok := s.files[name]
+	if !ok {
+		if mode != CreateMode {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+		}
+		f = &file{pages: make(map[int64][]byte)}
+		s.files[name] = f
+	}
+	s.mu.Unlock()
+
+	if clock != nil {
+		// Opens charge a fixed metadata cost per process. Concurrent
+		// opens by many ranks proceed in parallel, matching the paper's
+		// observation that XFS file opens are cheap even collectively.
+		clock.Advance(s.cfg.OpenCost)
+	}
+	s.statMu.Lock()
+	s.stats.Opens++
+	if !ok {
+		s.stats.Creates++
+	}
+	s.statMu.Unlock()
+	return &Handle{sys: s, f: f, name: name, clock: clock, mode: mode}, nil
+}
+
+// Exists reports whether a file is present.
+func (s *System) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[name]
+	return ok
+}
+
+// Remove deletes a file from the namespace. Open handles keep their
+// data (POSIX-like unlink semantics).
+func (s *System) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// List returns all file names in lexical order.
+func (s *System) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileSize reports a file's current size without opening it.
+func (s *System) FileSize(name string) (int64, error) {
+	s.mu.Lock()
+	f, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.size, nil
+}
+
+// Name reports the handle's file name.
+func (h *Handle) Name() string { return h.name }
+
+// StripeSize reports the file system's stripe unit, which collective
+// I/O layers use to align aggregator file domains.
+func (h *Handle) StripeSize() int64 { return h.sys.cfg.StripeSize }
+
+// SieveGap reports the data-sieving break-even gap: holes smaller than
+// this are cheaper to read through than to skip with a separate
+// request, because a request costs RequestLatency while reading a gap
+// costs gap/bandwidth. I/O layers use it to decide when to coalesce
+// hole-separated accesses into one spanning request.
+func (h *Handle) SieveGap() int64 {
+	cfg := h.sys.cfg
+	if cfg.RequestLatency <= 0 {
+		return 0
+	}
+	if cfg.ServerBandwidth <= 0 {
+		return 1 << 40 // requests cost latency, transfers are free: always sieve
+	}
+	return int64(cfg.RequestLatency.Seconds() * cfg.ServerBandwidth)
+}
+
+// Size reports the file's current size.
+func (h *Handle) Size() int64 {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return h.f.size
+}
+
+// Truncate sets the file size.
+func (h *Handle) Truncate(n int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if h.mode == ReadOnly {
+		return ErrReadOnly
+	}
+	h.f.truncate(n)
+	return nil
+}
+
+// Close releases the handle, charging the close cost.
+func (h *Handle) Close() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	if h.clock != nil {
+		h.clock.Advance(h.sys.cfg.CloseCost)
+	}
+	h.sys.statMu.Lock()
+	h.sys.stats.Closes++
+	h.sys.statMu.Unlock()
+	return nil
+}
+
+// ChargeView charges one file-view definition (MPI_File_set_view) to
+// the handle's clock. mpiio calls this from SetView.
+func (h *Handle) ChargeView() {
+	if h.clock != nil {
+		h.clock.Advance(h.sys.cfg.ViewCost)
+	}
+	h.sys.statMu.Lock()
+	h.sys.stats.Views++
+	h.sys.statMu.Unlock()
+}
+
+// serverSpan is the portion of one request that lands on one server.
+type serverSpan struct {
+	server int
+	bytes  int64
+}
+
+// spansFor splits the byte range [off, off+n) into per-server totals
+// according to the striping layout.
+func (s *System) spansFor(off, n int64) []serverSpan {
+	if n <= 0 {
+		return nil
+	}
+	totals := make([]int64, s.cfg.NumServers)
+	for n > 0 {
+		stripe := off / s.cfg.StripeSize
+		srv := int(stripe % int64(s.cfg.NumServers))
+		in := s.cfg.StripeSize - off%s.cfg.StripeSize
+		if in > n {
+			in = n
+		}
+		totals[srv] += in
+		off += in
+		n -= in
+	}
+	spans := make([]serverSpan, 0, len(totals))
+	for i, b := range totals {
+		if b > 0 {
+			spans = append(spans, serverSpan{server: i, bytes: b})
+		}
+	}
+	return spans
+}
+
+// charge schedules the I/O cost of an n-byte access at offset off
+// starting at virtual time `at`, and returns the completion time. Each
+// involved server serves its share as one request (latency + bytes/bw);
+// servers work in parallel, so completion is the max across them.
+func (s *System) charge(off, n int64, at sim.Time) sim.Time {
+	done := at
+	for _, sp := range s.spansFor(off, n) {
+		service := s.cfg.RequestLatency +
+			sim.TransferCost(sp.bytes, 0, s.cfg.ServerBandwidth)
+		d := s.servers[sp.server].Acquire(at, service)
+		done = sim.MaxTime(done, d)
+	}
+	return done
+}
+
+// WriteAt stores p at offset off, charging simulated time to the
+// handle's clock.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	var at sim.Time
+	if h.clock != nil {
+		at = h.clock.Now()
+	}
+	done, n, err := h.WriteAtTime(p, off, at)
+	if h.clock != nil {
+		h.clock.AdvanceTo(done)
+	}
+	return n, err
+}
+
+// WriteAtTime is WriteAt with explicit virtual timing: the write begins
+// at `at` and the returned time is its completion. The handle's clock
+// is not touched, which is how SDM models its asynchronous history-file
+// write — the server becomes busy but the issuing rank continues.
+func (h *Handle) WriteAtTime(p []byte, off int64, at sim.Time) (sim.Time, int, error) {
+	if h.closed {
+		return at, 0, ErrClosed
+	}
+	if h.mode == ReadOnly {
+		return at, 0, ErrReadOnly
+	}
+	if off < 0 {
+		return at, 0, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	h.f.writeAt(p, off)
+	done := h.sys.charge(off, int64(len(p)), at)
+	h.sys.statMu.Lock()
+	h.sys.stats.WriteReqs++
+	h.sys.stats.BytesWritten += int64(len(p))
+	h.sys.statMu.Unlock()
+	return done, len(p), nil
+}
+
+// ReadAt fills p from offset off, charging simulated time. Like
+// os.File.ReadAt it returns io.EOF with a short count when the read
+// extends past end of file.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	var at sim.Time
+	if h.clock != nil {
+		at = h.clock.Now()
+	}
+	done, n, err := h.ReadAtTime(p, off, at)
+	if h.clock != nil {
+		h.clock.AdvanceTo(done)
+	}
+	return n, err
+}
+
+// ReadAtTime is ReadAt with explicit virtual timing (see WriteAtTime).
+func (h *Handle) ReadAtTime(p []byte, off int64, at sim.Time) (sim.Time, int, error) {
+	if h.closed {
+		return at, 0, ErrClosed
+	}
+	if off < 0 {
+		return at, 0, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	n, err := h.f.readAt(p, off)
+	done := h.sys.charge(off, int64(n), at)
+	h.sys.statMu.Lock()
+	h.sys.stats.ReadRequests++
+	h.sys.stats.BytesRead += int64(n)
+	h.sys.statMu.Unlock()
+	return done, n, err
+}
+
+// Dump writes every file to dir on the host file system, flattening
+// path separators, so example programs can leave inspectable artifacts.
+func (s *System) Dump(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range s.List() {
+		s.mu.Lock()
+		f := s.files[name]
+		s.mu.Unlock()
+		f.mu.RLock()
+		buf := make([]byte, f.size)
+		_, _ = f.readAtLocked(buf, 0)
+		f.mu.RUnlock()
+		hostName := strings.ReplaceAll(name, "/", "_")
+		if err := os.WriteFile(filepath.Join(dir, hostName), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAtLocked is readAt for callers already holding f.mu.
+func (f *file) readAtLocked(p []byte, off int64) (int, error) {
+	want := int64(len(p))
+	if off+want > f.size {
+		want = f.size - off
+	}
+	read := int64(0)
+	for read < want {
+		page := (off + read) / pageSize
+		po := (off + read) % pageSize
+		n := want - read
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		if buf := f.pages[page]; buf != nil {
+			copy(p[read:read+n], buf[po:po+n])
+		}
+		read += n
+	}
+	return int(read), nil
+}
+
+// Load imports every regular file in dir into the file system,
+// bypassing cost accounting (it models staging data from outside).
+func (s *System) Load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := s.WriteFile(e.Name(), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile stores data as name without cost accounting, for staging
+// input files (the role of data created "outside of SDM" that import
+// reads).
+func (s *System) WriteFile(name string, data []byte) error {
+	h, err := s.Open(name, CreateMode, nil)
+	if err != nil {
+		return err
+	}
+	h.f.truncate(0)
+	h.f.writeAt(data, 0)
+	return h.Close()
+}
+
+// ReadFile returns a file's full contents without cost accounting.
+func (s *System) ReadFile(name string) ([]byte, error) {
+	s.mu.Lock()
+	f, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("read %q: %w", name, ErrNotExist)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	buf := make([]byte, f.size)
+	_, _ = f.readAtLocked(buf, 0)
+	return buf, nil
+}

@@ -1,0 +1,422 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdm/internal/sim"
+)
+
+// freeConfig charges nothing, for correctness-only tests.
+func freeConfig() Config {
+	return Config{NumServers: 4, StripeSize: 1024}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	s := NewSystem(freeConfig())
+	clock := sim.NewClock()
+	h, err := s.Open("data", CreateMode, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, parallel world")
+	if _, err := h.WriteAt(msg, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := h.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+	if h.Size() != 100+int64(len(msg)) {
+		t.Fatalf("size %d", h.Size())
+	}
+}
+
+func TestSparseReadReturnsZeros(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("sparse", CreateMode, nil)
+	_, _ = h.WriteAt([]byte{0xFF}, 100_000) // leaves a hole before it
+	got := make([]byte, 16)
+	if _, err := h.ReadAt(got, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("hole contained %x", got)
+		}
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("f", CreateMode, nil)
+	_, _ = h.WriteAt([]byte("abcd"), 0)
+	got := make([]byte, 10)
+	n, err := h.ReadAt(got, 2)
+	if n != 2 || !errors.Is(err, io.EOF) {
+		t.Fatalf("n=%d err=%v, want 2, EOF", n, err)
+	}
+	if string(got[:n]) != "cd" {
+		t.Fatalf("got %q", got[:n])
+	}
+	if _, err := h.ReadAt(got, 100); !errors.Is(err, io.EOF) {
+		t.Fatalf("read far past EOF: %v", err)
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("big", CreateMode, nil)
+	data := make([]byte, 3*pageSize+17)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	off := int64(pageSize - 5)
+	_, _ = h.WriteAt(data, off)
+	got := make([]byte, len(data))
+	if _, err := h.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page data mismatch")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	s := NewSystem(freeConfig())
+	if _, err := s.Open("nope", ReadOnly, nil); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	s := NewSystem(freeConfig())
+	_ = s.WriteFile("f", []byte("x"))
+	h, _ := s.Open("f", ReadOnly, nil)
+	if _, err := h.WriteAt([]byte("y"), 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := h.Truncate(0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("truncate err = %v", err)
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("f", CreateMode, nil)
+	_ = h.Close()
+	if _, err := h.WriteAt([]byte("x"), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read err = %v", err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+}
+
+func TestRemoveAndList(t *testing.T) {
+	s := NewSystem(freeConfig())
+	_ = s.WriteFile("b", nil)
+	_ = s.WriteFile("a", nil)
+	if got := s.List(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("a") || !s.Exists("b") {
+		t.Fatal("Remove broke namespace")
+	}
+	if err := s.Remove("a"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("f", CreateMode, nil)
+	_, _ = h.WriteAt(make([]byte, 200_000), 0)
+	if err := h.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 10 {
+		t.Fatalf("size %d", h.Size())
+	}
+	// Data past the truncation point must be gone even after regrowth.
+	_, _ = h.WriteAt([]byte{1}, 150_000)
+	got := make([]byte, 4)
+	_, _ = h.ReadAt(got, 100_000)
+	if got[0] != 0 {
+		t.Fatal("truncated data resurfaced")
+	}
+}
+
+func TestStripingMapsToServers(t *testing.T) {
+	s := NewSystem(Config{NumServers: 4, StripeSize: 100})
+	spans := s.spansFor(50, 400)
+	// [50,100)=s0, [100,200)=s1, [200,300)=s2, [300,400)=s3, [400,450)=s0
+	want := map[int]int64{0: 100, 1: 100, 2: 100, 3: 100}
+	if len(spans) != 4 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	for _, sp := range spans {
+		if want[sp.server] != sp.bytes {
+			t.Errorf("server %d got %d bytes, want %d", sp.server, sp.bytes, want[sp.server])
+		}
+	}
+	if s.spansFor(0, 0) != nil {
+		t.Error("zero-length span not empty")
+	}
+}
+
+func TestOpenCostCharged(t *testing.T) {
+	cfg := freeConfig()
+	cfg.OpenCost = 2 * time.Millisecond
+	cfg.CloseCost = time.Millisecond
+	s := NewSystem(cfg)
+	clock := sim.NewClock()
+	h, _ := s.Open("f", CreateMode, clock)
+	if clock.Now() != sim.Time(2*time.Millisecond) {
+		t.Fatalf("after open clock=%v", clock.Now())
+	}
+	_ = h.Close()
+	if clock.Now() != sim.Time(3*time.Millisecond) {
+		t.Fatalf("after close clock=%v", clock.Now())
+	}
+}
+
+func TestViewCostCharged(t *testing.T) {
+	cfg := freeConfig()
+	cfg.ViewCost = 5 * time.Millisecond
+	s := NewSystem(cfg)
+	clock := sim.NewClock()
+	h, _ := s.Open("f", CreateMode, clock)
+	h.ChargeView()
+	if clock.Now() != sim.Time(5*time.Millisecond) {
+		t.Fatalf("clock=%v", clock.Now())
+	}
+	if s.Stats().Views != 1 {
+		t.Fatal("view not counted")
+	}
+}
+
+func TestTransferCostParallelServers(t *testing.T) {
+	// 4 servers, 1 MB across all of them at 1 MB/s each: parallel
+	// completion in ~0.25s rather than 1s.
+	cfg := Config{NumServers: 4, StripeSize: 256 * 1024, ServerBandwidth: 1e6}
+	s := NewSystem(cfg)
+	clock := sim.NewClock()
+	h, _ := s.Open("f", CreateMode, clock)
+	_, _ = h.WriteAt(make([]byte, 1<<20), 0)
+	got := clock.Now()
+	want := sim.Time(262_144_000) // 256 KiB at 1 MB/s = 0.262144s
+	if got != want {
+		t.Fatalf("parallel write finished at %v, want %v", got, want)
+	}
+}
+
+func TestSingleServerContention(t *testing.T) {
+	// Two clients hitting the same (single) server serialize.
+	cfg := Config{NumServers: 1, StripeSize: 1 << 20, ServerBandwidth: 1e6}
+	s := NewSystem(cfg)
+	c1, c2 := sim.NewClock(), sim.NewClock()
+	h1, _ := s.Open("f", CreateMode, c1)
+	h2, _ := s.Open("f", ReadWrite, c2)
+	_, _ = h1.WriteAt(make([]byte, 1e6), 0)
+	_, _ = h2.WriteAt(make([]byte, 1e6), 0)
+	if c1.Now() != sim.Time(time.Second) {
+		t.Fatalf("first writer done at %v", c1.Now())
+	}
+	if c2.Now() != sim.Time(2*time.Second) {
+		t.Fatalf("second writer done at %v, want serialized 2s", c2.Now())
+	}
+}
+
+func TestRequestLatencyPenalizesSmallIO(t *testing.T) {
+	cfg := Config{NumServers: 1, StripeSize: 1 << 20, ServerBandwidth: 100e6, RequestLatency: time.Millisecond}
+	s := NewSystem(cfg)
+
+	// One 1 MB request...
+	c1 := sim.NewClock()
+	h, _ := s.Open("f", CreateMode, c1)
+	_, _ = h.WriteAt(make([]byte, 1<<20), 0)
+	oneBig := c1.Now()
+
+	// ...versus 64 requests of 16 KiB.
+	s2 := NewSystem(cfg)
+	c2 := sim.NewClock()
+	h2, _ := s2.Open("f", CreateMode, c2)
+	for i := 0; i < 64; i++ {
+		_, _ = h2.WriteAt(make([]byte, 16*1024), int64(i*16*1024))
+	}
+	manySmall := c2.Now()
+	if manySmall <= oneBig {
+		t.Fatalf("small requests (%v) not slower than one large (%v)", manySmall, oneBig)
+	}
+	if manySmall-oneBig < sim.Time(60*time.Millisecond) {
+		t.Fatalf("latency penalty too small: %v vs %v", manySmall, oneBig)
+	}
+}
+
+func TestAsyncWriteDoesNotBlockClock(t *testing.T) {
+	cfg := Config{NumServers: 1, StripeSize: 1 << 20, ServerBandwidth: 1e6}
+	s := NewSystem(cfg)
+	clock := sim.NewClock()
+	h, _ := s.Open("hist", CreateMode, clock)
+	done, _, err := h.WriteAtTime(make([]byte, 1e6), 0, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != 0 {
+		t.Fatalf("async write advanced issuing clock to %v", clock.Now())
+	}
+	if done != sim.Time(time.Second) {
+		t.Fatalf("completion %v, want 1s", done)
+	}
+	// A later synchronous access to the same server queues behind it.
+	_, _ = h.ReadAt(make([]byte, 1), 0)
+	if clock.Now() <= sim.Time(time.Second) {
+		t.Fatalf("subsequent read did not queue behind async write: %v", clock.Now())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("f", CreateMode, nil)
+	_, _ = h.WriteAt(make([]byte, 100), 0)
+	_, _ = h.ReadAt(make([]byte, 40), 0)
+	_ = h.Close()
+	st := s.Stats()
+	if st.Opens != 1 || st.Creates != 1 || st.Closes != 1 {
+		t.Fatalf("open/create/close stats %+v", st)
+	}
+	if st.BytesWritten != 100 || st.BytesRead != 40 {
+		t.Fatalf("byte stats %+v", st)
+	}
+	if st.WriteReqs != 1 || st.ReadRequests != 1 {
+		t.Fatalf("request stats %+v", st)
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSystem(freeConfig())
+	_ = s.WriteFile("alpha", []byte("AAA"))
+	_ = s.WriteFile("beta/gamma", []byte("BBBB"))
+	if err := s.Dump(dir); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "beta_gamma")); err != nil || string(data) != "BBBB" {
+		t.Fatalf("dumped file: %q, %v", data, err)
+	}
+	s2 := NewSystem(freeConfig())
+	if err := s2.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := s2.ReadFile("alpha"); string(data) != "AAA" {
+		t.Fatalf("loaded alpha = %q", data)
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	s := NewSystem(freeConfig())
+	payload := bytes.Repeat([]byte("xyz"), 50_000)
+	if err := s.WriteFile("stage", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadFile("stage")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// WriteFile replaces content entirely.
+	if err := s.WriteFile("stage", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.ReadFile("stage")
+	if string(got) != "tiny" {
+		t.Fatalf("replace failed: %d bytes", len(got))
+	}
+	if sz, _ := s.FileSize("stage"); sz != 4 {
+		t.Fatalf("FileSize = %d", sz)
+	}
+}
+
+func TestResetSchedules(t *testing.T) {
+	cfg := Config{NumServers: 1, StripeSize: 1024, ServerBandwidth: 1e6}
+	s := NewSystem(cfg)
+	h, _ := s.Open("f", CreateMode, nil)
+	_, _ = h.WriteAt(make([]byte, 1e6), 0)
+	s.ResetSchedules()
+	clock := sim.NewClock()
+	h2, _ := s.Open("f", ReadWrite, clock)
+	_, _ = h2.ReadAt(make([]byte, 10), 0)
+	if clock.Now() > sim.Time(time.Millisecond) {
+		t.Fatalf("schedule not reset, clock %v", clock.Now())
+	}
+}
+
+// Property: arbitrary write/read offsets round-trip through the page
+// store.
+func TestWriteReadProperty(t *testing.T) {
+	s := NewSystem(freeConfig())
+	h, _ := s.Open("prop", CreateMode, nil)
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off % 10_000_000)
+		if _, err := h.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := h.ReadAt(got, o); err != nil && !errors.Is(err, io.EOF) {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpansCoverRequestExactly(t *testing.T) {
+	f := func(off uint32, n uint16, servers uint8, stripe uint16) bool {
+		cfg := Config{
+			NumServers: int(servers%7) + 1,
+			StripeSize: int64(stripe%4096) + 1,
+		}
+		s := NewSystem(cfg)
+		var total int64
+		for _, sp := range s.spansFor(int64(off), int64(n)) {
+			if sp.server < 0 || sp.server >= cfg.NumServers || sp.bytes <= 0 {
+				return false
+			}
+			total += sp.bytes
+		}
+		return total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumServers != 10 {
+		t.Fatalf("default servers = %d; paper's platform had 10 controllers", cfg.NumServers)
+	}
+	if cfg.OpenCost <= 0 || cfg.ViewCost <= 0 || cfg.ServerBandwidth <= 0 {
+		t.Fatal("default costs must be positive")
+	}
+}

@@ -1,0 +1,338 @@
+// Package ncsdm is a minimal netCDF-classic-style self-describing data
+// layer implemented on top of SDM — the investigation the paper's
+// summary proposes ("whether SDM can effectively be used as a strategy
+// for implementing libraries such as HDF and netCDF").
+//
+// A Dataset has named dimensions, typed variables shaped over those
+// dimensions, and string attributes. The variable data flows through an
+// SDM data group (collective irregular/block I/O, file organization
+// levels, execution-table offsets), while the self-describing header
+// lives in SDM's annotation table, so a later run can open the dataset
+// by name alone.
+//
+// The first dimension of a variable may be the record dimension
+// (unlimited, netCDF-style): each record maps to one SDM timestep.
+package ncsdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sdm"
+)
+
+// headerScope prefixes annotation scopes holding dataset headers.
+const headerScope = "ncsdm:"
+
+// RecordDim is the reserved name of the unlimited record dimension.
+const RecordDim = "record"
+
+// header is the persisted self-description.
+type header struct {
+	Dims  map[string]int64             `json:"dims"`
+	Vars  map[string]varDef            `json:"vars"`
+	Attrs map[string]map[string]string `json:"attrs"` // varName ("" = global) -> key -> value
+}
+
+type varDef struct {
+	Type sdm.DataType `json:"type"`
+	Dims []string     `json:"dims"`
+}
+
+// Dataset is an open self-describing dataset bound to one rank's SDM
+// manager. All methods are collective unless noted.
+type Dataset struct {
+	s       *sdm.Manager
+	name    string
+	hdr     header
+	group   *sdm.Group
+	defined bool
+	counts  map[string]int64 // records written per variable
+}
+
+// Create starts a new dataset in define mode: declare dimensions,
+// variables, and attributes, then call EndDef.
+func Create(s *sdm.Manager, name string) *Dataset {
+	return &Dataset{
+		s:    s,
+		name: name,
+		hdr: header{
+			Dims:  map[string]int64{},
+			Vars:  map[string]varDef{},
+			Attrs: map[string]map[string]string{"": {}},
+		},
+		counts: map[string]int64{},
+	}
+}
+
+// Open loads an existing dataset's header from the annotation table
+// and re-registers its variables with SDM for reading and appending.
+func Open(s *sdm.Manager, name string) (*Dataset, error) {
+	raw, err := s.Annotation(0, headerScope+name, "header")
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, fmt.Errorf("ncsdm: no dataset named %q", name)
+	}
+	d := Create(s, name)
+	if err := json.Unmarshal(raw, &d.hdr); err != nil {
+		return nil, fmt.Errorf("ncsdm: corrupt header for %q: %w", name, err)
+	}
+	if err := d.register(); err != nil {
+		return nil, err
+	}
+	d.defined = true
+	return d, nil
+}
+
+// DefDim declares a dimension. Size must be positive; the record
+// dimension is implicit and must not be declared.
+func (d *Dataset) DefDim(name string, size int64) error {
+	if d.defined {
+		return fmt.Errorf("ncsdm: DefDim after EndDef")
+	}
+	if name == RecordDim {
+		return fmt.Errorf("ncsdm: %q is the implicit record dimension", RecordDim)
+	}
+	if size <= 0 {
+		return fmt.Errorf("ncsdm: dimension %q must have positive size, got %d", name, size)
+	}
+	if _, dup := d.hdr.Dims[name]; dup {
+		return fmt.Errorf("ncsdm: dimension %q already defined", name)
+	}
+	d.hdr.Dims[name] = size
+	return nil
+}
+
+// DefVar declares a variable over previously declared dimensions. The
+// record dimension, if used, must come first (netCDF's rule).
+func (d *Dataset) DefVar(name string, t sdm.DataType, dims []string) error {
+	if d.defined {
+		return fmt.Errorf("ncsdm: DefVar after EndDef")
+	}
+	if _, dup := d.hdr.Vars[name]; dup {
+		return fmt.Errorf("ncsdm: variable %q already defined", name)
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("ncsdm: variable %q needs at least one dimension", name)
+	}
+	for i, dim := range dims {
+		if dim == RecordDim {
+			if i != 0 {
+				return fmt.Errorf("ncsdm: record dimension must come first in variable %q", name)
+			}
+			continue
+		}
+		if _, ok := d.hdr.Dims[dim]; !ok {
+			return fmt.Errorf("ncsdm: variable %q uses undeclared dimension %q", name, dim)
+		}
+	}
+	d.hdr.Vars[name] = varDef{Type: t, Dims: append([]string{}, dims...)}
+	return nil
+}
+
+// PutAttr attaches a string attribute to a variable ("" for a global
+// attribute). Usable in define mode only.
+func (d *Dataset) PutAttr(varName, key, value string) error {
+	if d.defined {
+		return fmt.Errorf("ncsdm: PutAttr after EndDef")
+	}
+	if varName != "" {
+		if _, ok := d.hdr.Vars[varName]; !ok {
+			return fmt.Errorf("ncsdm: attribute on undeclared variable %q", varName)
+		}
+	}
+	if d.hdr.Attrs[varName] == nil {
+		d.hdr.Attrs[varName] = map[string]string{}
+	}
+	d.hdr.Attrs[varName][key] = value
+	return nil
+}
+
+// Attr reads an attribute (ok=false when absent). Local.
+func (d *Dataset) Attr(varName, key string) (string, bool) {
+	m := d.hdr.Attrs[varName]
+	if m == nil {
+		return "", false
+	}
+	v, ok := m[key]
+	return v, ok
+}
+
+// Dims returns the declared dimensions.
+func (d *Dataset) Dims() map[string]int64 {
+	out := make(map[string]int64, len(d.hdr.Dims))
+	for k, v := range d.hdr.Dims {
+		out[k] = v
+	}
+	return out
+}
+
+// Vars lists the declared variable names in sorted order.
+func (d *Dataset) Vars() []string {
+	out := make([]string, 0, len(d.hdr.Vars))
+	for v := range d.hdr.Vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordSize returns the number of elements in one record of a
+// variable (the product of its non-record dimensions).
+func (d *Dataset) recordSize(v varDef) int64 {
+	n := int64(1)
+	for _, dim := range v.Dims {
+		if dim == RecordDim {
+			continue
+		}
+		n *= d.hdr.Dims[dim]
+	}
+	return n
+}
+
+// register declares the SDM data group backing the variables.
+func (d *Dataset) register() error {
+	names := d.Vars()
+	attrs := make([]sdm.Attr, 0, len(names))
+	for _, name := range names {
+		v := d.hdr.Vars[name]
+		attrs = append(attrs, sdm.Attr{
+			Name:       d.name + "." + name,
+			Type:       v.Type,
+			GlobalSize: d.recordSize(v),
+			Pattern:    "IRREGULAR",
+		})
+	}
+	g, err := d.s.SetAttributes(attrs)
+	if err != nil {
+		return err
+	}
+	d.group = g
+	// Default views: contiguous block decomposition per variable, the
+	// netCDF-style parallel access pattern. PutVarView overrides.
+	for _, name := range names {
+		v := d.hdr.Vars[name]
+		if err := d.setBlockView(name, d.recordSize(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) setBlockView(name string, globalN int64) error {
+	c := d.s.Comm()
+	per := globalN / int64(c.Size())
+	rem := globalN % int64(c.Size())
+	start := int64(c.Rank())*per + minI64(int64(c.Rank()), rem)
+	count := per
+	if int64(c.Rank()) < rem {
+		count++
+	}
+	m := make([]int32, count)
+	for i := range m {
+		m[i] = int32(start + int64(i))
+	}
+	_, err := d.group.DataView([]string{d.name + "." + name}, m)
+	return err
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EndDef leaves define mode: the header is persisted to the annotation
+// table and the SDM group is created. Collective.
+func (d *Dataset) EndDef() error {
+	if d.defined {
+		return fmt.Errorf("ncsdm: EndDef called twice")
+	}
+	raw, err := json.Marshal(d.hdr)
+	if err != nil {
+		return err
+	}
+	if err := d.s.Annotate(0, headerScope+d.name, "header", raw); err != nil {
+		return err
+	}
+	if err := d.register(); err != nil {
+		return err
+	}
+	d.defined = true
+	return nil
+}
+
+// PutVarView replaces a variable's default block view with an irregular
+// map array (local element i stores global element mapArr[i]).
+// Collective.
+func (d *Dataset) PutVarView(name string, mapArr []int32) error {
+	if !d.defined {
+		return fmt.Errorf("ncsdm: PutVarView before EndDef")
+	}
+	if _, ok := d.hdr.Vars[name]; !ok {
+		return fmt.Errorf("ncsdm: no variable %q", name)
+	}
+	_, err := d.group.DataView([]string{d.name + "." + name}, mapArr)
+	return err
+}
+
+// LocalSize reports how many elements of a variable's record this rank
+// holds under the current view.
+func (d *Dataset) LocalSize(name string) (int, error) {
+	v, ok := d.hdr.Vars[name]
+	if !ok {
+		return 0, fmt.Errorf("ncsdm: no variable %q", name)
+	}
+	globalN := d.recordSize(v)
+	c := d.s.Comm()
+	per := globalN / int64(c.Size())
+	if int64(c.Rank()) < globalN%int64(c.Size()) {
+		per++
+	}
+	return int(per), nil
+}
+
+// PutFloat64s writes record `rec` of a variable (rec must be 0 for
+// non-record variables). Collective.
+func (d *Dataset) PutFloat64s(name string, rec int64, vals []float64) error {
+	if !d.defined {
+		return fmt.Errorf("ncsdm: PutFloat64s before EndDef")
+	}
+	v, ok := d.hdr.Vars[name]
+	if !ok {
+		return fmt.Errorf("ncsdm: no variable %q", name)
+	}
+	if !d.hasRecordDim(v) && rec != 0 {
+		return fmt.Errorf("ncsdm: variable %q has no record dimension", name)
+	}
+	if err := d.group.WriteFloat64s(d.name+"."+name, rec, vals); err != nil {
+		return err
+	}
+	if rec+1 > d.counts[name] {
+		d.counts[name] = rec + 1
+	}
+	return nil
+}
+
+// GetFloat64s reads record `rec` of a variable into this rank's view.
+// Collective.
+func (d *Dataset) GetFloat64s(name string, rec int64, localN int) ([]float64, error) {
+	if !d.defined {
+		return nil, fmt.Errorf("ncsdm: GetFloat64s before EndDef")
+	}
+	if _, ok := d.hdr.Vars[name]; !ok {
+		return nil, fmt.Errorf("ncsdm: no variable %q", name)
+	}
+	return d.group.ReadFloat64s(d.name+"."+name, rec, localN)
+}
+
+// NumRecords reports how many records of a variable this session wrote.
+func (d *Dataset) NumRecords(name string) int64 { return d.counts[name] }
+
+func (d *Dataset) hasRecordDim(v varDef) bool {
+	return len(v.Dims) > 0 && v.Dims[0] == RecordDim
+}

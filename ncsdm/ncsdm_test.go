@@ -1,0 +1,279 @@
+package ncsdm
+
+import (
+	"strings"
+	"testing"
+
+	"sdm"
+)
+
+// withCluster runs fn on every rank with an initialized manager.
+func withCluster(t *testing.T, procs int, fn func(*sdm.Proc, *sdm.Manager)) *sdm.Cluster {
+	t.Helper()
+	cl := sdm.NewCluster(sdm.ClusterConfig{Procs: procs})
+	err := cl.Run(func(p *sdm.Proc) {
+		s, err := p.Initialize("nctest", sdm.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Finalize()
+		fn(p, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestDefineAndRoundTrip(t *testing.T) {
+	withCluster(t, 4, func(p *sdm.Proc, s *sdm.Manager) {
+		d := Create(s, "flow")
+		if err := d.DefDim("cells", 64); err != nil {
+			t.Error(err)
+		}
+		if err := d.DefVar("density", sdm.Double, []string{RecordDim, "cells"}); err != nil {
+			t.Error(err)
+		}
+		if err := d.PutAttr("density", "units", "kg/m3"); err != nil {
+			t.Error(err)
+		}
+		if err := d.PutAttr("", "title", "RT checkpoint series"); err != nil {
+			t.Error(err)
+		}
+		if err := d.EndDef(); err != nil {
+			t.Error(err)
+			return
+		}
+		n, err := d.LocalSize("density")
+		if err != nil || n != 16 {
+			t.Errorf("local size = %d, %v", n, err)
+		}
+		for rec := int64(0); rec < 3; rec++ {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(p.Rank()*1000+i) + float64(rec)*0.5
+			}
+			if err := d.PutFloat64s("density", rec, vals); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		got, err := d.GetFloat64s("density", 1, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range got {
+			want := float64(p.Rank()*1000+i) + 0.5
+			if got[i] != want {
+				t.Errorf("rank %d rec 1 elem %d = %g, want %g", p.Rank(), i, got[i], want)
+				return
+			}
+		}
+		if d.NumRecords("density") != 3 {
+			t.Errorf("records = %d", d.NumRecords("density"))
+		}
+	})
+}
+
+func TestHeaderPersistsAcrossOpen(t *testing.T) {
+	cl := sdm.NewCluster(sdm.ClusterConfig{Procs: 2})
+	err := cl.Run(func(p *sdm.Proc) {
+		s, err := p.Initialize("nctest", sdm.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Finalize()
+		d := Create(s, "persisted")
+		_ = d.DefDim("nodes", 10)
+		_ = d.DefVar("temp", sdm.Double, []string{RecordDim, "nodes"})
+		_ = d.PutAttr("temp", "units", "K")
+		if err := d.EndDef(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second session (same storage) reopens by name alone.
+	cl2 := sdm.NewCluster(sdm.ClusterConfig{Procs: 2})
+	cl2.AttachStorage(cl)
+	err = cl2.Run(func(p *sdm.Proc) {
+		s, err := p.Initialize("nctest2", sdm.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Finalize()
+		d, err := Open(s, "persisted")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if dims := d.Dims(); dims["nodes"] != 10 {
+			t.Errorf("dims = %v", dims)
+		}
+		if vars := d.Vars(); len(vars) != 1 || vars[0] != "temp" {
+			t.Errorf("vars = %v", vars)
+		}
+		if units, ok := d.Attr("temp", "units"); !ok || units != "K" {
+			t.Errorf("attr = %q, %v", units, ok)
+		}
+		// The reopened dataset accepts new records.
+		n, _ := d.LocalSize("temp")
+		if err := d.PutFloat64s("temp", 0, make([]float64, n)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openMissing(cl2); err == nil || !strings.Contains(err.Error(), "no dataset") {
+		t.Fatalf("missing dataset error = %v", err)
+	}
+}
+
+func openMissing(cl *sdm.Cluster) (ok string, err error) {
+	runErr := cl.Run(func(p *sdm.Proc) {
+		s, ierr := p.Initialize("nctest3", sdm.Options{})
+		if ierr != nil {
+			err = ierr
+			return
+		}
+		defer s.Finalize()
+		_, oerr := Open(s, "definitely-missing")
+		if p.Rank() == 0 {
+			err = oerr
+		}
+	})
+	if runErr != nil {
+		return "", runErr
+	}
+	return "", err
+}
+
+func TestIrregularVarView(t *testing.T) {
+	withCluster(t, 2, func(p *sdm.Proc, s *sdm.Manager) {
+		d := Create(s, "irr")
+		_ = d.DefDim("nodes", 8)
+		_ = d.DefVar("u", sdm.Double, []string{RecordDim, "nodes"})
+		if err := d.EndDef(); err != nil {
+			t.Error(err)
+			return
+		}
+		// Interleaved irregular view instead of the default blocks.
+		var m []int32
+		for g := p.Rank(); g < 8; g += 2 {
+			m = append(m, int32(g))
+		}
+		if err := d.PutVarView("u", m); err != nil {
+			t.Error(err)
+			return
+		}
+		vals := make([]float64, len(m))
+		for i, g := range m {
+			vals[i] = float64(g) * 3
+		}
+		if err := d.PutFloat64s("u", 0, vals); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := d.GetFloat64s("u", 0, len(m))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				t.Errorf("irregular view round trip failed at %d", i)
+			}
+		}
+	})
+}
+
+func TestDefineModeValidation(t *testing.T) {
+	withCluster(t, 1, func(p *sdm.Proc, s *sdm.Manager) {
+		d := Create(s, "v")
+		if err := d.DefDim(RecordDim, 5); err == nil {
+			t.Error("record dim declared explicitly")
+		}
+		if err := d.DefDim("n", 0); err == nil {
+			t.Error("zero-size dim accepted")
+		}
+		_ = d.DefDim("n", 4)
+		if err := d.DefDim("n", 4); err == nil {
+			t.Error("duplicate dim accepted")
+		}
+		if err := d.DefVar("v", sdm.Double, []string{"missing"}); err == nil {
+			t.Error("undeclared dim accepted")
+		}
+		if err := d.DefVar("v", sdm.Double, []string{"n", RecordDim}); err == nil {
+			t.Error("record dim in non-leading position accepted")
+		}
+		if err := d.DefVar("v", sdm.Double, nil); err == nil {
+			t.Error("dimensionless var accepted")
+		}
+		_ = d.DefVar("v", sdm.Double, []string{RecordDim, "n"})
+		if err := d.DefVar("v", sdm.Double, []string{"n"}); err == nil {
+			t.Error("duplicate var accepted")
+		}
+		if err := d.PutAttr("ghost", "k", "x"); err == nil {
+			t.Error("attr on undeclared var accepted")
+		}
+		if err := d.PutFloat64s("v", 0, nil); err == nil {
+			t.Error("write before EndDef accepted")
+		}
+		if err := d.EndDef(); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.EndDef(); err == nil {
+			t.Error("double EndDef accepted")
+		}
+		if err := d.DefDim("late", 3); err == nil {
+			t.Error("DefDim after EndDef accepted")
+		}
+		if err := d.PutAttr("v", "k", "x"); err == nil {
+			t.Error("PutAttr after EndDef accepted")
+		}
+		if err := d.PutFloat64s("zz", 0, nil); err == nil {
+			t.Error("write to unknown var accepted")
+		}
+		// Non-record variable rejects rec != 0.
+		d2 := Create(s, "v2")
+		_ = d2.DefDim("n", 4)
+		_ = d2.DefVar("fixedvar", sdm.Double, []string{"n"})
+		if err := d2.EndDef(); err != nil {
+			t.Error(err)
+			return
+		}
+		n, _ := d2.LocalSize("fixedvar")
+		if err := d2.PutFloat64s("fixedvar", 3, make([]float64, n)); err == nil {
+			t.Error("record write to non-record var accepted")
+		}
+	})
+}
+
+func TestMultiVarMultiDim(t *testing.T) {
+	withCluster(t, 2, func(p *sdm.Proc, s *sdm.Manager) {
+		d := Create(s, "grid")
+		_ = d.DefDim("x", 4)
+		_ = d.DefDim("y", 6)
+		_ = d.DefVar("field", sdm.Double, []string{RecordDim, "x", "y"})
+		_ = d.DefVar("mask", sdm.Double, []string{"x", "y"})
+		if err := d.EndDef(); err != nil {
+			t.Error(err)
+			return
+		}
+		// 4*6 = 24 elements per record, 12 per rank.
+		n, _ := d.LocalSize("field")
+		if n != 12 {
+			t.Errorf("field local size = %d", n)
+		}
+		if err := d.PutFloat64s("mask", 0, make([]float64, n)); err != nil {
+			t.Error(err)
+		}
+	})
+}

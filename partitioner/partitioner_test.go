@@ -1,0 +1,41 @@
+package partitioner
+
+import "testing"
+
+func ringGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	e1 := make([]int32, n)
+	e2 := make([]int32, n)
+	for i := 0; i < n; i++ {
+		e1[i] = int32(i)
+		e2[i] = int32((i + 1) % n)
+	}
+	g, err := FromEdges(n, e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicSurface(t *testing.T) {
+	g := ringGraph(t, 64)
+	v, err := Multilevel(g, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// A ring split into 4 contiguous arcs cuts exactly 4 edges; the
+	// multilevel result must be close to that and beat random.
+	cut := EdgeCut(g, v)
+	if cut >= EdgeCut(g, Random(64, 4, 9)) {
+		t.Fatalf("multilevel cut %d not better than random", cut)
+	}
+	if b := Balance(g, v, 4); b > 1.3 {
+		t.Fatalf("balance %v", b)
+	}
+	if bl := Block(64, 4); EdgeCut(g, bl) != 4 {
+		t.Fatalf("block cut on ring = %d, want 4", EdgeCut(g, bl))
+	}
+}

@@ -1,0 +1,104 @@
+// Package sdm is the public API of this reproduction of "A Scientific
+// Data Management System for Irregular Applications" (No, Thakur,
+// Kaushik, Freitag, Choudhary; IPDPS 2001).
+//
+// SDM (Scientific Data Manager) combines parallel file I/O with
+// database-resident metadata behind a small high-level interface. For
+// irregular (unstructured-mesh) applications it handles importing
+// externally created mesh files, partitioning index (edge) arrays with
+// a ring distribution driven by a partitioning vector, distributing the
+// physical data attached to nodes and edges through noncontiguous
+// collective I/O, writing results ordered by global node number under
+// three selectable file organizations, and replaying index
+// distributions from history files registered in the database.
+//
+// Everything the paper's system needed from its environment — MPI,
+// MPI-IO, a striped parallel file system, MySQL, MeTis, and the two
+// applications (a FUN3D-like CFD code and a Rayleigh–Taylor instability
+// code) — is implemented in this module's internal packages; package
+// sdm re-exports the user-facing surface.
+//
+// # Quick start
+//
+//	cluster := sdm.NewCluster(sdm.ClusterConfig{Procs: 4})
+//	err := cluster.Run(func(p *sdm.Proc) {
+//		s, _ := p.Initialize("myapp", sdm.Options{Organization: sdm.Level3})
+//		defer s.Finalize()
+//
+//		attrs := sdm.MakeDatalist("density")
+//		attrs[0].GlobalSize = 1_000_000
+//		g, _ := s.SetAttributes(attrs)
+//		g.DataView([]string{"density"}, myMapArray)
+//		g.WriteFloat64s("density", 0, myLocalValues)
+//	})
+//
+// See examples/ for complete irregular-application walkthroughs.
+package sdm
+
+import (
+	"sdm/internal/core"
+	"sdm/internal/mpiio"
+)
+
+// Re-exported core types. Manager is one rank's handle on the data
+// manager (the paper's SDM handle).
+type (
+	// Manager is the per-process SDM instance (SDM_initialize result).
+	Manager = core.SDM
+	// Options tunes a Manager (file organization, hints, cost model).
+	Options = core.Options
+	// Env is the substrate a Manager runs on; usually built by Cluster.
+	Env = core.Env
+	// Attr describes one dataset of a data group.
+	Attr = core.Attr
+	// Group is a registered data group (SDM_set_attributes result).
+	Group = core.Group
+	// View is a compiled irregular data mapping (SDM_data_view result).
+	View = core.View
+	// ImportSpec describes one array in an externally created file.
+	ImportSpec = core.ImportSpec
+	// Importer is an active import list (SDM_make_importlist result).
+	Importer = core.Importer
+	// IndexPartition is a distributed edge set (SDM_partition_index
+	// result), including ghost edges and the node map arrays.
+	IndexPartition = core.IndexPartition
+	// DataType enumerates storable element types.
+	DataType = core.DataType
+	// FileOrganization selects the paper's level 1/2/3 file layouts.
+	FileOrganization = core.FileOrganization
+	// OriginalPartitionResult carries the non-SDM baseline's result.
+	OriginalPartitionResult = core.OriginalPartitionResult
+	// Hints passes MPI-IO tuning knobs (aggregator count, collective
+	// buffer size, collective on/off) through Options.
+	Hints = mpiio.Hints
+)
+
+// Element types.
+const (
+	Double  = core.Double
+	Integer = core.Integer
+	Long    = core.Long
+)
+
+// File organization levels (paper Section 3.2).
+const (
+	Level1 = core.Level1
+	Level2 = core.Level2
+	Level3 = core.Level3
+)
+
+// Initialize creates a Manager on an explicitly assembled Env. Most
+// callers use Cluster.Run and Proc.Initialize instead.
+func Initialize(env Env, app string, opts Options) (*Manager, error) {
+	return core.Initialize(env, app, opts)
+}
+
+// MakeDatalist builds a default attribute list for the named datasets
+// (the paper's SDM_make_datalist idiom).
+func MakeDatalist(names ...string) []Attr { return core.MakeDatalist(names...) }
+
+// NewView builds a standalone irregular view from a map array, for use
+// with Importer.ImportView.
+func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
+	return core.NewView(mapArr, t, globalSize)
+}
