@@ -5,22 +5,89 @@
 // profile (sdm.Origin2000Config); the claims are about shape — who
 // wins, by roughly what factor, and where the crossovers fall.
 //
+// With -json, every measured case is also appended to a
+// machine-readable results file (workload, configuration, simulated
+// metrics, host wall time and allocations), so successive commits
+// leave a comparable BENCH_*.json perf trajectory.
+//
 // Usage:
 //
 //	sdmbench [-experiment all|fig5|fig6|fig7|ablations] [-nx 32] [-rtnx 40]
-//	         [-procs 64] [-steps 2] [-rtsteps 5]
+//	         [-procs 64] [-steps 2] [-rtsteps 5] [-json BENCH.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"sdm"
 	"sdm/internal/workloads"
 )
+
+// benchRecord is one measured case of one experiment.
+type benchRecord struct {
+	Experiment  string             `json:"experiment"`
+	Case        string             `json:"case"`
+	Workload    string             `json:"workload"`
+	Config      map[string]any     `json:"config"`
+	SimMetrics  map[string]float64 `json:"sim_metrics"`
+	WallNs      int64              `json:"wall_ns_per_op"`
+	AllocsPerOp uint64             `json:"allocs_per_op"`
+}
+
+// benchLog accumulates records for -json output. A nil *benchLog
+// swallows records, so the table-printing paths need no branching.
+type benchLog struct {
+	Schema    int           `json:"schema"`
+	CreatedAt string        `json:"created_at"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Records   []benchRecord `json:"records"`
+}
+
+// measure runs fn, returning its wall time and allocation count.
+func measure(fn func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	err := fn()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, err
+}
+
+func (bl *benchLog) add(rec benchRecord) {
+	if bl == nil {
+		return
+	}
+	bl.Records = append(bl.Records, rec)
+}
+
+// write persists the log. If path already holds a benchLog, its
+// records are kept and the new ones appended, so successive runs
+// against one file accumulate a trajectory instead of overwriting it.
+func (bl *benchLog) write(path string) error {
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchLog
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not a results file: %w", path, err)
+		}
+		bl.Records = append(old.Records, bl.Records...)
+	}
+	out, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, ablations, or all")
@@ -29,24 +96,44 @@ func main() {
 	procs := flag.Int("procs", 64, "process count for fig5/fig6")
 	steps := flag.Int("steps", 2, "FUN3D checkpoint steps (paper: 2)")
 	rtsteps := flag.Int("rtsteps", 5, "RT checkpoints (paper: 5)")
+	jsonPath := flag.String("json", "", "append machine-readable results to this JSON file")
 	flag.Parse()
+
+	var bl *benchLog
+	if *jsonPath != "" {
+		bl = &benchLog{
+			Schema:    1,
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+		}
+	}
 
 	switch *experiment {
 	case "fig5":
-		runFig5(*nx, *procs)
+		runFig5(*nx, *procs, bl)
 	case "fig6":
-		runFig6(*nx, *procs, *steps)
+		runFig6(*nx, *procs, *steps, bl)
 	case "fig7":
-		runFig7(*rtnx, *rtsteps)
+		runFig7(*rtnx, *rtsteps, bl)
 	case "ablations":
-		runAblations(*nx, *procs)
+		runAblations(*nx, *procs, bl)
 	case "all":
-		runFig5(*nx, *procs)
-		runFig6(*nx, *procs, *steps)
-		runFig7(*rtnx, *rtsteps)
-		runAblations(*nx, *procs)
+		runFig5(*nx, *procs, bl)
+		runFig6(*nx, *procs, *steps, bl)
+		runFig7(*rtnx, *rtsteps, bl)
+		runAblations(*nx, *procs, bl)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
+	}
+
+	if bl != nil {
+		fresh := len(bl.Records)
+		if err := bl.write(*jsonPath); err != nil {
+			log.Fatalf("writing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("\nwrote %d records to %s (%d total)\n", fresh, *jsonPath, len(bl.Records))
 	}
 }
 
@@ -62,28 +149,42 @@ func table() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 }
 
-func runFig5(nx, procs int) {
+func runFig5(nx, procs int, bl *benchLog) {
 	fmt.Printf("\n=== Figure 5: execution time for partitioning indices and data in FUN3D ===\n")
 	f := newFUN3D(nx)
 	fmt.Printf("mesh: %d nodes, %d edges; %d processes\n",
 		f.Mesh.NumNodes(), f.Mesh.NumEdges(), procs)
+	cfg := map[string]any{"nx": nx, "procs": procs,
+		"nodes": f.Mesh.NumNodes(), "edges": f.Mesh.NumEdges()}
 
 	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
-	orig, err := f.ImportAndPartition(cl, workloads.ModeOriginal, false)
-	if err != nil {
-		log.Fatal(err)
+	run := func(name string, mode workloads.PartitionMode, history bool) *workloads.PartitionStats {
+		var st *workloads.PartitionStats
+		wall, allocs, err := measure(func() error {
+			var err error
+			st, err = f.ImportAndPartition(cl, mode, history)
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bl.add(benchRecord{
+			Experiment: "fig5", Case: name, Workload: "fun3d", Config: cfg,
+			SimMetrics: map[string]float64{
+				"sim-import-s/op": st.ImportSec,
+				"sim-distri-s/op": st.DistributeSec,
+				"sim-total-s/op":  st.TotalSec,
+			},
+			WallNs: wall.Nanoseconds(), AllocsPerOp: allocs,
+		})
+		return st
 	}
-	noHist, err := f.ImportAndPartition(cl, workloads.ModeSDM, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	withHist, err := f.ImportAndPartition(cl, workloads.ModeSDM, true)
-	if err != nil {
-		log.Fatal(err)
-	}
+	orig := run("original", workloads.ModeOriginal, false)
+	noHist := run("sdm-nohistory", workloads.ModeSDM, true)
+	withHist := run("sdm-history", workloads.ModeSDM, true)
 	if !withHist.FromHistory {
 		log.Fatal("history was not used on the second SDM run")
 	}
@@ -97,7 +198,35 @@ func runFig5(nx, procs int) {
 	fmt.Printf("paper shape: Original slowest; history cuts both bars (Fig. 5 shows ~3x total)\n")
 }
 
-func runFig6(nx, procs, steps int) {
+func fig6Case(f *workloads.FUN3D, level sdm.FileOrganization, procs, steps int,
+	hints sdm.Hints, experiment, name string, bl *benchLog) *workloads.Fig6Stats {
+	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+	if err := f.Stage(cl); err != nil {
+		log.Fatal(err)
+	}
+	var st *workloads.Fig6Stats
+	wall, allocs, err := measure(func() error {
+		var err error
+		st, err = f.WriteReadBandwidthHints(cl, level, steps, hints)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bl.add(benchRecord{
+		Experiment: experiment, Case: name, Workload: "fun3d",
+		Config: map[string]any{"procs": procs, "steps": steps, "level": level.String(),
+			"disable_collective": hints.DisableCollective},
+		SimMetrics: map[string]float64{
+			"sim-write-MB/s": st.WriteMBps,
+			"sim-read-MB/s":  st.ReadMBps,
+		},
+		WallNs: wall.Nanoseconds(), AllocsPerOp: allocs,
+	})
+	return st
+}
+
+func runFig6(nx, procs, steps int, bl *benchLog) {
 	fmt.Printf("\n=== Figure 6: I/O bandwidth for writing/reading data in FUN3D ===\n")
 	f := newFUN3D(nx)
 	fmt.Printf("5 datasets (4 node-sized + 1 five-times-larger), %d steps, %d processes\n",
@@ -105,14 +234,7 @@ func runFig6(nx, procs, steps int) {
 	w := table()
 	fmt.Fprintf(w, "organization\twrite (MB/s)\tread (MB/s)\tfiles\topens\tviews\n")
 	for _, level := range []sdm.FileOrganization{sdm.Level1, sdm.Level2, sdm.Level3} {
-		cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-		if err := f.Stage(cl); err != nil {
-			log.Fatal(err)
-		}
-		st, err := f.WriteReadBandwidth(cl, level, steps)
-		if err != nil {
-			log.Fatal(err)
-		}
+		st := fig6Case(f, level, procs, steps, sdm.Hints{}, "fig6", level.String(), bl)
 		fmt.Fprintf(w, "%v\t%.1f\t%.1f\t%d\t%d\t%d\n",
 			level, st.WriteMBps, st.ReadMBps, st.Files, st.FileOpens, st.FileViews)
 	}
@@ -120,7 +242,7 @@ func runFig6(nx, procs, steps int) {
 	fmt.Printf("paper shape: level3 >= level2 >= level1, differences small (cheap XFS opens)\n")
 }
 
-func runFig7(rtnx, rtsteps int) {
+func runFig7(rtnx, rtsteps int, bl *benchLog) {
 	fmt.Printf("\n=== Figure 7: I/O bandwidth for RT ===\n")
 	r, err := workloads.NewRT(workloads.RTConfig{NX: rtnx, NY: rtnx, NZ: rtnx, Steps: rtsteps})
 	if err != nil {
@@ -134,10 +256,26 @@ func runFig7(rtnx, rtsteps int) {
 	for _, mode := range []workloads.RTMode{workloads.RTOriginal, workloads.RTLevel1, workloads.RTLevel23} {
 		for _, procs := range []int{32, 64} {
 			cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-			st, err := r.WriteBandwidth(cl, mode)
+			var st *workloads.RTStats
+			wall, allocs, err := measure(func() error {
+				var err error
+				st, err = r.WriteBandwidth(cl, mode)
+				return err
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
+			bl.add(benchRecord{
+				Experiment: "fig7", Case: fmt.Sprintf("%v-%d", mode, procs), Workload: "rt",
+				Config: map[string]any{"rtnx": rtnx, "rtsteps": rtsteps, "procs": procs,
+					"mode": fmt.Sprintf("%v", mode)},
+				SimMetrics: map[string]float64{
+					"sim-write-MB/s": st.MBps,
+					"sim-write-s":    st.WriteSec,
+					"total-MB":       st.TotalMB,
+				},
+				WallNs: wall.Nanoseconds(), AllocsPerOp: allocs,
+			})
 			fmt.Fprintf(w, "%v\t%d\t%.1f\t%.3f\t%.1f\n",
 				mode, procs, st.TotalMB, st.WriteSec, st.MBps)
 		}
@@ -146,7 +284,7 @@ func runFig7(rtnx, rtsteps int) {
 	fmt.Printf("paper shape: SDM >> original; level1 ~ level2/3; 64 procs slower than 32\n")
 }
 
-func runAblations(nx, procs int) {
+func runAblations(nx, procs int, bl *benchLog) {
 	fmt.Printf("\n=== Ablations (design choices from DESIGN.md) ===\n")
 	f := newFUN3D(nx)
 
@@ -155,18 +293,12 @@ func runAblations(nx, procs int) {
 	w := table()
 	fmt.Fprintf(w, "I/O path\twrite (MB/s)\tread (MB/s)\tfs write reqs\n")
 	for _, disable := range []bool{false, true} {
-		cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-		if err := f.Stage(cl); err != nil {
-			log.Fatal(err)
-		}
-		st, err := f.WriteReadBandwidthHints(cl, sdm.Level3, 1, sdm.Hints{DisableCollective: disable})
-		if err != nil {
-			log.Fatal(err)
-		}
 		name := "two-phase collective"
 		if disable {
 			name = "independent"
 		}
+		st := fig6Case(f, sdm.Level3, procs, 1, sdm.Hints{DisableCollective: disable},
+			"ablation-two-phase", name, bl)
 		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d\n", name, st.WriteMBps, st.ReadMBps, st.WriteReqs)
 	}
 	w.Flush()
@@ -204,10 +336,24 @@ func runAblations(nx, procs int) {
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
-		st, err := f.WriteReadBandwidth(cl, sdm.Level3, 1)
+		var st *workloads.Fig6Stats
+		wall, allocs, err := measure(func() error {
+			var err error
+			st, err = f.WriteReadBandwidth(cl, sdm.Level3, 1)
+			return err
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		bl.add(benchRecord{
+			Experiment: "ablation-stripe-width", Case: fmt.Sprintf("servers-%d", servers),
+			Workload: "fun3d",
+			Config:   map[string]any{"procs": procs, "servers": servers},
+			SimMetrics: map[string]float64{
+				"sim-write-MB/s": st.WriteMBps,
+			},
+			WallNs: wall.Nanoseconds(), AllocsPerOp: allocs,
+		})
 		fmt.Fprintf(w, "%d\t%.1f\n", servers, st.WriteMBps)
 	}
 	w.Flush()
@@ -238,6 +384,14 @@ func runAblations(nx, procs int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		bl.add(benchRecord{
+			Experiment: "ablation-open-cost", Case: level.String(), Workload: "fun3d",
+			Config: map[string]any{"procs": procs, "open_cost_multiplier": 100},
+			SimMetrics: map[string]float64{
+				"sim-write-MB/s-cheap":     cheap.WriteMBps,
+				"sim-write-MB/s-expensive": expensive.WriteMBps,
+			},
+		})
 		fmt.Fprintf(w, "%v\t%.1f\t%.1f\n", level, cheap.WriteMBps, expensive.WriteMBps)
 	}
 	w.Flush()

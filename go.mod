@@ -1,0 +1,3 @@
+module sdm
+
+go 1.24

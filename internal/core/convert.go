@@ -9,11 +9,23 @@ import (
 // byte buffers SDM moves through its I/O paths.
 
 func float64sToBytes(vals []float64) []byte {
-	out := make([]byte, len(vals)*8)
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	return float64sToBytesInto(nil, vals)
+}
+
+// float64sToBytesInto converts into buf when it has capacity,
+// reallocating only on growth, so per-timestep writes reuse one
+// conversion buffer.
+func float64sToBytesInto(buf []byte, vals []float64) []byte {
+	n := len(vals) * 8
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
 	}
-	return out
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf
 }
 
 func bytesToFloat64s(buf []byte) []float64 {

@@ -27,6 +27,15 @@ type Group struct {
 
 	uniform  bool // all datasets same type and global size
 	slabSize int64
+
+	// Reusable per-rank staging buffers for the write/read hot path.
+	// A Group belongs to one rank goroutine; the collective I/O layer
+	// copies payloads out before returning, so reuse across operations
+	// is safe.
+	permScratch []byte
+	readScratch []byte
+	convScratch []byte
+	ioScratch   mpiio.Scratch
 }
 
 type writeKey struct {
@@ -193,22 +202,42 @@ func newView(mapArr []int32, elemSize, globalN int64) (*View, error) {
 }
 
 // permuteToFileOrder reorders a user buffer (map-array order) into the
-// sorted order the file view consumes, charging memory-copy time.
+// sorted order the file view consumes, charging memory-copy time. The
+// result lives in the group's reusable permutation buffer and is valid
+// until the next permuteToFileOrder call.
 func (g *Group) permuteToFileOrder(v *View, data []byte) []byte {
-	out := make([]byte, len(data))
+	if cap(g.permScratch) < len(data) {
+		g.permScratch = make([]byte, len(data))
+	}
+	out := g.permScratch[:len(data)]
 	es := v.elemSize
-	for i, p := range v.perm {
-		copy(out[int64(i)*es:(int64(i)+1)*es], data[int64(p)*es:(int64(p)+1)*es])
+	if es == 8 {
+		// The dominant case (doubles and int64 indices): a fixed-size
+		// element copy the compiler turns into a single 8-byte move.
+		for i, p := range v.perm {
+			*(*[8]byte)(out[i*8:]) = *(*[8]byte)(data[int(p)*8:])
+		}
+	} else {
+		for i, p := range v.perm {
+			copy(out[int64(i)*es:(int64(i)+1)*es], data[int64(p)*es:(int64(p)+1)*es])
+		}
 	}
 	g.s.env.Comm.ComputeItems(int64(len(data)), g.s.opts.MemCopyRate)
+	g.permScratch = out
 	return out
 }
 
 // permuteFromFileOrder is the inverse, for reads.
 func (g *Group) permuteFromFileOrder(v *View, fileData, out []byte) {
 	es := v.elemSize
-	for i, p := range v.perm {
-		copy(out[int64(p)*es:(int64(p)+1)*es], fileData[int64(i)*es:(int64(i)+1)*es])
+	if es == 8 {
+		for i, p := range v.perm {
+			*(*[8]byte)(out[int(p)*8:]) = *(*[8]byte)(fileData[i*8:])
+		}
+	} else {
+		for i, p := range v.perm {
+			copy(out[int64(p)*es:(int64(p)+1)*es], fileData[int64(i)*es:(int64(i)+1)*es])
+		}
 	}
 	g.s.env.Comm.ComputeItems(int64(len(out)), g.s.opts.MemCopyRate)
 }
@@ -238,6 +267,10 @@ func (g *Group) open(name string) (*openFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Share one staging-buffer bundle across this rank's sequentially
+	// opened files, so level-1 open-per-access patterns keep their
+	// steady-state buffers.
+	f.UseScratch(&g.ioScratch)
 	of := &openFile{f: f}
 	g.files[name] = of
 	return of, nil
@@ -413,7 +446,13 @@ func (g *Group) Read(dataset string, timestep int64, out []byte) error {
 		disp = rec.FileOffset
 	}
 	of.applyView(disp, v)
-	buf := make([]byte, len(out))
+	// No clearing needed: the view's segments partition the request, so
+	// the collective (and the zero-filling vectored fallback) overwrite
+	// every byte.
+	if cap(g.readScratch) < len(out) {
+		g.readScratch = make([]byte, len(out))
+	}
+	buf := g.readScratch[:len(out)]
 	if err := of.f.ReadAtAll(logicalOff, buf); err != nil {
 		return err
 	}
@@ -429,12 +468,16 @@ func (g *Group) Read(dataset string, timestep int64, out []byte) error {
 
 // WriteFloat64s is Write for float64 data.
 func (g *Group) WriteFloat64s(dataset string, timestep int64, vals []float64) error {
-	return g.Write(dataset, timestep, float64sToBytes(vals))
+	g.convScratch = float64sToBytesInto(g.convScratch, vals)
+	return g.Write(dataset, timestep, g.convScratch)
 }
 
 // ReadFloat64s is Read for float64 data.
 func (g *Group) ReadFloat64s(dataset string, timestep int64, n int) ([]float64, error) {
-	buf := make([]byte, n*8)
+	if cap(g.convScratch) < n*8 {
+		g.convScratch = make([]byte, n*8)
+	}
+	buf := g.convScratch[:n*8]
 	if err := g.Read(dataset, timestep, buf); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is an embedded database instance. It is safe for concurrent use.
@@ -14,7 +15,9 @@ type DB struct {
 	stmtMu    sync.Mutex
 	stmtCache map[string]cachedStmt
 
-	queryCount int64 // cumulative statements executed, for cost accounting
+	queryCount  atomic.Int64 // cumulative statements executed, for cost accounting
+	rowsScanned atomic.Int64 // candidate rows examined by WHERE evaluation
+	indexHits   atomic.Int64 // statements answered from an index (equality or range)
 }
 
 type cachedStmt struct {
@@ -33,11 +36,125 @@ type table struct {
 	indexes map[string]*index // keyed by column name
 }
 
+// bucket holds the row ids sharing one distinct value of an indexed
+// column, remembering the value itself so buckets can be ordered for
+// range scans.
+type bucket struct {
+	val Value
+	ids []int64
+}
+
 type index struct {
 	name   string
 	column string
 	colPos int
-	m      map[string][]int64
+	m      map[string]*bucket
+	// sorted caches the buckets ordered by compare(val); nil when a
+	// structural change (new or emptied bucket) made it stale. Range
+	// predicates rebuild it lazily and binary-search it. sortMu
+	// serializes the rebuild: SELECTs run under the DB's read lock, so
+	// two queries may race to rebuild; mutations invalidate only under
+	// the DB's exclusive lock.
+	sortMu sync.Mutex
+	sorted []*bucket
+}
+
+func newIndex(name, column string, colPos int) *index {
+	return &index{name: name, column: column, colPos: colPos, m: make(map[string]*bucket)}
+}
+
+// insert records id under value v.
+func (idx *index) insert(v Value, id int64) {
+	key := v.hashKey()
+	b, ok := idx.m[key]
+	if !ok {
+		b = &bucket{val: v}
+		idx.m[key] = b
+		idx.sorted = nil // new distinct value invalidates the order cache
+	}
+	b.ids = append(b.ids, id)
+}
+
+// remove drops id from value v's bucket.
+func (idx *index) remove(v Value, id int64) {
+	key := v.hashKey()
+	b, ok := idx.m[key]
+	if !ok {
+		return
+	}
+	for i, x := range b.ids {
+		if x == id {
+			b.ids = append(b.ids[:i], b.ids[i+1:]...)
+			break
+		}
+	}
+	if len(b.ids) == 0 {
+		delete(idx.m, key)
+		idx.sorted = nil
+	}
+}
+
+// lookupEq returns the ids matching value v exactly.
+func (idx *index) lookupEq(v Value) []int64 {
+	if b, ok := idx.m[v.hashKey()]; ok {
+		return b.ids
+	}
+	return nil
+}
+
+// ensureSorted (re)builds the ordered bucket list and returns it.
+// Safe for concurrent readers: the rebuild is serialized by sortMu and
+// the returned slice is immutable until the next mutation (which runs
+// under the DB's exclusive lock, with no readers active).
+func (idx *index) ensureSorted() []*bucket {
+	idx.sortMu.Lock()
+	defer idx.sortMu.Unlock()
+	if idx.sorted != nil {
+		return idx.sorted
+	}
+	s := make([]*bucket, 0, len(idx.m))
+	for _, b := range idx.m {
+		s = append(s, b)
+	}
+	sort.Slice(s, func(i, j int) bool { return compare(s[i].val, s[j].val) < 0 })
+	idx.sorted = s
+	return s
+}
+
+// lookupRange returns the ids of every bucket within the given bounds.
+// A nil bound is unbounded on that side. The result is a fresh slice in
+// arbitrary bucket order; callers re-evaluate the full predicate and
+// sort, so over-approximation is harmless.
+func (idx *index) lookupRange(lo *Value, loInc bool, hi *Value, hiInc bool) []int64 {
+	s := idx.ensureSorted()
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(s), func(i int) bool {
+			c := compare(s[i].val, *lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(s)
+	if hi != nil {
+		end = sort.Search(len(s), func(i int) bool {
+			c := compare(s[i].val, *hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if end < start { // contradictory bounds select nothing
+		end = start
+	}
+	var out []int64
+	for _, b := range s[start:end] {
+		out = append(out, b.ids...)
+	}
+	return out
 }
 
 // New creates an empty database.
@@ -47,11 +164,17 @@ func New() *DB {
 
 // QueryCount reports how many statements have executed, which the
 // catalog layer uses to charge simulated database-access time.
-func (db *DB) QueryCount() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.queryCount
-}
+func (db *DB) QueryCount() int64 { return db.queryCount.Load() }
+
+// RowsScanned reports the cumulative number of candidate rows the
+// WHERE evaluator examined. Together with QueryCount it exposes
+// whether a statement was answered from an index (few candidates) or a
+// full table scan (all rows).
+func (db *DB) RowsScanned() int64 { return db.rowsScanned.Load() }
+
+// IndexHits reports how many statements obtained their candidate rows
+// from an index (equality or range) instead of a full scan.
+func (db *DB) IndexHits() int64 { return db.indexHits.Load() }
 
 // Rows is a query result: column labels plus row data.
 type Rows struct {
@@ -108,7 +231,7 @@ func (db *DB) Exec(src string, args ...any) (int, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.queryCount++
+	db.queryCount.Add(1)
 	switch s := stmt.(type) {
 	case createTableStmt:
 		return 0, db.execCreateTable(s)
@@ -144,7 +267,7 @@ func (db *DB) Query(src string, args ...any) (*Rows, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	db.queryCount++
+	db.queryCount.Add(1)
 	return db.execSelect(sel, params)
 }
 
@@ -234,10 +357,9 @@ func (db *DB) execCreateIndex(s createIndexStmt) error {
 		}
 		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, s.column)
 	}
-	idx := &index{name: normalizeIdent(s.name), column: col, colPos: pos, m: make(map[string][]int64)}
+	idx := newIndex(normalizeIdent(s.name), col, pos)
 	for _, id := range t.order {
-		key := t.rows[id][pos].hashKey()
-		idx.m[key] = append(idx.m[key], id)
+		idx.insert(t.rows[id][pos], id)
 	}
 	t.indexes[col] = idx
 	return nil
@@ -485,62 +607,145 @@ func (db *DB) execInsert(s insertStmt, params []Value) (int, error) {
 		t.rows[id] = row
 		t.order = append(t.order, id)
 		for _, idx := range t.indexes {
-			key := row[idx.colPos].hashKey()
-			idx.m[key] = append(idx.m[key], id)
+			idx.insert(row[idx.colPos], id)
 		}
 		inserted++
 	}
 	return inserted, nil
 }
 
-// candidateIDs returns the row ids to scan for a WHERE clause, using a
-// hash index when the clause contains a top-level `col = const`
-// conjunct on an indexed column; otherwise all rows.
+// colBound is one `col OP const` conjunct extracted from a WHERE
+// clause, with OP normalized so the column is on the left.
+type colBound struct {
+	col string
+	op  string
+	e   expr
+}
+
+// flipOp mirrors a comparison when the column sits on the right-hand
+// side (`5 < col` becomes `col > 5`).
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // "=" is symmetric
+}
+
+// collectBounds walks the top-level AND conjuncts of a WHERE clause and
+// gathers every indexable `col OP const` comparison.
+func collectBounds(where expr, bounds []colBound) []colBound {
+	b, ok := where.(binExpr)
+	if !ok {
+		return bounds
+	}
+	if b.op == "AND" {
+		bounds = collectBounds(b.l, bounds)
+		return collectBounds(b.r, bounds)
+	}
+	switch b.op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return bounds
+	}
+	if c, ok := b.l.(colExpr); ok && isConstExpr(b.r) {
+		bounds = append(bounds, colBound{normalizeIdent(c.name), b.op, b.r})
+	} else if c, ok := b.r.(colExpr); ok && isConstExpr(b.l) {
+		bounds = append(bounds, colBound{normalizeIdent(c.name), flipOp(b.op), b.l})
+	}
+	return bounds
+}
+
+// candidateIDs returns the row ids to scan for a WHERE clause. An
+// equality conjunct on an indexed column answers from that hash bucket;
+// otherwise `<`, `<=`, `>`, `>=` conjuncts on an indexed column
+// (including BETWEEN-shaped `lo <= col AND col <= hi` pairs) answer
+// from the index's ordered buckets. Only with no indexable conjunct
+// does the full table scan remain. The returned candidates may
+// over-approximate; matchingIDs re-evaluates the complete predicate.
 func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
-	var eqCols []struct {
-		col string
-		e   expr
+	bounds := collectBounds(where, nil)
+	if len(bounds) == 0 {
+		return t.order, false
 	}
-	var collect func(e expr)
-	collect = func(e expr) {
-		b, ok := e.(binExpr)
-		if !ok {
-			return
-		}
-		if b.op == "AND" {
-			collect(b.l)
-			collect(b.r)
-			return
-		}
-		if b.op != "=" {
-			return
-		}
-		if c, ok := b.l.(colExpr); ok && isConstExpr(b.r) {
-			eqCols = append(eqCols, struct {
-				col string
-				e   expr
-			}{normalizeIdent(c.name), b.r})
-		} else if c, ok := b.r.(colExpr); ok && isConstExpr(b.l) {
-			eqCols = append(eqCols, struct {
-				col string
-				e   expr
-			}{normalizeIdent(c.name), b.l})
-		}
-	}
-	collect(where)
 	ctx := &evalCtx{params: params}
-	for _, eq := range eqCols {
-		idx, ok := t.indexes[eq.col]
+	// Prefer an exact equality lookup.
+	for _, bd := range bounds {
+		if bd.op != "=" {
+			continue
+		}
+		idx, ok := t.indexes[bd.col]
 		if !ok {
 			continue
 		}
-		v, err := ctx.eval(eq.e)
+		v, err := ctx.eval(bd.e)
 		if err != nil {
 			continue
 		}
-		return idx.m[v.hashKey()], true
+		return idx.lookupEq(v), true
 	}
-	return t.order, false
+	// Otherwise intersect the range conjuncts per indexed column and
+	// scan the tightest single-column window.
+	type window struct {
+		lo, hi       *Value
+		loInc, hiInc bool
+		bounded      bool
+		idx          *index
+	}
+	windows := make(map[string]*window)
+	for _, bd := range bounds {
+		idx, ok := t.indexes[bd.col]
+		if !ok {
+			continue
+		}
+		v, err := ctx.eval(bd.e)
+		if err != nil || v.IsNull() {
+			continue
+		}
+		w := windows[bd.col]
+		if w == nil {
+			w = &window{idx: idx}
+			windows[bd.col] = w
+		}
+		val := v
+		switch bd.op {
+		case ">", ">=":
+			inc := bd.op == ">="
+			if w.lo == nil || compare(val, *w.lo) > 0 || (compare(val, *w.lo) == 0 && !inc) {
+				w.lo, w.loInc = &val, inc
+			}
+		case "<", "<=":
+			inc := bd.op == "<="
+			if w.hi == nil || compare(val, *w.hi) < 0 || (compare(val, *w.hi) == 0 && !inc) {
+				w.hi, w.hiInc = &val, inc
+			}
+		}
+		w.bounded = w.lo != nil || w.hi != nil
+	}
+	// Pick the two-sided window if one exists, else any one-sided one.
+	var best *window
+	for _, w := range windows {
+		if !w.bounded {
+			continue
+		}
+		if best == nil {
+			best = w
+			continue
+		}
+		if (w.lo != nil && w.hi != nil) && (best.lo == nil || best.hi == nil) {
+			best = w
+		}
+	}
+	if best == nil {
+		return t.order, false
+	}
+	return best.idx.lookupRange(best.lo, best.loInc, best.hi, best.hiInc), true
 }
 
 func isConstExpr(e expr) bool {
@@ -556,9 +761,14 @@ func isConstExpr(e expr) bool {
 }
 
 // matchingIDs evaluates the WHERE clause over candidates, preserving
-// insertion order.
-func (t *table) matchingIDs(where expr, params []Value) ([]int64, error) {
+// insertion order, and accounts the rows examined so callers can
+// verify scans were avoided.
+func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error) {
 	cands, fromIndex := t.candidateIDs(where, params)
+	db.rowsScanned.Add(int64(len(cands)))
+	if fromIndex {
+		db.indexHits.Add(1)
+	}
 	var out []int64
 	ctx := &evalCtx{t: t, params: params}
 	for _, id := range cands {
@@ -589,7 +799,7 @@ func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("metadb: no such table %q", s.table)
 	}
-	ids, err := t.matchingIDs(s.where, params)
+	ids, err := db.matchingIDs(t, s.where, params)
 	if err != nil {
 		return 0, err
 	}
@@ -617,8 +827,8 @@ func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
 			oldKey := row[idx.colPos].hashKey()
 			newKey := newRow[idx.colPos].hashKey()
 			if oldKey != newKey {
-				idx.remove(oldKey, id)
-				idx.m[newKey] = append(idx.m[newKey], id)
+				idx.remove(row[idx.colPos], id)
+				idx.insert(newRow[idx.colPos], id)
 			}
 		}
 		t.rows[id] = newRow
@@ -626,25 +836,12 @@ func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
 	return len(ids), nil
 }
 
-func (idx *index) remove(key string, id int64) {
-	ids := idx.m[key]
-	for i, v := range ids {
-		if v == id {
-			idx.m[key] = append(ids[:i], ids[i+1:]...)
-			break
-		}
-	}
-	if len(idx.m[key]) == 0 {
-		delete(idx.m, key)
-	}
-}
-
 func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
 	t, ok := db.tables[normalizeIdent(s.table)]
 	if !ok {
 		return 0, fmt.Errorf("metadb: no such table %q", s.table)
 	}
-	ids, err := t.matchingIDs(s.where, params)
+	ids, err := db.matchingIDs(t, s.where, params)
 	if err != nil {
 		return 0, err
 	}
@@ -653,7 +850,7 @@ func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
 		doomed[id] = true
 		row := t.rows[id]
 		for _, idx := range t.indexes {
-			idx.remove(row[idx.colPos].hashKey(), id)
+			idx.remove(row[idx.colPos], id)
 		}
 		delete(t.rows, id)
 	}
@@ -709,7 +906,7 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 			return nil, err
 		}
 	}
-	ids, err := t.matchingIDs(s.where, params)
+	ids, err := db.matchingIDs(t, s.where, params)
 	if err != nil {
 		return nil, err
 	}

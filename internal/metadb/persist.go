@@ -255,10 +255,9 @@ func (db *DB) Load(r io.Reader) error {
 			if !ok {
 				return fmt.Errorf("metadb: snapshot index on unknown column %q", d.col)
 			}
-			idx := &index{name: d.name, column: d.col, colPos: pos, m: make(map[string][]int64)}
+			idx := newIndex(d.name, d.col, pos)
 			for _, id := range t.order {
-				key := t.rows[id][pos].hashKey()
-				idx.m[key] = append(idx.m[key], id)
+				idx.insert(t.rows[id][pos], id)
 			}
 			t.indexes[d.col] = idx
 		}

@@ -53,6 +53,11 @@ type World struct {
 	rv    *rendezvous
 	comms []*Comm
 
+	// atMatrix is the Alltoall transpose matrix, reused across calls:
+	// it is only rewritten inside a rendezvous every rank has entered,
+	// which happens-after every rank consumed the previous result.
+	atMatrix [][]any
+
 	aborted  atomic.Bool
 	abortMsg atomic.Value // string
 
@@ -158,6 +163,8 @@ type Comm struct {
 	world *World
 	rank  int
 	clock *sim.Clock
+
+	atPayload alltoallPayload // reused Alltoall contribution
 }
 
 // Rank reports this process's rank in [0, Size).
@@ -457,6 +464,8 @@ func (c *Comm) Scatter(root int, values []any, bytes int64) any {
 }
 
 // alltoallPayload carries each rank's outgoing parts through exchange.
+// It travels by pointer (one payload cached per Comm) so the per-call
+// contribution does not box a fresh struct.
 type alltoallPayload struct {
 	parts []any
 	bytes int64 // total bytes this rank sends
@@ -465,20 +474,30 @@ type alltoallPayload struct {
 // Alltoall performs a personalized all-to-all: parts[i] goes to rank i;
 // the returned slice holds, at position j, the part rank j sent here.
 // sendBytes is the total payload this rank contributes, used for the
-// pairwise-exchange cost model.
+// pairwise-exchange cost model. The result slice is the world's reused
+// transpose matrix row: it remains valid until this rank enters the
+// next Alltoall.
 func (c *Comm) Alltoall(parts []any, sendBytes int64) []any {
 	if len(parts) != c.world.size {
 		panic(fmt.Sprintf("mpi: Alltoall with %d parts for %d ranks", len(parts), c.world.size))
 	}
-	res := c.exchange("Alltoall", alltoallPayload{parts, sendBytes}, func(slots []any) (any, sim.Duration) {
+	c.atPayload.parts = parts
+	c.atPayload.bytes = sendBytes
+	res := c.exchange("Alltoall", &c.atPayload, func(slots []any) (any, sim.Duration) {
 		p := len(slots)
 		var maxBytes int64
-		out := make([][]any, p)
-		for i := range out {
-			out[i] = make([]any, p)
+		// Reuse the world's transpose matrix: every rank has re-entered
+		// the collective, so no one still reads the previous result.
+		out := c.world.atMatrix
+		if out == nil {
+			out = make([][]any, p)
+			for i := range out {
+				out[i] = make([]any, p)
+			}
+			c.world.atMatrix = out
 		}
 		for src, s := range slots {
-			pl := s.(alltoallPayload)
+			pl := s.(*alltoallPayload)
 			if pl.bytes > maxBytes {
 				maxBytes = pl.bytes
 			}

@@ -12,6 +12,7 @@ func BenchmarkFlattenIndexed(b *testing.B) {
 	for i := range displs {
 		displs[i] = i * 3
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		IndexedBlock(1, displs, Bytes(8))
@@ -24,9 +25,54 @@ func BenchmarkMapRange(b *testing.B) {
 		displs[i] = i * 3
 	}
 	d := IndexedBlock(1, displs, Bytes(8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.mapRange(0, 0, d.Size())
+	}
+}
+
+// BenchmarkMapRangeInto is the steady-state flattening path: zero
+// allocations once the destination scratch has grown.
+func BenchmarkMapRangeInto(b *testing.B) {
+	displs := make([]int, 10_000)
+	for i := range displs {
+		displs[i] = i * 3
+	}
+	d := IndexedBlock(1, displs, Bytes(8))
+	dst := d.mapRangeInto(nil, 0, 0, d.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = d.mapRangeInto(dst[:0], 0, 0, d.Size())
+	}
+}
+
+// BenchmarkIndependentWriteSteadyState measures the vectored
+// independent write path through an irregular view.
+func BenchmarkIndependentWriteSteadyState(b *testing.B) {
+	displs := make([]int, 10_000)
+	for i := range displs {
+		displs[i] = i * 3
+	}
+	sys := pfs.NewSystem(pfs.Config{NumServers: 4, StripeSize: 64 * 1024})
+	h, err := sys.Open("bench", pfs.CreateMode, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &File{h: h, scratch: &ioScratch{}}
+	f.filetype = IndexedBlock(1, displs, Bytes(8))
+	data := make([]byte, f.filetype.Size())
+	if err := f.WriteAt(0, data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.WriteAt(0, data); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -38,6 +84,7 @@ func BenchmarkTwoPhaseWrite(b *testing.B) {
 	const elemsPerRank = 4_096
 	sys := pfs.NewSystem(pfs.Config{NumServers: 4, StripeSize: 64 * 1024})
 	b.SetBytes(ranks * elemsPerRank * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w := mpi.NewWorld(ranks, mpi.Config{})

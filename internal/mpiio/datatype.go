@@ -15,15 +15,16 @@ package mpiio
 import (
 	"fmt"
 	"sort"
+
+	"sdm/internal/pfs"
 )
 
 // Segment is a contiguous byte range, the unit derived datatypes
 // flatten into. Off is relative to the datatype origin (or absolute in
-// the file once a view is applied).
-type Segment struct {
-	Off int64
-	Len int64
-}
+// the file once a view is applied). It is an alias of pfs.Extent so a
+// flattened segment list can be handed to the file system's vectored
+// read/write entry points without conversion or copying.
+type Segment = pfs.Extent
 
 // Datatype describes a (possibly noncontiguous) byte layout: a sorted,
 // non-overlapping list of segments within an extent. Tiling the extent
@@ -104,7 +105,7 @@ func Bytes(n int64) *Datatype {
 	if n == 0 {
 		return newDatatype(nil, 0)
 	}
-	return newDatatype([]Segment{{0, n}}, n)
+	return newDatatype([]Segment{{Off: 0, Len: n}}, n)
 }
 
 // Elementary datatype sizes, matching the C types SDM stores.
@@ -123,7 +124,7 @@ func Contiguous(count int, old *Datatype) *Datatype {
 	for i := 0; i < count; i++ {
 		base := int64(i) * old.extent
 		for _, s := range old.segs {
-			segs = append(segs, Segment{base + s.Off, s.Len})
+			segs = append(segs, Segment{Off: base + s.Off, Len: s.Len})
 		}
 	}
 	return newDatatype(segs, int64(count)*old.extent)
@@ -141,7 +142,7 @@ func Vector(count, blocklen, stride int, old *Datatype) *Datatype {
 		for j := 0; j < blocklen; j++ {
 			base := blockBase + int64(j)*old.extent
 			for _, s := range old.segs {
-				segs = append(segs, Segment{base + s.Off, s.Len})
+				segs = append(segs, Segment{Off: base + s.Off, Len: s.Len})
 			}
 		}
 	}
@@ -166,7 +167,7 @@ func Indexed(blocklens, displs []int, old *Datatype) *Datatype {
 		for j := 0; j < blocklens[k]; j++ {
 			base := int64(disp+j) * old.extent
 			for _, s := range old.segs {
-				segs = append(segs, Segment{base + s.Off, s.Len})
+				segs = append(segs, Segment{Off: base + s.Off, Len: s.Len})
 			}
 		}
 		if e := int64(disp+blocklens[k]) * old.extent; e > extent {
@@ -198,7 +199,7 @@ func Hindexed(blocklens []int, displs []int64, old *Datatype) *Datatype {
 		for j := 0; j < blocklens[k]; j++ {
 			base := disp + int64(j)*old.extent
 			for _, s := range old.segs {
-				segs = append(segs, Segment{base + s.Off, s.Len})
+				segs = append(segs, Segment{Off: base + s.Off, Len: s.Len})
 			}
 		}
 		if e := disp + int64(blocklens[k])*old.extent; e > extent {
@@ -220,7 +221,7 @@ func StructType(blocklens []int, displs []int64, types []*Datatype) *Datatype {
 		for j := 0; j < blocklens[k]; j++ {
 			base := displs[k] + int64(j)*dt.extent
 			for _, s := range dt.segs {
-				segs = append(segs, Segment{base + s.Off, s.Len})
+				segs = append(segs, Segment{Off: base + s.Off, Len: s.Len})
 			}
 		}
 		if e := displs[k] + int64(blocklens[k])*dt.extent; e > extent {
@@ -279,7 +280,7 @@ func Subarray(sizes, subsizes, starts []int, old *Datatype) *Datatype {
 		for d := 0; d < n-1; d++ {
 			elem += int64(starts[d]+idx[d]) * strides[d]
 		}
-		segs = append(segs, Segment{elem * old.extent, int64(subsizes[n-1]) * old.extent})
+		segs = append(segs, Segment{Off: elem * old.extent, Len: int64(subsizes[n-1]) * old.extent})
 		// Odometer increment over the outer dimensions.
 		d := n - 2
 		for ; d >= 0; d-- {
@@ -302,13 +303,20 @@ func Subarray(sizes, subsizes, starts []int, old *Datatype) *Datatype {
 // infinite tiling. Returned segments are absolute, sorted, and
 // coalesced across tile boundaries where physically adjacent.
 func (d *Datatype) mapRange(disp, logical, n int64) []Segment {
+	return d.mapRangeInto(nil, disp, logical, n)
+}
+
+// mapRangeInto is mapRange appending into dst, so steady-state callers
+// that keep a scratch slice (pass dst[:0]) flatten a request without
+// allocating once the scratch has grown to the request's segment count.
+func (d *Datatype) mapRangeInto(dst []Segment, disp, logical, n int64) []Segment {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	if d.size == 0 {
 		panic("mpiio: I/O through a zero-size filetype")
 	}
-	var out []Segment
+	base := len(dst)
 	tile := logical / d.size
 	within := logical % d.size
 	// Binary search for the segment containing `within`.
@@ -321,10 +329,10 @@ func (d *Datatype) mapRange(disp, logical, n int64) []Segment {
 			take = n
 		}
 		abs := disp + tile*d.extent + seg.Off + segOff
-		if k := len(out); k > 0 && out[k-1].Off+out[k-1].Len == abs {
-			out[k-1].Len += take
+		if k := len(dst); k > base && dst[k-1].Off+dst[k-1].Len == abs {
+			dst[k-1].Len += take
 		} else {
-			out = append(out, Segment{abs, take})
+			dst = append(dst, Segment{Off: abs, Len: take})
 		}
 		n -= take
 		within += take
@@ -335,5 +343,5 @@ func (d *Datatype) mapRange(disp, logical, n int64) []Segment {
 			within = 0
 		}
 	}
-	return out
+	return dst
 }

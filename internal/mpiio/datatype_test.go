@@ -13,7 +13,7 @@ func TestBytesType(t *testing.T) {
 	if d.Size() != 10 || d.Extent() != 10 {
 		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
 	}
-	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{0, 10}}) {
+	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{Off: 0, Len: 10}}) {
 		t.Fatalf("segs = %v", got)
 	}
 	if z := Bytes(0); z.Size() != 0 || len(z.Segments()) != 0 {
@@ -27,7 +27,7 @@ func TestContiguous(t *testing.T) {
 		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
 	}
 	// Adjacent blocks coalesce into one segment.
-	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{0, 12}}) {
+	if got := segsOf(d); !reflect.DeepEqual(got, []Segment{{Off: 0, Len: 12}}) {
 		t.Fatalf("segs = %v", got)
 	}
 }
@@ -35,7 +35,7 @@ func TestContiguous(t *testing.T) {
 func TestVector(t *testing.T) {
 	// 3 blocks of 2 elements (4 bytes each), stride 5 elements.
 	d := Vector(3, 2, 5, Bytes(4))
-	want := []Segment{{0, 8}, {20, 8}, {40, 8}}
+	want := []Segment{{Off: 0, Len: 8}, {Off: 20, Len: 8}, {Off: 40, Len: 8}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -50,7 +50,7 @@ func TestVector(t *testing.T) {
 func TestIndexed(t *testing.T) {
 	// The map-array pattern: single elements at global indexes.
 	d := IndexedBlock(1, []int{7, 2, 5}, Bytes(8))
-	want := []Segment{{16, 8}, {40, 8}, {56, 8}}
+	want := []Segment{{Off: 16, Len: 8}, {Off: 40, Len: 8}, {Off: 56, Len: 8}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -61,7 +61,7 @@ func TestIndexed(t *testing.T) {
 
 func TestIndexedAdjacentCoalesce(t *testing.T) {
 	d := IndexedBlock(1, []int{3, 1, 2}, Bytes(8))
-	want := []Segment{{8, 24}} // indexes 1,2,3 are adjacent
+	want := []Segment{{Off: 8, Len: 24}} // indexes 1,2,3 are adjacent
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -69,7 +69,7 @@ func TestIndexedAdjacentCoalesce(t *testing.T) {
 
 func TestIndexedVariableBlocks(t *testing.T) {
 	d := Indexed([]int{2, 1}, []int{0, 4}, Bytes(4))
-	want := []Segment{{0, 8}, {16, 4}}
+	want := []Segment{{Off: 0, Len: 8}, {Off: 16, Len: 4}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v", got)
 	}
@@ -77,7 +77,7 @@ func TestIndexedVariableBlocks(t *testing.T) {
 
 func TestHindexed(t *testing.T) {
 	d := Hindexed([]int{1, 2}, []int64{100, 3}, Bytes(8))
-	want := []Segment{{3, 16}, {100, 8}}
+	want := []Segment{{Off: 3, Len: 16}, {Off: 100, Len: 8}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v", got)
 	}
@@ -85,7 +85,7 @@ func TestHindexed(t *testing.T) {
 
 func TestStructType(t *testing.T) {
 	d := StructType([]int{1, 1}, []int64{0, 10}, []*Datatype{Bytes(4), Bytes(8)})
-	want := []Segment{{0, 4}, {10, 8}}
+	want := []Segment{{Off: 0, Len: 4}, {Off: 10, Len: 8}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v", got)
 	}
@@ -97,7 +97,7 @@ func TestStructType(t *testing.T) {
 func TestSubarray2D(t *testing.T) {
 	// 4x6 array of 8-byte elements; take rows 1-2, cols 2-4.
 	d := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, Bytes(8))
-	want := []Segment{{(1*6 + 2) * 8, 24}, {(2*6 + 2) * 8, 24}}
+	want := []Segment{{Off: (1*6 + 2) * 8, Len: 24}, {Off: (2*6 + 2) * 8, Len: 24}}
 	if got := segsOf(d); !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -108,12 +108,12 @@ func TestSubarray2D(t *testing.T) {
 
 func TestSubarray1DAnd3D(t *testing.T) {
 	d1 := Subarray([]int{10}, []int{4}, []int{3}, Bytes(2))
-	if got := segsOf(d1); !reflect.DeepEqual(got, []Segment{{6, 8}}) {
+	if got := segsOf(d1); !reflect.DeepEqual(got, []Segment{{Off: 6, Len: 8}}) {
 		t.Fatalf("1d segs = %v", got)
 	}
 	d3 := Subarray([]int{2, 3, 4}, []int{2, 2, 2}, []int{0, 1, 1}, Bytes(1))
 	// rows: (0,1,*),(0,2,*),(1,1,*),(1,2,*) each 2 bytes from col 1
-	want := []Segment{{5, 2}, {9, 2}, {17, 2}, {21, 2}}
+	want := []Segment{{Off: 5, Len: 2}, {Off: 9, Len: 2}, {Off: 17, Len: 2}, {Off: 21, Len: 2}}
 	if got := segsOf(d3); !reflect.DeepEqual(got, want) {
 		t.Fatalf("3d segs = %v, want %v", got, want)
 	}
@@ -141,7 +141,7 @@ func TestOverlapPanics(t *testing.T) {
 func TestMapRangeContiguous(t *testing.T) {
 	d := Bytes(100)
 	got := d.mapRange(1000, 30, 50)
-	if !reflect.DeepEqual(got, []Segment{{1030, 50}}) {
+	if !reflect.DeepEqual(got, []Segment{{Off: 1030, Len: 50}}) {
 		t.Fatalf("segs = %v", got)
 	}
 }
@@ -149,9 +149,9 @@ func TestMapRangeContiguous(t *testing.T) {
 func TestMapRangeTiling(t *testing.T) {
 	// Type: 4 data bytes at offset 0 of an 8-byte extent. Logical bytes
 	// 0..3 -> phys 0..3, logical 4..7 -> phys 8..11, etc.
-	d := newDatatype([]Segment{{0, 4}}, 8)
+	d := newDatatype([]Segment{{Off: 0, Len: 4}}, 8)
 	got := d.mapRange(0, 2, 8)
-	want := []Segment{{2, 2}, {8, 4}, {16, 2}}
+	want := []Segment{{Off: 2, Len: 2}, {Off: 8, Len: 4}, {Off: 16, Len: 2}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -160,17 +160,17 @@ func TestMapRangeTiling(t *testing.T) {
 func TestMapRangeCrossTileCoalesce(t *testing.T) {
 	// Data at the tail of the extent followed by data at the head of
 	// the next tile is physically adjacent and must coalesce.
-	d := newDatatype([]Segment{{4, 4}}, 8)
+	d := newDatatype([]Segment{{Off: 4, Len: 4}}, 8)
 	got := d.mapRange(0, 0, 8)
 	// tile0 data at [4,8), tile1 data at [12,16): not adjacent.
-	want := []Segment{{4, 4}, {12, 4}}
+	want := []Segment{{Off: 4, Len: 4}, {Off: 12, Len: 4}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
 
-	full := newDatatype([]Segment{{0, 8}}, 8)
+	full := newDatatype([]Segment{{Off: 0, Len: 8}}, 8)
 	got = full.mapRange(0, 0, 24)
-	if !reflect.DeepEqual(got, []Segment{{0, 24}}) {
+	if !reflect.DeepEqual(got, []Segment{{Off: 0, Len: 24}}) {
 		t.Fatalf("full tiling segs = %v", got)
 	}
 }
@@ -181,13 +181,13 @@ func TestMapRangeIrregularView(t *testing.T) {
 	// local order is recovered via the sorted displacements 0,3,5.
 	d := IndexedBlock(1, []int{5, 0, 3}, Bytes(8))
 	got := d.mapRange(0, 0, 24)
-	want := []Segment{{0, 8}, {24, 8}, {40, 8}}
+	want := []Segment{{Off: 0, Len: 8}, {Off: 24, Len: 8}, {Off: 40, Len: 8}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
 	// Partial range within one tile.
 	got = d.mapRange(0, 8, 8)
-	if !reflect.DeepEqual(got, []Segment{{24, 8}}) {
+	if !reflect.DeepEqual(got, []Segment{{Off: 24, Len: 8}}) {
 		t.Fatalf("partial segs = %v", got)
 	}
 }
@@ -195,7 +195,7 @@ func TestMapRangeIrregularView(t *testing.T) {
 func TestMapRangeWithDisplacement(t *testing.T) {
 	d := IndexedBlock(1, []int{1, 3}, Bytes(4))
 	got := d.mapRange(100, 0, 8)
-	want := []Segment{{104, 4}, {112, 4}}
+	want := []Segment{{Off: 104, Len: 4}, {Off: 112, Len: 4}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("segs = %v, want %v", got, want)
 	}
@@ -222,8 +222,8 @@ func TestMapRangeProperty(t *testing.T) {
 	f := func(dispRaw uint16, logicalRaw uint16, nRaw uint16, pick uint8) bool {
 		types := []*Datatype{
 			Bytes(16),
-			newDatatype([]Segment{{0, 4}}, 8),
-			newDatatype([]Segment{{2, 3}, {7, 1}}, 10),
+			newDatatype([]Segment{{Off: 0, Len: 4}}, 8),
+			newDatatype([]Segment{{Off: 2, Len: 3}, {Off: 7, Len: 1}}, 10),
 			IndexedBlock(1, []int{9, 1, 4}, Bytes(8)),
 			Vector(3, 2, 4, Bytes(4)),
 		}

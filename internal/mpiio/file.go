@@ -2,7 +2,6 @@ package mpiio
 
 import (
 	"io"
-	"sort"
 
 	"sdm/internal/mpi"
 	"sdm/internal/pfs"
@@ -14,8 +13,12 @@ type Hints struct {
 	// CBNodes is the number of aggregator ranks in collective I/O.
 	// Zero means every rank aggregates (the dense default).
 	CBNodes int
-	// CBBufferSize caps the size of each aggregator file-system request
-	// (ROMIO's cb_buffer_size, default 4 MiB). Zero uses the default.
+	// CBBufferSize mirrors ROMIO's cb_buffer_size hint (default
+	// 4 MiB). It is currently a no-op: the vectored file-system
+	// interface coalesces adjacent staging chunks into one contiguous
+	// stripe span server-side, so aggregator runs are issued as single
+	// requests regardless of staging granularity. The field is
+	// retained (and still normalized at Open) for hint compatibility.
 	CBBufferSize int64
 	// DisableCollective forces WriteAtAll/ReadAtAll to fall back to
 	// independent per-segment requests — the ablation knob for
@@ -35,7 +38,62 @@ type File struct {
 
 	disp     int64
 	filetype *Datatype
+
+	scratch *ioScratch
 }
+
+// ioScratch holds the per-File reusable buffers of the read/write hot
+// path, so steady-state operations stop allocating per call: the
+// flattened segment list, the phase-1 parcels, the aggregator's
+// gathered segments and sieve runs, the staging arenas, and the reply
+// plumbing. A File belongs to one rank goroutine, so reuse is
+// race-free locally.
+//
+// Cross-rank safety: parcels, replies, and the read arena are
+// referenced by OTHER ranks during a collective operation. They are
+// reused only by the NEXT operation on this file, and every reuse
+// point is preceded by a rendezvous collective (the next operation's
+// Allreduce/Alltoall or the trailing Barrier) that every rank —
+// including every rank still holding a reference — must have entered
+// after it finished using the buffers. MPI's collective-ordering rule
+// (all ranks issue the same collective sequence) therefore guarantees
+// no rank still reads a buffer when its owner rewrites it.
+type ioScratch struct {
+	segs       []Segment   // flattened physical segments of this rank's request
+	parcels    []ioParcel  // outgoing phase-1 parcels, one per rank
+	incoming   []ioParcel  // received phase-1 parcels
+	anyParts   []any       // boxing buffer for Alltoall
+	aggs       []aggSeg    // aggregator: gathered incoming segments, sorted
+	aggsAux    []aggSeg    // merge ping-pong buffer
+	bounds     []int       // per-source run boundaries within aggs
+	boundsAux  []int       // merge ping-pong buffer
+	runs       []sieveRun  // aggregator: coalesced spanning runs
+	writeStage []byte      // aggregator: staging buffer, one run at a time
+	readArena  []byte      // aggregator: staging arena carved across runs
+	replies    []readReply // read phase-2 replies, one per rank
+	ext        [1]Segment  // single-extent buffer for contiguous vectored calls
+}
+
+// grow returns buf resized to n bytes, reallocating only on growth.
+func grow(buf []byte, n int64) []byte {
+	if int64(cap(buf)) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Scratch is a reusable bundle of I/O staging buffers that one rank
+// can share across sequentially-used Files via UseScratch, so
+// organizations that open and close a file per access (the paper's
+// level 1) keep their steady-state buffers across handles instead of
+// re-growing them on every open.
+type Scratch struct{ s ioScratch }
+
+// UseScratch redirects f's staging buffers to sc. The caller must use
+// sc only from the rank goroutine owning f, and must not install it on
+// two Files whose operations interleave mid-collective (sequential
+// collective operations, the MPI norm, are safe).
+func (f *File) UseScratch(sc *Scratch) { f.scratch = &sc.s }
 
 // Open opens name collectively: every rank calls Open and receives its
 // own handle. The initial view is contiguous bytes from offset zero.
@@ -50,7 +108,7 @@ func Open(c *mpi.Comm, sys *pfs.System, name string, mode pfs.Mode, hints Hints)
 	if hints.CBNodes <= 0 || hints.CBNodes > c.Size() {
 		hints.CBNodes = c.Size()
 	}
-	return &File{h: h, comm: c, hints: hints, disp: 0, filetype: nil}, nil
+	return &File{h: h, comm: c, hints: hints, disp: 0, filetype: nil, scratch: &ioScratch{}}, nil
 }
 
 // Close releases the handle.
@@ -70,58 +128,52 @@ func (f *File) SetView(disp int64, filetype *Datatype) {
 	f.h.ChargeView()
 }
 
-// physSegments maps the logical range [off, off+n) through the view.
+// physSegments maps the logical range [off, off+n) through the view
+// into the File's reusable segment scratch. The result is valid until
+// the next physSegments call on this File.
 func (f *File) physSegments(off, n int64) []Segment {
+	segs := f.scratch.segs[:0]
 	if f.filetype == nil {
-		if n <= 0 {
-			return nil
+		if n > 0 {
+			segs = append(segs, Segment{Off: f.disp + off, Len: n})
 		}
-		return []Segment{{f.disp + off, n}}
+	} else {
+		segs = f.filetype.mapRangeInto(segs, f.disp, off, n)
 	}
-	return f.filetype.mapRange(f.disp, off, n)
+	f.scratch.segs = segs
+	return segs
 }
 
 // WriteAt writes data at logical offset off through the view,
-// independently (one file-system request per physical segment). This is
-// the path the paper's "original" applications and the ablation use.
+// independently, as one vectored file-system request covering every
+// physical segment. This is the path the paper's "original"
+// applications and the ablation use.
 func (f *File) WriteAt(off int64, data []byte) error {
 	segs := f.physSegments(off, int64(len(data)))
-	pos := int64(0)
-	for _, s := range segs {
-		if _, err := f.h.WriteAt(data[pos:pos+s.Len], s.Off); err != nil {
-			return err
-		}
-		pos += s.Len
-	}
-	return nil
+	_, err := f.h.WriteAtVec(data, segs)
+	return err
 }
 
 // ReadAt fills data from logical offset off through the view,
 // independently. Reads extending past EOF return io.EOF with the
-// prefix filled, matching pfs semantics.
+// missing tail zero-filled, matching pfs vectored-read semantics.
 func (f *File) ReadAt(off int64, data []byte) error {
 	segs := f.physSegments(off, int64(len(data)))
-	pos := int64(0)
-	for _, s := range segs {
-		n, err := f.h.ReadAt(data[pos:pos+s.Len], s.Off)
-		pos += int64(n)
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := f.h.ReadAtVec(data, segs)
+	return err
 }
 
 // ---------------------------------------------------------------------------
 // Two-phase collective I/O.
 //
-// Phase 0: every rank flattens its request into physical segments and
-// the ranks agree (allgather) on the union's extent. The extent is
+// Phase 0: every rank flattens its request into physical segments once
+// (the same flattening feeds the extent agreement and the routing) and
+// the ranks agree (allreduce) on the union's extent. The extent is
 // split into stripe-aligned file domains, one per aggregator.
 // Phase 1: each rank routes segment descriptors (plus data, for writes)
 // to the owning aggregators with an all-to-all.
 // Phase 2: aggregators coalesce the segments in their domain and issue
-// large contiguous file-system requests, bounded by cb_buffer_size; for
+// large vectored file-system requests, bounded by cb_buffer_size; for
 // reads the data flows back through a second all-to-all.
 // ---------------------------------------------------------------------------
 
@@ -135,10 +187,10 @@ type wireSeg struct {
 // ioParcel is the unit routed between ranks in phase 1.
 type ioParcel struct {
 	Segs []wireSeg
-	Data []byte // write payload, concatenated in Segs order; nil for reads
+	Data []byte // write payload, concatenated in Segs order; empty for reads
 }
 
-func (p ioParcel) bytes() int64 {
+func (p *ioParcel) bytes() int64 {
 	n := int64(len(p.Data)) + int64(len(p.Segs))*24
 	return n
 }
@@ -184,10 +236,22 @@ func (f *File) collectiveRange(segs []Segment) (lo, hi, domain int64, nAgg int) 
 }
 
 // routeSegments splits this rank's segments across aggregator domains,
-// producing one parcel per aggregator rank. Aggregators are ranks
-// 0..nAgg-1 (rank r aggregates domain r).
-func routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg, size int) []ioParcel {
-	parcels := make([]ioParcel, size)
+// producing one parcel per aggregator rank in the File's reusable
+// parcel scratch. Aggregators are ranks 0..nAgg-1 (rank r aggregates
+// domain r).
+func (f *File) routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg int) []ioParcel {
+	size := f.comm.Size()
+	parcels := f.scratch.parcels
+	if cap(parcels) < size {
+		parcels = make([]ioParcel, size)
+	} else {
+		parcels = parcels[:size]
+	}
+	for i := range parcels {
+		parcels[i].Segs = parcels[i].Segs[:0]
+		parcels[i].Data = parcels[i].Data[:0]
+	}
+	f.scratch.parcels = parcels
 	pos := int64(0)
 	for _, s := range segs {
 		remaining := s
@@ -202,7 +266,7 @@ func routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg, size int
 				take = domainEnd - remaining.Off
 			}
 			p := &parcels[agg]
-			p.Segs = append(p.Segs, wireSeg{Segment{remaining.Off, take}, pos})
+			p.Segs = append(p.Segs, wireSeg{Segment{Off: remaining.Off, Len: take}, pos})
 			if data != nil {
 				p.Data = append(p.Data, data[pos:pos+take]...)
 			}
@@ -214,22 +278,34 @@ func routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg, size int
 	return parcels
 }
 
-// exchangeParcels performs the phase-1 all-to-all.
+// exchangeParcels performs the phase-1 all-to-all. Parcels travel by
+// pointer (boxing a pointer into an interface does not allocate); the
+// receivers' references stay valid until the owners' next collective
+// operation, per the ioScratch reuse protocol.
 func (f *File) exchangeParcels(parcels []ioParcel) []ioParcel {
-	anyParts := make([]any, len(parcels))
+	anyParts := f.scratch.anyParts[:0]
 	var total int64
 	for i := range parcels {
-		anyParts[i] = parcels[i]
+		anyParts = append(anyParts, &parcels[i])
 		total += parcels[i].bytes()
 	}
+	f.scratch.anyParts = anyParts
 	res := f.comm.Alltoall(anyParts, total)
-	out := make([]ioParcel, len(res))
+	incoming := f.scratch.incoming
+	if cap(incoming) < len(res) {
+		incoming = make([]ioParcel, len(res))
+	} else {
+		incoming = incoming[:len(res)]
+	}
 	for i, v := range res {
 		if v != nil {
-			out[i] = v.(ioParcel)
+			incoming[i] = *v.(*ioParcel)
+		} else {
+			incoming[i] = ioParcel{}
 		}
 	}
-	return out
+	f.scratch.incoming = incoming
+	return incoming
 }
 
 // aggSeg tracks an incoming segment and its origin for the return trip.
@@ -240,87 +316,151 @@ type aggSeg struct {
 	dataAt int64 // offset of payload within the parcel's Data
 }
 
-// gatherAggSegs flattens incoming parcels into a sorted segment list.
-func gatherAggSegs(incoming []ioParcel) []aggSeg {
-	var all []aggSeg
-	for src, p := range incoming {
+// gatherAggSegs flattens incoming parcels into the File's reusable
+// aggregator scratch, sorted by file offset. Each source's segments
+// arrive already sorted (ranks flatten sorted segment lists and
+// routing preserves order), so the global order comes from a bottom-up
+// merge of the per-source runs rather than a full sort. Ties take the
+// lower source rank first, making aggregation deterministic.
+func (f *File) gatherAggSegs(incoming []ioParcel) []aggSeg {
+	all := f.scratch.aggs[:0]
+	bounds := f.scratch.bounds[:0]
+	sorted := true
+	for src := range incoming {
+		p := &incoming[src]
+		if len(p.Segs) == 0 {
+			continue
+		}
+		if len(all) > 0 && p.Segs[0].Seg.Off < all[len(all)-1].seg.Off {
+			sorted = false
+		}
+		bounds = append(bounds, len(all))
 		pos := int64(0)
 		for i, ws := range p.Segs {
 			all = append(all, aggSeg{seg: ws.Seg, src: src, srcIdx: i, dataAt: pos})
 			pos += ws.Seg.Len
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].seg.Off < all[j].seg.Off })
-	return all
+	bounds = append(bounds, len(all))
+	f.scratch.bounds = bounds
+	if sorted || len(bounds) <= 2 {
+		f.scratch.aggs = all
+		return all
+	}
+	if cap(f.scratch.aggsAux) < len(all) {
+		f.scratch.aggsAux = make([]aggSeg, len(all))
+	}
+	aux := f.scratch.aggsAux[:len(all)]
+	if cap(f.scratch.boundsAux) < len(bounds) {
+		f.scratch.boundsAux = make([]int, 0, len(bounds))
+	}
+	res := mergeSortedRuns(all, aux, bounds, f.scratch.boundsAux[:0])
+	// Keep both buffers' capacity regardless of which side the merge
+	// finished on.
+	if &res[0] == &aux[0] {
+		f.scratch.aggs, f.scratch.aggsAux = aux, all[:0]
+	} else {
+		f.scratch.aggs = all
+	}
+	return res
+}
+
+// mergeSortedRuns merges the sorted runs of src delimited by bounds
+// (bounds[i] is run i's start; the final entry is the total length),
+// ping-ponging between src and dst, and returns the fully sorted
+// slice, which aliases either src or dst.
+func mergeSortedRuns(src, dst []aggSeg, bounds, boundsAux []int) []aggSeg {
+	b, nb := bounds, boundsAux
+	for len(b) > 2 {
+		nb = nb[:0]
+		i := 0
+		for ; i+2 < len(b); i += 2 {
+			lo, mid, hi := b[i], b[i+1], b[i+2]
+			a, c, o := lo, mid, lo
+			for a < mid && c < hi {
+				if src[c].seg.Off < src[a].seg.Off {
+					dst[o] = src[c]
+					c++
+				} else {
+					dst[o] = src[a]
+					a++
+				}
+				o++
+			}
+			o += copy(dst[o:hi], src[a:mid])
+			copy(dst[o:hi], src[c:hi])
+			nb = append(nb, lo)
+		}
+		if i+1 < len(b) { // odd leftover run carries over unmerged
+			copy(dst[b[i]:b[i+1]], src[b[i]:b[i+1]])
+			nb = append(nb, b[i])
+		}
+		nb = append(nb, b[len(b)-1])
+		src, dst = dst, src
+		b, nb = nb, b
+	}
+	return src
 }
 
 // sieveRun is one aggregator file access: a contiguous span of the
-// file covering one or more segments, possibly with small holes between
-// them (data sieving, as ROMIO performs inside its collective buffer).
+// file covering the sorted segments all[lo:hi], possibly with small
+// holes between them (data sieving, as ROMIO performs inside its
+// collective buffer). Runs reference index ranges of the gathered
+// segment list rather than owning sub-slices, so building them
+// allocates nothing.
 type sieveRun struct {
 	start, end int64 // file span [start, end)
-	segs       []aggSeg
+	lo, hi     int   // indices into the sorted aggSeg list
 	holes      bool
 }
 
-// sieveRuns groups sorted aggSegs into spanning runs: adjacent and
-// overlapping segments always share a run (reads of ghost elements
-// arrive from several ranks and legitimately overlap); hole-separated
-// segments share one when the hole is below maxGap (cheaper to read
-// through than to re-request). Runs are the units the aggregator turns
-// into chunked file requests.
-func sieveRuns(all []aggSeg, maxGap int64) []sieveRun {
-	var runs []sieveRun
+// sieveRunsInto groups sorted aggSegs into spanning runs, appending to
+// dst: adjacent and overlapping segments always share a run (reads of
+// ghost elements arrive from several ranks and legitimately overlap);
+// hole-separated segments share one when the hole is below maxGap
+// (cheaper to read through than to re-request). Runs are the units the
+// aggregator turns into vectored file requests.
+func sieveRunsInto(dst []sieveRun, all []aggSeg, maxGap int64) []sieveRun {
 	var cur sieveRun
-	for _, a := range all {
-		if len(cur.segs) > 0 {
+	for i, a := range all {
+		if cur.hi > cur.lo {
 			gap := a.seg.Off - cur.end // negative on overlap
 			if gap <= maxGap {
 				if gap > 0 {
 					cur.holes = true
 				}
-				cur.segs = append(cur.segs, a)
+				cur.hi = i + 1
 				if end := a.seg.Off + a.seg.Len; end > cur.end {
 					cur.end = end
 				}
 				continue
 			}
-			runs = append(runs, cur)
+			dst = append(dst, cur)
 		}
-		cur = sieveRun{start: a.seg.Off, end: a.seg.Off + a.seg.Len, segs: []aggSeg{a}}
+		cur = sieveRun{start: a.seg.Off, end: a.seg.Off + a.seg.Len, lo: i, hi: i + 1}
 	}
-	if len(cur.segs) > 0 {
-		runs = append(runs, cur)
+	if cur.hi > cur.lo {
+		dst = append(dst, cur)
 	}
-	return runs
+	return dst
 }
 
-// chunkedWrite issues buf at off in cb_buffer_size pieces, the
-// granularity of the aggregator's staging buffer.
+// chunkedWrite issues buf at off as one vectored request. Adjacent
+// cb_buffer_size chunks coalesce into a single contiguous stripe span
+// server-side, so each I/O server is charged once for its share of the
+// whole run instead of once per staging-buffer chunk.
 func (f *File) chunkedWrite(buf []byte, off int64) error {
-	for cs := int64(0); cs < int64(len(buf)); cs += f.hints.CBBufferSize {
-		ce := cs + f.hints.CBBufferSize
-		if ce > int64(len(buf)) {
-			ce = int64(len(buf))
-		}
-		if _, err := f.h.WriteAt(buf[cs:ce], off+cs); err != nil {
-			return err
-		}
-	}
-	return nil
+	f.scratch.ext[0] = Segment{Off: off, Len: int64(len(buf))}
+	_, err := f.h.WriteAtVec(buf, f.scratch.ext[:])
+	return err
 }
 
-// chunkedRead fills buf from off in cb_buffer_size pieces; reads past
+// chunkedRead fills buf from off as one vectored request; reads past
 // EOF zero-fill.
 func (f *File) chunkedRead(buf []byte, off int64) error {
-	for cs := int64(0); cs < int64(len(buf)); cs += f.hints.CBBufferSize {
-		ce := cs + f.hints.CBBufferSize
-		if ce > int64(len(buf)) {
-			ce = int64(len(buf))
-		}
-		if _, err := f.h.ReadAt(buf[cs:ce], off+cs); err != nil && err != io.EOF {
-			return err
-		}
+	f.scratch.ext[0] = Segment{Off: off, Len: int64(len(buf))}
+	if _, err := f.h.ReadAtVec(buf, f.scratch.ext[:]); err != nil && err != io.EOF {
+		return err
 	}
 	return nil
 }
@@ -339,23 +479,25 @@ func (f *File) WriteAtAll(off int64, data []byte) error {
 	if nAgg == 0 {
 		return nil // nothing to write anywhere
 	}
-	parcels := routeSegments(segs, data, lo, domain, nAgg, f.comm.Size())
+	parcels := f.routeSegments(segs, data, lo, domain, nAgg)
 	incoming := f.exchangeParcels(parcels)
 
-	// Phase 2: aggregate and issue contiguous writes, chunked at
-	// cb_buffer_size as ROMIO's two-phase buffers are. Runs with small
-	// interior holes are data-sieved: read-modify-write of the whole
-	// span beats per-piece requests.
+	// Phase 2: aggregate and issue vectored contiguous writes. Runs
+	// with small interior holes are data-sieved: read-modify-write of
+	// the whole span beats per-piece requests.
 	if f.comm.Rank() < nAgg {
-		all := gatherAggSegs(incoming)
-		for _, run := range sieveRuns(all, f.h.SieveGap()) {
-			buf := make([]byte, run.end-run.start)
+		all := f.gatherAggSegs(incoming)
+		runs := sieveRunsInto(f.scratch.runs[:0], all, f.h.SieveGap())
+		f.scratch.runs = runs
+		for _, run := range runs {
+			f.scratch.writeStage = grow(f.scratch.writeStage, run.end-run.start)
+			buf := f.scratch.writeStage
 			if run.holes {
 				if err := f.chunkedRead(buf, run.start); err != nil {
 					return err
 				}
 			}
-			for _, a := range run.segs {
+			for _, a := range all[run.lo:run.hi] {
 				src := incoming[a.src].Data[a.dataAt : a.dataAt+a.seg.Len]
 				copy(buf[a.seg.Off-run.start:], src)
 			}
@@ -374,7 +516,7 @@ type readReply struct {
 	Data [][]byte
 }
 
-func (r readReply) bytes() int64 {
+func (r *readReply) bytes() int64 {
 	var n int64
 	for _, d := range r.Data {
 		n += int64(len(d))
@@ -400,33 +542,62 @@ func (f *File) ReadAtAll(off int64, data []byte) error {
 	if nAgg == 0 {
 		return nil
 	}
-	parcels := routeSegments(segs, nil, lo, domain, nAgg, f.comm.Size())
+	parcels := f.routeSegments(segs, nil, lo, domain, nAgg)
 	incoming := f.exchangeParcels(parcels)
 
 	// Phase 2: aggregators read their domains as spanning runs (data
 	// sieving through small holes) and split the data per requester.
-	replies := make([]readReply, f.comm.Size())
+	// Reply slices alias the read arena; runs carve disjoint arena
+	// regions so replies stay intact for the whole operation.
+	size := f.comm.Size()
+	replies := f.scratch.replies
+	if cap(replies) < size {
+		replies = make([]readReply, size)
+	} else {
+		replies = replies[:size]
+	}
+	f.scratch.replies = replies
+	for i := range replies {
+		replies[i].Data = replies[i].Data[:0]
+	}
 	if f.comm.Rank() < nAgg {
 		for i := range replies {
-			replies[i].Data = make([][]byte, len(incoming[i].Segs))
+			n := len(incoming[i].Segs)
+			if cap(replies[i].Data) < n {
+				replies[i].Data = make([][]byte, n)
+			} else {
+				replies[i].Data = replies[i].Data[:n]
+				clear(replies[i].Data)
+			}
 		}
-		all := gatherAggSegs(incoming)
-		for _, run := range sieveRuns(all, f.h.SieveGap()) {
-			buf := make([]byte, run.end-run.start)
+		all := f.gatherAggSegs(incoming)
+		runs := sieveRunsInto(f.scratch.runs[:0], all, f.h.SieveGap())
+		f.scratch.runs = runs
+		var need int64
+		for _, run := range runs {
+			need += run.end - run.start
+		}
+		f.scratch.readArena = grow(f.scratch.readArena, need)
+		arena := f.scratch.readArena
+		var cur int64
+		for _, run := range runs {
+			buf := arena[cur : cur+run.end-run.start]
+			cur += run.end - run.start
 			if err := f.chunkedRead(buf, run.start); err != nil {
 				return err
 			}
-			for _, a := range run.segs {
+			for _, a := range all[run.lo:run.hi] {
 				replies[a.src].Data[a.srcIdx] = buf[a.seg.Off-run.start : a.seg.Off-run.start+a.seg.Len]
 			}
 		}
 	}
-	anyReplies := make([]any, len(replies))
+	anyReplies := f.scratch.anyParts[:0]
 	var total int64
 	for i := range replies {
-		anyReplies[i] = replies[i]
+		anyReplies = append(anyReplies, &replies[i])
 		total += replies[i].bytes()
 	}
+	f.scratch.anyParts = anyReplies
 	back := f.comm.Alltoall(anyReplies, total)
 
 	// Scatter returned data into the user buffer using the positions
@@ -435,7 +606,7 @@ func (f *File) ReadAtAll(off int64, data []byte) error {
 		if v == nil {
 			continue
 		}
-		reply := v.(readReply)
+		reply := v.(*readReply)
 		for i, d := range reply.Data {
 			ws := parcels[agg].Segs[i]
 			copy(data[ws.Pos:ws.Pos+ws.Seg.Len], d)

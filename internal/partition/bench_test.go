@@ -43,10 +43,12 @@ func BenchmarkMultilevel64x64x8(b *testing.B) {
 
 func BenchmarkCoarsenOneLevel(b *testing.B) {
 	g := benchGraph(b, 128, 128)
+	ws := &mlWorkspace{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := newBenchRNG(uint64(i) + 1)
-		coarsen(g, rng)
+		coarsen(g, rng, ws)
 	}
 }
 

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"sdm/internal/sim"
@@ -91,6 +92,11 @@ func Multilevel(g *Graph, nparts int, opts Options) (Vector, error) {
 	}
 	opts.fill(nparts)
 
+	// Workspace buffers shared across coarsening and refinement rounds,
+	// so the multilevel hierarchy allocates per-level state only for
+	// what it must keep (the coarse graphs and projection maps).
+	ws := &mlWorkspace{}
+
 	// Coarsening phase: build a hierarchy of smaller graphs.
 	type level struct {
 		g     *Graph
@@ -101,7 +107,7 @@ func Multilevel(g *Graph, nparts int, opts Options) (Vector, error) {
 	cur := g
 	rng := sim.NewRNG(opts.Seed)
 	for cur.NumVertices() > opts.CoarsenTo {
-		coarse, cmap := coarsen(cur, rng)
+		coarse, cmap := coarsen(cur, rng, ws)
 		if coarse.NumVertices() >= cur.NumVertices()*95/100 {
 			break // matching stalled; further coarsening is pointless
 		}
@@ -110,8 +116,8 @@ func Multilevel(g *Graph, nparts int, opts Options) (Vector, error) {
 	}
 
 	// Initial partition on the coarsest graph.
-	part := growPartition(cur, nparts, rng)
-	refine(cur, part, nparts, opts)
+	part := growPartition(cur, nparts, rng, ws)
+	refine(cur, part, nparts, opts, ws)
 
 	// Uncoarsening: project and refine at each finer level.
 	for i := len(levels) - 1; i >= 0; i-- {
@@ -121,19 +127,52 @@ func Multilevel(g *Graph, nparts int, opts Options) (Vector, error) {
 			finerPart[v] = part[lv.cmap[v]]
 		}
 		part = finerPart
-		refine(lv.finer, part, nparts, opts)
+		refine(lv.finer, part, nparts, opts, ws)
 	}
 	return part, nil
 }
 
+// mlWorkspace holds the multilevel partitioner's reusable round
+// buffers: the matching and shuffle arrays and edge-triple scratch of
+// each coarsening round, and the weight/gain arrays of each refinement
+// sweep. One workspace serves a whole Multilevel call; rounds reuse the
+// grown capacity instead of reallocating per level.
+type mlWorkspace struct {
+	match    []int32
+	order    []int
+	triples  []cedge
+	deg      []int32
+	fill     []int32
+	weights  []int64
+	gains    []int64
+	growOrd  []int
+	adjParts []int32
+}
+
+// grow returns buf resized to n, reallocating only on growth.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// cedge is one cross edge of the contracted graph during aggregation.
+type cedge struct {
+	u, v int32
+	w    int32
+}
+
 // coarsen contracts a heavy-edge matching of g.
-func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
+func coarsen(g *Graph, rng *sim.RNG, ws *mlWorkspace) (*Graph, []int32) {
 	n := g.NumVertices()
-	match := make([]int32, n)
+	ws.match = grow(ws.match, n)
+	match := ws.match
 	for i := range match {
 		match[i] = -1
 	}
-	order := rng.Perm(n)
+	ws.order = grow(ws.order, n)
+	order := rng.PermInto(ws.order)
 	for _, u32 := range order {
 		u := int32(u32)
 		if match[u] != -1 {
@@ -170,13 +209,15 @@ func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
 		}
 		nc++
 	}
-	// Build the coarse graph.
+	// Build the coarse graph. Cross edges are aggregated by sorting
+	// normalized (u, v, w) triples and merging equal pairs — the same
+	// deterministic (u, v)-ordered result the map-based version
+	// produced, without a per-level hash map.
 	vwgt := make([]int32, nc)
 	for u := int32(0); u < int32(n); u++ {
 		vwgt[cmap[u]] += g.vwgt(u)
 	}
-	type edge struct{ u, v int32 }
-	wmap := make(map[edge]int32)
+	triples := ws.triples[:0]
 	for u := int32(0); u < int32(n); u++ {
 		cu := cmap[u]
 		for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
@@ -188,21 +229,29 @@ func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
 			if a > b {
 				a, b = b, a
 			}
-			wmap[edge{a, b}] += g.ewgt(i)
+			triples = append(triples, cedge{a, b, g.ewgt(i)})
 		}
 	}
-	pairs := make([]edge, 0, len(wmap))
-	for e := range wmap {
-		pairs = append(pairs, e)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].u != pairs[j].u {
-			return pairs[i].u < pairs[j].u
+	ws.triples = triples
+	slices.SortFunc(triples, func(x, y cedge) int {
+		if x.u != y.u {
+			return int(x.u - y.u)
 		}
-		return pairs[i].v < pairs[j].v
+		return int(x.v - y.v)
 	})
-	deg := make([]int32, nc)
-	for _, e := range pairs {
+	// Merge equal (u, v) runs in place, summing weights.
+	merged := triples[:0]
+	for _, t := range triples {
+		if k := len(merged); k > 0 && merged[k-1].u == t.u && merged[k-1].v == t.v {
+			merged[k-1].w += t.w
+		} else {
+			merged = append(merged, t)
+		}
+	}
+	ws.deg = grow(ws.deg, int(nc))
+	deg := ws.deg
+	clear(deg)
+	for _, e := range merged {
 		deg[e.u]++
 		deg[e.v]++
 	}
@@ -212,9 +261,11 @@ func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
 	}
 	adj := make([]int32, xadj[nc])
 	ew := make([]int32, xadj[nc])
-	fill := make([]int32, nc)
-	for _, e := range pairs {
-		w := wmap[e] / 2 // each fine edge contributes from both endpoints
+	ws.fill = grow(ws.fill, int(nc))
+	fill := ws.fill
+	clear(fill)
+	for _, e := range merged {
+		w := e.w / 2 // each fine edge contributes from both endpoints
 		adj[xadj[e.u]+fill[e.u]] = e.v
 		ew[xadj[e.u]+fill[e.u]] = w
 		fill[e.u]++
@@ -227,14 +278,16 @@ func coarsen(g *Graph, rng *sim.RNG) (*Graph, []int32) {
 
 // growPartition seeds nparts regions and grows them by BFS, weight-
 // balanced (greedy graph growing).
-func growPartition(g *Graph, nparts int, rng *sim.RNG) Vector {
+func growPartition(g *Graph, nparts int, rng *sim.RNG, ws *mlWorkspace) Vector {
 	n := g.NumVertices()
 	part := make(Vector, n)
 	for i := range part {
 		part[i] = -1
 	}
 	target := (g.TotalVWgt() + int64(nparts) - 1) / int64(nparts)
-	weights := make([]int64, nparts)
+	ws.weights = grow(ws.weights, nparts)
+	weights := ws.weights
+	clear(weights)
 	var frontier [][]int32
 	frontier = make([][]int32, nparts)
 	// Seed each part with a random unassigned vertex.
@@ -250,9 +303,10 @@ func growPartition(g *Graph, nparts int, rng *sim.RNG) Vector {
 		}
 	}
 	// Round-robin growth, lightest part first.
+	ws.growOrd = grow(ws.growOrd, nparts)
 	for {
 		progress := false
-		order := make([]int, nparts)
+		order := ws.growOrd
 		for i := range order {
 			order[i] = i
 		}
@@ -301,9 +355,11 @@ func growPartition(g *Graph, nparts int, rng *sim.RNG) Vector {
 
 // refine runs boundary FM-style passes: move boundary vertices to the
 // neighbouring part with the best edge-cut gain, subject to balance.
-func refine(g *Graph, part Vector, nparts int, opts Options) {
+func refine(g *Graph, part Vector, nparts int, opts Options, ws *mlWorkspace) {
 	n := g.NumVertices()
-	weights := make([]int64, nparts)
+	ws.weights = grow(ws.weights, nparts)
+	weights := ws.weights
+	clear(weights)
 	for u := 0; u < n; u++ {
 		weights[part[u]] += int64(g.vwgt(int32(u)))
 	}
@@ -312,13 +368,16 @@ func refine(g *Graph, part Vector, nparts int, opts Options) {
 	if maxW <= 0 {
 		maxW = 1
 	}
-	gains := make([]int64, nparts)
+	ws.gains = grow(ws.gains, nparts)
+	gains := ws.gains
+	clear(gains)
+	parts := ws.adjParts[:0] // adjacent-part scratch, reused across vertices
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		moved := 0
 		for u := 0; u < n; u++ {
 			pu := part[u]
 			// Compute connectivity to each adjacent part.
-			var parts []int32
+			parts = parts[:0]
 			for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {
 				pv := part[g.Adj[i]]
 				if gains[pv] == 0 {
@@ -355,4 +414,5 @@ func refine(g *Graph, part Vector, nparts int, opts Options) {
 			break
 		}
 	}
+	ws.adjParts = parts[:0]
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sdm/internal/sim"
 )
@@ -89,17 +90,45 @@ type Stats struct {
 	BytesWritten int64
 }
 
+// atomicStats is the lock-free internal representation of Stats, so the
+// data path never serializes rank goroutines on a statistics mutex.
+type atomicStats struct {
+	opens        atomic.Int64
+	creates      atomic.Int64
+	closes       atomic.Int64
+	views        atomic.Int64
+	readRequests atomic.Int64
+	writeReqs    atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+func (a *atomicStats) snapshot() Stats {
+	return Stats{
+		Opens:        a.opens.Load(),
+		Creates:      a.creates.Load(),
+		Closes:       a.closes.Load(),
+		Views:        a.views.Load(),
+		ReadRequests: a.readRequests.Load(),
+		WriteReqs:    a.writeReqs.Load(),
+		BytesRead:    a.bytesRead.Load(),
+		BytesWritten: a.bytesWritten.Load(),
+	}
+}
+
 // System is one parallel file system instance: a flat namespace of
 // striped files plus the simulated hardware. It is safe for concurrent
-// use by many rank goroutines.
+// use by many rank goroutines. The namespace map is guarded by an
+// RWMutex taken only on open/remove/list operations; per-file state is
+// guarded by each file's own lock, so rank goroutines doing data I/O
+// on different files never contend on a system-wide lock.
 type System struct {
 	cfg     Config
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	files   map[string]*file
 	servers []*sim.Resource
 
-	statMu sync.Mutex
-	stats  Stats
+	stats atomicStats
 }
 
 // NewSystem creates a file system with the given hardware profile.
@@ -126,9 +155,7 @@ func (s *System) Config() Config { return s.cfg }
 
 // Stats returns a snapshot of cumulative activity counters.
 func (s *System) Stats() Stats {
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return s.stats
+	return s.stats.snapshot()
 }
 
 // ServerBusy reports each server's cumulative busy time, for
@@ -253,22 +280,35 @@ type Handle struct {
 	clock  *sim.Clock
 	mode   Mode
 	closed bool
+
+	// Reusable cost-accounting scratch. A Handle belongs to one rank
+	// goroutine, so reuse is race-free; capacity is retained across
+	// operations so the steady-state I/O path allocates nothing.
+	totScratch  []int64
+	spanScratch []serverSpan
+	vecScratch  []vecSpan
 }
 
 // Open opens (or with CreateMode, creates) a file, charging the open
 // cost to the opening rank's clock.
 func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	f, ok := s.files[name]
+	s.mu.RUnlock()
+	created := false
 	if !ok {
 		if mode != CreateMode {
-			s.mu.Unlock()
 			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
 		}
-		f = &file{pages: make(map[int64][]byte)}
-		s.files[name] = f
+		s.mu.Lock()
+		f, ok = s.files[name]
+		if !ok {
+			f = &file{pages: make(map[int64][]byte)}
+			s.files[name] = f
+			created = true
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	if clock != nil {
 		// Opens charge a fixed metadata cost per process. Concurrent
@@ -276,19 +316,17 @@ func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error)
 		// observation that XFS file opens are cheap even collectively.
 		clock.Advance(s.cfg.OpenCost)
 	}
-	s.statMu.Lock()
-	s.stats.Opens++
-	if !ok {
-		s.stats.Creates++
+	s.stats.opens.Add(1)
+	if created {
+		s.stats.creates.Add(1)
 	}
-	s.statMu.Unlock()
 	return &Handle{sys: s, f: f, name: name, clock: clock, mode: mode}, nil
 }
 
 // Exists reports whether a file is present.
 func (s *System) Exists(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.files[name]
 	return ok
 }
@@ -307,8 +345,8 @@ func (s *System) Remove(name string) error {
 
 // List returns all file names in lexical order.
 func (s *System) List() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	names := make([]string, 0, len(s.files))
 	for n := range s.files {
 		names = append(names, n)
@@ -319,9 +357,9 @@ func (s *System) List() []string {
 
 // FileSize reports a file's current size without opening it.
 func (s *System) FileSize(name string) (int64, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	f, ok := s.files[name]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
 	}
@@ -381,9 +419,7 @@ func (h *Handle) Close() error {
 	if h.clock != nil {
 		h.clock.Advance(h.sys.cfg.CloseCost)
 	}
-	h.sys.statMu.Lock()
-	h.sys.stats.Closes++
-	h.sys.statMu.Unlock()
+	h.sys.stats.closes.Add(1)
 	return nil
 }
 
@@ -393,9 +429,7 @@ func (h *Handle) ChargeView() {
 	if h.clock != nil {
 		h.clock.Advance(h.sys.cfg.ViewCost)
 	}
-	h.sys.statMu.Lock()
-	h.sys.stats.Views++
-	h.sys.statMu.Unlock()
+	h.sys.stats.views.Add(1)
 }
 
 // serverSpan is the portion of one request that lands on one server.
@@ -404,13 +438,14 @@ type serverSpan struct {
 	bytes  int64
 }
 
-// spansFor splits the byte range [off, off+n) into per-server totals
-// according to the striping layout.
-func (s *System) spansFor(off, n int64) []serverSpan {
+// spansInto splits the byte range [off, off+n) into per-server totals
+// according to the striping layout, appending to dst (reused across
+// calls by the owning Handle). totals must have NumServers entries and
+// be zeroed; it is re-zeroed before returning.
+func (s *System) spansInto(dst []serverSpan, totals []int64, off, n int64) []serverSpan {
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	totals := make([]int64, s.cfg.NumServers)
 	for n > 0 {
 		stripe := off / s.cfg.StripeSize
 		srv := int(stripe % int64(s.cfg.NumServers))
@@ -422,22 +457,35 @@ func (s *System) spansFor(off, n int64) []serverSpan {
 		off += in
 		n -= in
 	}
-	spans := make([]serverSpan, 0, len(totals))
 	for i, b := range totals {
 		if b > 0 {
-			spans = append(spans, serverSpan{server: i, bytes: b})
+			dst = append(dst, serverSpan{server: i, bytes: b})
+			totals[i] = 0
 		}
 	}
-	return spans
+	return dst
+}
+
+// spansFor is the allocating convenience form of spansInto.
+func (s *System) spansFor(off, n int64) []serverSpan {
+	if n <= 0 {
+		return nil
+	}
+	return s.spansInto(nil, make([]int64, s.cfg.NumServers), off, n)
 }
 
 // charge schedules the I/O cost of an n-byte access at offset off
 // starting at virtual time `at`, and returns the completion time. Each
 // involved server serves its share as one request (latency + bytes/bw);
 // servers work in parallel, so completion is the max across them.
-func (s *System) charge(off, n int64, at sim.Time) sim.Time {
+func (h *Handle) charge(off, n int64, at sim.Time) sim.Time {
+	s := h.sys
+	if h.totScratch == nil {
+		h.totScratch = make([]int64, s.cfg.NumServers)
+	}
+	h.spanScratch = s.spansInto(h.spanScratch[:0], h.totScratch, off, n)
 	done := at
-	for _, sp := range s.spansFor(off, n) {
+	for _, sp := range h.spanScratch {
 		service := s.cfg.RequestLatency +
 			sim.TransferCost(sp.bytes, 0, s.cfg.ServerBandwidth)
 		d := s.servers[sp.server].Acquire(at, service)
@@ -475,11 +523,9 @@ func (h *Handle) WriteAtTime(p []byte, off int64, at sim.Time) (sim.Time, int, e
 		return at, 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
 	h.f.writeAt(p, off)
-	done := h.sys.charge(off, int64(len(p)), at)
-	h.sys.statMu.Lock()
-	h.sys.stats.WriteReqs++
-	h.sys.stats.BytesWritten += int64(len(p))
-	h.sys.statMu.Unlock()
+	done := h.charge(off, int64(len(p)), at)
+	h.sys.stats.writeReqs.Add(1)
+	h.sys.stats.bytesWritten.Add(int64(len(p)))
 	return done, len(p), nil
 }
 
@@ -507,12 +553,161 @@ func (h *Handle) ReadAtTime(p []byte, off int64, at sim.Time) (sim.Time, int, er
 		return at, 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
 	n, err := h.f.readAt(p, off)
-	done := h.sys.charge(off, int64(n), at)
-	h.sys.statMu.Lock()
-	h.sys.stats.ReadRequests++
-	h.sys.stats.BytesRead += int64(n)
-	h.sys.statMu.Unlock()
+	done := h.charge(off, int64(n), at)
+	h.sys.stats.readRequests.Add(1)
+	h.sys.stats.bytesRead.Add(int64(n))
 	return done, n, err
+}
+
+// ---------------------------------------------------------------------------
+// Vectored I/O
+//
+// A vectored request carries a whole batch of (offset, length) extents
+// in one handle call — the shape ROMIO's two-phase aggregators and
+// data-sieving layer produce. Extents that are physically adjacent
+// coalesce into one contiguous span, and each I/O server is charged one
+// request per span it participates in, instead of one request per
+// extent per call. Spans are serviced in order: span i+1 is issued at
+// span i's completion, exactly as a loop of WriteAt/ReadAt calls would
+// be, so a batch of disjoint extents costs the same virtual time as the
+// call-per-extent loop it replaces while doing one handle call, one
+// stats update, and zero allocations.
+// ---------------------------------------------------------------------------
+
+// Extent is one (offset, length) piece of a vectored request.
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// vecSpan is a coalesced contiguous run of extents plus the position of
+// its payload within the batch buffer.
+type vecSpan struct {
+	off  int64
+	n    int64
+	pPos int64
+}
+
+// coalesce groups extents into contiguous spans, appending to the
+// handle's reusable span buffer. Extents must have non-negative
+// lengths; zero-length extents are skipped. Only extents adjacent in
+// the given order merge, so callers control request granularity by the
+// order they pass.
+func (h *Handle) coalesce(exts []Extent) ([]vecSpan, int64, error) {
+	if h.vecScratch == nil {
+		h.vecScratch = make([]vecSpan, 0, 8)
+	}
+	spans := h.vecScratch[:0]
+	var pos int64
+	for _, e := range exts {
+		if e.Len < 0 || e.Off < 0 {
+			return nil, 0, fmt.Errorf("pfs: invalid extent (off %d, len %d)", e.Off, e.Len)
+		}
+		if e.Len == 0 {
+			continue
+		}
+		if k := len(spans); k > 0 && spans[k-1].off+spans[k-1].n == e.Off {
+			spans[k-1].n += e.Len
+		} else {
+			spans = append(spans, vecSpan{off: e.Off, n: e.Len, pPos: pos})
+		}
+		pos += e.Len
+	}
+	h.vecScratch = spans
+	return spans, pos, nil
+}
+
+// WriteAtVec stores a batch of extents in one vectored request. p holds
+// the payloads concatenated in extent order and must be at least as
+// long as the extents' total length.
+func (h *Handle) WriteAtVec(p []byte, exts []Extent) (int, error) {
+	var at sim.Time
+	if h.clock != nil {
+		at = h.clock.Now()
+	}
+	done, n, err := h.WriteAtVecTime(p, exts, at)
+	if h.clock != nil {
+		h.clock.AdvanceTo(done)
+	}
+	return n, err
+}
+
+// WriteAtVecTime is WriteAtVec with explicit virtual timing.
+func (h *Handle) WriteAtVecTime(p []byte, exts []Extent, at sim.Time) (sim.Time, int, error) {
+	if h.closed {
+		return at, 0, ErrClosed
+	}
+	if h.mode == ReadOnly {
+		return at, 0, ErrReadOnly
+	}
+	spans, total, err := h.coalesce(exts)
+	if err != nil {
+		return at, 0, err
+	}
+	if total > int64(len(p)) {
+		return at, 0, fmt.Errorf("pfs: vectored write of %d extent bytes with %d payload bytes", total, len(p))
+	}
+	done := at
+	for _, sp := range spans {
+		h.f.writeAt(p[sp.pPos:sp.pPos+sp.n], sp.off)
+		done = h.charge(sp.off, sp.n, done)
+	}
+	h.sys.stats.writeReqs.Add(int64(len(spans)))
+	h.sys.stats.bytesWritten.Add(total)
+	return done, int(total), nil
+}
+
+// ReadAtVec fills a batch of extents in one vectored request. p
+// receives the payloads concatenated in extent order. Extents (or
+// tails of extents) past end of file are zero-filled and io.EOF is
+// returned alongside the byte count actually read from the file, so
+// reusable staging buffers never leak stale bytes.
+func (h *Handle) ReadAtVec(p []byte, exts []Extent) (int, error) {
+	var at sim.Time
+	if h.clock != nil {
+		at = h.clock.Now()
+	}
+	done, n, err := h.ReadAtVecTime(p, exts, at)
+	if h.clock != nil {
+		h.clock.AdvanceTo(done)
+	}
+	return n, err
+}
+
+// ReadAtVecTime is ReadAtVec with explicit virtual timing.
+func (h *Handle) ReadAtVecTime(p []byte, exts []Extent, at sim.Time) (sim.Time, int, error) {
+	if h.closed {
+		return at, 0, ErrClosed
+	}
+	spans, total, err := h.coalesce(exts)
+	if err != nil {
+		return at, 0, err
+	}
+	if total > int64(len(p)) {
+		return at, 0, fmt.Errorf("pfs: vectored read of %d extent bytes into %d payload bytes", total, len(p))
+	}
+	done := at
+	var read int64
+	short := false
+	for _, sp := range spans {
+		buf := p[sp.pPos : sp.pPos+sp.n]
+		n, err := h.f.readAt(buf, sp.off)
+		if int64(n) < sp.n {
+			clear(buf[n:])
+			short = true
+			if err != nil && err != io.EOF {
+				return done, int(read), err
+			}
+		}
+		read += int64(n)
+		done = h.charge(sp.off, int64(n), done)
+	}
+	h.sys.stats.readRequests.Add(int64(len(spans)))
+	h.sys.stats.bytesRead.Add(read)
+	if short {
+		return done, int(read), io.EOF
+	}
+	return done, int(read), nil
 }
 
 // Dump writes every file to dir on the host file system, flattening
@@ -522,9 +717,9 @@ func (s *System) Dump(dir string) error {
 		return err
 	}
 	for _, name := range s.List() {
-		s.mu.Lock()
+		s.mu.RLock()
 		f := s.files[name]
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		f.mu.RLock()
 		buf := make([]byte, f.size)
 		_, _ = f.readAtLocked(buf, 0)
@@ -596,9 +791,9 @@ func (s *System) WriteFile(name string, data []byte) error {
 
 // ReadFile returns a file's full contents without cost accounting.
 func (s *System) ReadFile(name string) ([]byte, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	f, ok := s.files[name]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("read %q: %w", name, ErrNotExist)
 	}

@@ -187,11 +187,17 @@ func (r *RNG) Float64() float64 {
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// drawing the same variates as Perm, so callers can reuse one buffer
+// across repeated shuffles.
+func (r *RNG) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}

@@ -57,6 +57,7 @@ type FUN3D struct {
 
 	mu       sync.Mutex
 	partVecs map[int][]int32
+	mshBuf   []byte // cached encoded mesh file; the mesh is immutable
 }
 
 // MshFileName is the staged mesh file's name, matching the paper.
@@ -80,21 +81,31 @@ func NewFUN3D(cfg FUN3DConfig) (*FUN3D, error) {
 }
 
 // Stage encodes the mesh file and places it in the cluster's file
-// system as externally created input.
+// system as externally created input. The encoded bytes are cached:
+// the mesh is immutable, so repeated staging (one per experiment
+// cluster) reuses the same buffer instead of re-synthesizing the data
+// arrays and re-encoding the file each time.
 func (f *FUN3D) Stage(cl *sdm.Cluster) error {
-	edgeData := make([][]float64, f.Cfg.EdgeArrays)
-	for k := range edgeData {
-		edgeData[k] = f.Mesh.EdgeData(k)
+	f.mu.Lock()
+	if f.mshBuf == nil {
+		edgeData := make([][]float64, f.Cfg.EdgeArrays)
+		for k := range edgeData {
+			edgeData[k] = f.Mesh.EdgeData(k)
+		}
+		nodeData := make([][]float64, f.Cfg.NodeArrays)
+		for k := range nodeData {
+			nodeData[k] = f.Mesh.NodeData(k)
+		}
+		buf, layout, err := mesh.EncodeMsh(f.Mesh, edgeData, nodeData)
+		if err != nil {
+			f.mu.Unlock()
+			return err
+		}
+		f.mshBuf = buf
+		f.Layout = layout
 	}
-	nodeData := make([][]float64, f.Cfg.NodeArrays)
-	for k := range nodeData {
-		nodeData[k] = f.Mesh.NodeData(k)
-	}
-	buf, layout, err := mesh.EncodeMsh(f.Mesh, edgeData, nodeData)
-	if err != nil {
-		return err
-	}
-	f.Layout = layout
+	buf := f.mshBuf
+	f.mu.Unlock()
 	return cl.StageFile(MshFileName, buf)
 }
 
