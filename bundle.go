@@ -1,0 +1,202 @@
+package sdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sdm/internal/catalog"
+	"sdm/internal/metadb"
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+	"sdm/internal/store"
+)
+
+// A run bundle is a self-contained on-disk snapshot of everything a
+// cluster accumulated: the metadata catalog (runs, datasets, execution
+// records, index histories) plus the simulated file system's bytes.
+// The paper's SDM promises that a later run can reopen earlier results
+// by name through the database; bundles make that hold across OS
+// processes — one process writes and saves, another opens the bundle
+// and replays an index history or reads datasets back through the
+// execution table.
+//
+// Layout:
+//
+//	<dir>/MANIFEST.json   format, backend kind, file inventory
+//	<dir>/catalog.db      metadb snapshot (the MySQL stand-in's dump)
+//	<dir>/data/...        file bytes, under a store backend:
+//	                      "dir" = one host file per simulated file;
+//	                      "cas" = SHA-256-chunked content-addressed
+//	                      pool with dedup and optional compression
+
+// BundleOptions tunes how a bundle stores file bytes.
+type BundleOptions struct {
+	// Backend selects the byte store: "dir" (default, one host file
+	// per simulated file) or "cas" (content-addressed chunks with
+	// dedup).
+	Backend string
+	// Compress flate-compresses cas chunks (ignored for "dir").
+	Compress bool
+	// ChunkSize overrides the cas chunk granularity (default 64 KiB).
+	ChunkSize int64
+}
+
+const (
+	bundleManifestName = "MANIFEST.json"
+	bundleCatalogName  = "catalog.db"
+	bundleDataDir      = "data"
+)
+
+// bundleManifest is the bundle's self-description, written last so a
+// complete manifest marks a complete bundle.
+type bundleManifest struct {
+	Format    int          `json:"format"`
+	CreatedAt string       `json:"created_at"`
+	Backend   string       `json:"backend"`
+	Compress  bool         `json:"compress,omitempty"`
+	ChunkSize int64        `json:"chunk_size,omitempty"`
+	Files     []bundleFile `json:"files"`
+}
+
+type bundleFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// bundleBackend constructs the byte store for a bundle directory.
+func bundleBackend(dir, kind string, compress bool, chunkSize int64) (store.Backend, error) {
+	dataDir := filepath.Join(dir, bundleDataDir)
+	switch kind {
+	case "dir":
+		return store.NewDir(dataDir)
+	case "cas":
+		return store.OpenCAS(dataDir, store.CASOptions{ChunkSize: chunkSize, Compress: compress})
+	}
+	return nil, fmt.Errorf("sdm: unknown bundle backend %q (want \"dir\" or \"cas\")", kind)
+}
+
+// saveBundle copies the cluster's catalog and file bytes into dir.
+func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
+	if opts.Backend == "" {
+		opts.Backend = "dir"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sdm: creating bundle dir: %w", err)
+	}
+	b, err := bundleBackend(dir, opts.Backend, opts.Compress, opts.ChunkSize)
+	if err != nil {
+		return err
+	}
+	m := bundleManifest{
+		Format:    1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Backend:   opts.Backend,
+		Compress:  opts.Compress,
+		ChunkSize: opts.ChunkSize,
+	}
+	// List through the backend directly so namespace errors surface
+	// (pfs.List's no-error signature would silently read as an empty
+	// cluster — and the stale-object sweep below must never run on a
+	// spuriously empty listing).
+	names, err := cl.FS.Backend().List()
+	if err != nil {
+		return fmt.Errorf("sdm: listing cluster files: %w", err)
+	}
+	want := make(map[string]bool)
+	for _, name := range names {
+		data, err := cl.FS.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("sdm: reading %q for bundle: %w", name, err)
+		}
+		// Replace any object a previous save left, so re-saving into
+		// one directory is incremental (cas reuses unchanged chunks).
+		if _, err := b.Stat(name); err == nil {
+			if err := b.Remove(name); err != nil {
+				return fmt.Errorf("sdm: replacing %q in bundle: %w", name, err)
+			}
+		}
+		obj, err := b.Create(name)
+		if err != nil {
+			return fmt.Errorf("sdm: storing %q in bundle: %w", name, err)
+		}
+		if _, err := obj.WriteAt(data, 0); err != nil {
+			return fmt.Errorf("sdm: storing %q in bundle: %w", name, err)
+		}
+		want[name] = true
+		m.Files = append(m.Files, bundleFile{Name: name, Size: int64(len(data))})
+	}
+	// Drop objects from a previous save that no longer exist.
+	existing, err := b.List()
+	if err != nil {
+		return fmt.Errorf("sdm: listing bundle contents: %w", err)
+	}
+	for _, name := range existing {
+		if !want[name] {
+			_ = b.Remove(name)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("sdm: syncing bundle data: %w", err)
+	}
+	cf, err := os.Create(filepath.Join(dir, bundleCatalogName))
+	if err != nil {
+		return err
+	}
+	if err := cl.DB.Save(cf); err != nil {
+		cf.Close()
+		return fmt.Errorf("sdm: saving bundle catalog: %w", err)
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, bundleManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, bundleManifestName))
+}
+
+// openBundle assembles a cluster on a saved bundle's storage.
+func openBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("sdm: opening bundle: %w", err)
+	}
+	var m bundleManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("sdm: corrupt bundle manifest: %w", err)
+	}
+	if m.Format != 1 {
+		return nil, fmt.Errorf("sdm: unsupported bundle format %d", m.Format)
+	}
+	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	db := metadb.New()
+	cf, err := os.Open(filepath.Join(dir, bundleCatalogName))
+	if err != nil {
+		return nil, fmt.Errorf("sdm: opening bundle catalog: %w", err)
+	}
+	defer cf.Close()
+	if err := db.Load(cf); err != nil {
+		return nil, fmt.Errorf("sdm: loading bundle catalog: %w", err)
+	}
+	cat := catalog.New(db)
+	cat.SetAccessCost(cfg.DBAccessCost)
+	return &Cluster{
+		cfg:     cfg,
+		World:   mpi.NewWorld(cfg.Procs, cfg.Network),
+		FS:      pfs.NewSystemOn(cfg.Storage, b),
+		DB:      db,
+		Catalog: cat,
+	}, nil
+}

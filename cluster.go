@@ -167,6 +167,33 @@ func (cl *Cluster) LoadCatalog(path string) error {
 // inspection.
 func (cl *Cluster) DumpFiles(dir string) error { return cl.FS.Dump(dir) }
 
+// SaveBundle persists the cluster as a self-contained run bundle:
+// metadata catalog plus every simulated file's bytes under dir, so a
+// later OS process can OpenBundle and read earlier results by name
+// through the database (replay an index history, re-read datasets via
+// the execution table). The default layout stores one host file per
+// simulated file; see SaveBundleOpts for content-addressed storage.
+func (cl *Cluster) SaveBundle(dir string) error {
+	return saveBundle(cl, dir, BundleOptions{})
+}
+
+// SaveBundleOpts is SaveBundle with an explicit storage choice —
+// BundleOptions{Backend: "cas", Compress: true} stores deduplicated,
+// compressed SHA-256 chunks. Re-saving into the same directory is
+// incremental: unchanged chunks are reused.
+func (cl *Cluster) SaveBundleOpts(dir string, opts BundleOptions) error {
+	return saveBundle(cl, dir, opts)
+}
+
+// OpenBundle assembles a fresh cluster (new ranks, idle I/O servers)
+// on top of a saved bundle: the metadata catalog is loaded from the
+// bundle's snapshot and the file system serves the bundle's bytes
+// through its storage backend. Options.AttachRun plus Manager.OpenGroup
+// then reopen an earlier run's datasets for reading or appending.
+func OpenBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
+	return openBundle(dir, cfg)
+}
+
 // AttachStorage shares another cluster's file system and metadata
 // catalog with this one, modelling a new job launched on the same
 // machine: files and database contents persist, but the I/O servers

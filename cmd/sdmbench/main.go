@@ -14,6 +14,11 @@
 //
 //	sdmbench [-experiment all|fig5|fig6|fig7|ablations] [-nx 32] [-rtnx 40]
 //	         [-procs 64] [-steps 2] [-rtsteps 5] [-json BENCH.json]
+//	         [-bundle DIR]
+//
+// With -bundle, the last experiment's cluster (files plus metadata
+// catalog) is saved as a run bundle under DIR, inspectable afterwards
+// with sdmcat/sdmls and reopenable with sdm.OpenBundle.
 package main
 
 import (
@@ -51,6 +56,10 @@ type benchLog struct {
 	GOARCH    string        `json:"goarch"`
 	Records   []benchRecord `json:"records"`
 }
+
+// lastCluster is the most recent experiment's cluster, kept so -bundle
+// can persist a bench run's artifacts for later inspection.
+var lastCluster *sdm.Cluster
 
 // measure runs fn, returning its wall time and allocation count.
 func measure(fn func() error) (time.Duration, uint64, error) {
@@ -97,6 +106,7 @@ func main() {
 	steps := flag.Int("steps", 2, "FUN3D checkpoint steps (paper: 2)")
 	rtsteps := flag.Int("rtsteps", 5, "RT checkpoints (paper: 5)")
 	jsonPath := flag.String("json", "", "append machine-readable results to this JSON file")
+	bundlePath := flag.String("bundle", "", "save the last experiment's cluster as a run bundle here")
 	flag.Parse()
 
 	var bl *benchLog
@@ -135,6 +145,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d records to %s (%d total)\n", fresh, *jsonPath, len(bl.Records))
 	}
+	if *bundlePath != "" {
+		if lastCluster == nil {
+			log.Fatal("-bundle: no experiment cluster to save")
+		}
+		if err := lastCluster.SaveBundle(*bundlePath); err != nil {
+			log.Fatalf("saving bundle: %v", err)
+		}
+		fmt.Printf("saved run bundle to %s\n", *bundlePath)
+	}
 }
 
 func newFUN3D(nx int) *workloads.FUN3D {
@@ -158,6 +177,7 @@ func runFig5(nx, procs int, bl *benchLog) {
 		"nodes": f.Mesh.NumNodes(), "edges": f.Mesh.NumEdges()}
 
 	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+	lastCluster = cl
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
@@ -201,6 +221,7 @@ func runFig5(nx, procs int, bl *benchLog) {
 func fig6Case(f *workloads.FUN3D, level sdm.FileOrganization, procs, steps int,
 	hints sdm.Hints, experiment, name string, bl *benchLog) *workloads.Fig6Stats {
 	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+	lastCluster = cl
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
@@ -256,6 +277,7 @@ func runFig7(rtnx, rtsteps int, bl *benchLog) {
 	for _, mode := range []workloads.RTMode{workloads.RTOriginal, workloads.RTLevel1, workloads.RTLevel23} {
 		for _, procs := range []int{32, 64} {
 			cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+			lastCluster = cl
 			var st *workloads.RTStats
 			wall, allocs, err := measure(func() error {
 				var err error
@@ -309,6 +331,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 	fmt.Fprintf(w, "configuration\timport (s)\tindex distri. (s)\n")
 	{
 		cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+		lastCluster = cl
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
@@ -333,6 +356,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 		cfg := sdm.Origin2000Config(procs)
 		cfg.Storage.NumServers = servers
 		cl := sdm.NewCluster(cfg)
+		lastCluster = cl
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
@@ -377,6 +401,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 		expCfg.Storage.OpenCost *= 100
 		expCfg.Storage.ViewCost *= 100
 		cl2 := sdm.NewCluster(expCfg)
+		lastCluster = cl2
 		if err := f.Stage(cl2); err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,170 @@
+// Command sdmcat reads dataset bytes back out of a saved run bundle
+// (Cluster.SaveBundle): it resolves a (run, dataset, timestep) through
+// the bundle's execution table to a (file, offset) and dumps the slab
+// — the promise that data written through SDM stays reachable by name
+// from the metadata catalog, demonstrated from a separate OS process.
+//
+// Usage:
+//
+//	sdmcat -list BUNDLEDIR
+//	sdmcat -dataset pressure [-run 1] [-timestep 0] [-as auto|raw|double|int|long]
+//	       [-head 10] [-o out.bin] BUNDLEDIR
+//
+// With -as raw the slab's bytes go to stdout (or -o) verbatim; the
+// typed forms print one value per line, decoded per the dataset's
+// registered data type.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"sdm"
+	"sdm/internal/catalog"
+	"sdm/internal/pfs"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the bundle's runs, datasets, and recorded writes")
+	run := flag.Int64("run", 0, "run id (default: the bundle's latest run)")
+	dataset := flag.String("dataset", "", "dataset name to dump")
+	timestep := flag.Int64("timestep", 0, "timestep to dump")
+	as := flag.String("as", "auto", "output form: auto, raw, double, int, long")
+	head := flag.Int64("head", 0, "print only the first N values (0 = all)")
+	out := flag.String("o", "", "write raw bytes to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdmcat [-list | -dataset name [options]] BUNDLEDIR")
+		os.Exit(2)
+	}
+
+	cl, err := sdm.OpenBundle(flag.Arg(0), sdm.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := cl.Catalog
+	cat.SetAccessCost(0)
+
+	runs, err := cat.Runs(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		printInventory(cat, runs)
+		return
+	}
+	if *dataset == "" {
+		log.Fatal("sdmcat: -dataset is required (or use -list)")
+	}
+	if *run == 0 {
+		if len(runs) == 0 {
+			log.Fatal("sdmcat: bundle has no runs")
+		}
+		*run = runs[len(runs)-1].RunID
+	}
+
+	info, err := cat.LookupDataset(nil, *run, *dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if info == nil {
+		log.Fatalf("sdmcat: dataset %q not registered for run %d", *dataset, *run)
+	}
+	rec, err := cat.LookupWrite(nil, *run, *dataset, *timestep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec == nil {
+		log.Fatalf("sdmcat: no execution_table entry for run %d dataset %q timestep %d",
+			*run, *dataset, *timestep)
+	}
+
+	elemSize := int64(8)
+	if info.DataType == "INTEGER" {
+		elemSize = 4
+	}
+	buf := make([]byte, info.GlobalSize*elemSize)
+	h, err := cl.FS.Open(rec.FileName, pfs.ReadOnly, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := h.ReadAt(buf, rec.FileOffset); err != nil {
+		log.Fatalf("sdmcat: reading %s@%d: %v", rec.FileName, rec.FileOffset, err)
+	}
+
+	form := *as
+	if form == "auto" {
+		switch info.DataType {
+		case "INTEGER":
+			form = "int"
+		case "LONG":
+			form = "long"
+		default:
+			form = "double"
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if form == "raw" {
+		if _, err := w.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	n := info.GlobalSize
+	if *head > 0 && *head < n {
+		n = *head
+	}
+	for i := int64(0); i < n; i++ {
+		switch form {
+		case "double":
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			fmt.Fprintf(bw, "%g\n", v)
+		case "int":
+			fmt.Fprintf(bw, "%d\n", int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		case "long":
+			fmt.Fprintf(bw, "%d\n", int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		default:
+			log.Fatalf("sdmcat: unknown -as form %q", form)
+		}
+	}
+}
+
+// printInventory lists what the bundle's catalog knows: runs, their
+// datasets, and every recorded write.
+func printInventory(cat *catalog.Catalog, runs []catalog.Run) {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	for _, r := range runs {
+		fmt.Fprintf(w, "run %d\t%s\t%s\n", r.RunID, r.Application, r.Stamp.Format("2006-01-02 15:04"))
+		infos, err := cat.Datasets(nil, r.RunID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range infos {
+			fmt.Fprintf(w, "  dataset %s\t%s x %d\t%s\n", d.Dataset, d.DataType, d.GlobalSize, d.AccessPattern)
+		}
+		recs, err := cat.WritesForRun(nil, r.RunID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rec := range recs {
+			fmt.Fprintf(w, "  write %s@%d\t%s\toffset %d\n", rec.Dataset, rec.Timestep, rec.FileName, rec.FileOffset)
+		}
+	}
+	w.Flush()
+}

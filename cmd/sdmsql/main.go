@@ -1,10 +1,13 @@
 // Command sdmsql is an interactive shell for the embedded metadata
-// database (the MySQL stand-in). It reads SQL statements from stdin,
-// one per line, and prints results; with -db it operates on a saved
-// catalog snapshot and persists changes back on exit with \w.
+// database (the MySQL stand-in). Statements may span multiple lines
+// and are terminated by ';' (a final unterminated statement executes
+// at EOF, so piped one-liners still work); results print after each
+// complete statement. With -db it operates on a saved catalog
+// snapshot and persists changes back with \w.
 //
-// Meta commands: \t lists tables, \d <table> shows columns,
-// \w writes the database back to the -db file, \q quits.
+// Meta commands (on their own line): \t lists tables, \d <table>
+// shows columns, \w writes the database back to the -db file,
+// \q quits.
 //
 // Usage:
 //
@@ -44,45 +47,97 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminal()
-	if interactive {
-		fmt.Print("sdmsql> ")
-	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "" || strings.HasPrefix(line, "--"):
-		case line == `\q`:
+	var pending strings.Builder
+	prompt := func() {
+		if !interactive {
 			return
-		case line == `\t`:
-			for _, t := range db.TableNames() {
-				fmt.Println(t)
-			}
-		case strings.HasPrefix(line, `\d `):
-			cols, err := db.Columns(strings.TrimSpace(line[3:]))
-			if err != nil {
-				fmt.Println("error:", err)
-				break
-			}
-			for _, c := range cols {
-				fmt.Println(c)
-			}
-		case line == `\w`:
-			if *dbPath == "" {
-				fmt.Println("error: no -db path to write to")
-				break
-			}
-			if err := save(db, *dbPath); err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Printf("wrote %s\n", *dbPath)
-			}
-		default:
-			execute(db, line)
 		}
-		if interactive {
+		if pending.Len() == 0 {
 			fmt.Print("sdmsql> ")
+		} else {
+			fmt.Print("   ...> ")
 		}
 	}
+	prompt()
+	for sc.Scan() {
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		// Meta commands and comments only apply between statements.
+		if pending.Len() == 0 {
+			switch {
+			case line == "" || strings.HasPrefix(line, "--"):
+				prompt()
+				continue
+			case line == `\q`:
+				return
+			case line == `\t`:
+				for _, t := range db.TableNames() {
+					fmt.Println(t)
+				}
+				prompt()
+				continue
+			case strings.HasPrefix(line, `\d `):
+				cols, err := db.Columns(strings.TrimSpace(line[3:]))
+				if err != nil {
+					fmt.Println("error:", err)
+				} else {
+					for _, c := range cols {
+						fmt.Println(c)
+					}
+				}
+				prompt()
+				continue
+			case line == `\w`:
+				if *dbPath == "" {
+					fmt.Println("error: no -db path to write to")
+				} else if err := save(db, *dbPath); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("wrote %s\n", *dbPath)
+				}
+				prompt()
+				continue
+			}
+		}
+		pending.WriteString(raw)
+		pending.WriteByte('\n')
+		stmts, rest := splitStatements(pending.String())
+		pending.Reset()
+		pending.WriteString(rest)
+		for _, stmt := range stmts {
+			execute(db, stmt)
+		}
+		prompt()
+	}
+	// EOF flushes an unterminated trailing statement, keeping
+	// `echo 'SELECT ...' | sdmsql` working without a semicolon.
+	if tail := strings.TrimSpace(pending.String()); tail != "" {
+		execute(db, tail)
+	}
+}
+
+// splitStatements cuts the accumulated input at every ';' that sits
+// outside a single-quoted SQL string (a doubled quote escapes one
+// inside a string), returning the complete statements and the
+// unterminated remainder.
+func splitStatements(src string) (stmts []string, rest string) {
+	start := 0
+	inString := false
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\'':
+			inString = !inString
+		case ';':
+			if inString {
+				continue
+			}
+			if s := strings.TrimSpace(src[start:i]); s != "" {
+				stmts = append(stmts, s)
+			}
+			start = i + 1
+		}
+	}
+	return stmts, src[start:]
 }
 
 func execute(db *metadb.DB, stmt string) {

@@ -73,6 +73,21 @@ func (d DataType) String() string {
 	}
 }
 
+// ParseDataType maps a metadata value ("DOUBLE", "INTEGER", "LONG")
+// back to its DataType, for reconstructing attributes from the
+// catalog.
+func ParseDataType(s string) (DataType, error) {
+	switch s {
+	case "DOUBLE":
+		return Double, nil
+	case "INTEGER":
+		return Integer, nil
+	case "LONG":
+		return Long, nil
+	}
+	return 0, fmt.Errorf("core: unknown data type %q", s)
+}
+
 // FileOrganization selects among the paper's three ways of organizing
 // data in files.
 type FileOrganization int
@@ -115,6 +130,13 @@ type Options struct {
 	// still function (history registration becomes a no-op), supporting
 	// the ablation that isolates database cost.
 	DisableDB bool
+	// AttachRun, when positive, attaches to an existing run_table row
+	// instead of registering a new run — the restart path: a process
+	// reopening a saved bundle can re-read (or extend) an earlier run's
+	// datasets by name through the execution table. The run must exist,
+	// and the file organization should match the one the run was
+	// written with. See SDM.OpenGroup.
+	AttachRun int64
 	// Stamp is the wall-clock time recorded in run_table (defaults to
 	// a fixed date for reproducibility).
 	Stamp time.Time
@@ -171,6 +193,9 @@ func Initialize(env Env, app string, opts Options) (*SDM, error) {
 	}
 	s := &SDM{env: env, app: app, opts: opts}
 	if opts.DisableDB {
+		if opts.AttachRun > 0 {
+			return nil, fmt.Errorf("core: Options.AttachRun requires the metadata catalog")
+		}
 		s.runID = 1
 		env.Comm.Barrier()
 		return s, nil
@@ -180,6 +205,16 @@ func Initialize(env Env, app string, opts Options) (*SDM, error) {
 	if env.Comm.Rank() == 0 {
 		if err := env.Catalog.EnsureSchema(); err != nil {
 			initErr = err
+		} else if opts.AttachRun > 0 {
+			run, err := env.Catalog.LookupRun(env.Comm.Clock(), opts.AttachRun)
+			switch {
+			case err != nil:
+				initErr = err
+			case run == nil:
+				initErr = fmt.Errorf("core: no run %d in run_table to attach to", opts.AttachRun)
+			default:
+				runID = run.RunID
+			}
 		} else {
 			runID, initErr = env.Catalog.RegisterRun(env.Comm.Clock(), app, 3, 0, 0, opts.Stamp)
 		}

@@ -50,13 +50,11 @@ type openFile struct {
 	hasView bool
 }
 
-// SetAttributes registers a data group: all dataset metadata goes to
-// access_pattern_table and a group handle is returned (the paper's
-// SDM_set_attributes returning the file handle). Collective.
-func (s *SDM) SetAttributes(attrs []Attr) (*Group, error) {
-	if len(attrs) == 0 {
-		return nil, fmt.Errorf("core: SetAttributes with empty attribute list")
-	}
+// newGroup assembles a Group from attributes without touching the
+// catalog — the shared construction beneath SetAttributes (which
+// registers the datasets) and OpenGroup (which found them already
+// registered).
+func (s *SDM) newGroup(attrs []Attr) (*Group, error) {
 	g := &Group{
 		s:          s,
 		idx:        len(s.groups),
@@ -86,7 +84,21 @@ func (s *SDM) SetAttributes(attrs []Attr) (*Group, error) {
 	if g.uniform {
 		g.slabSize = g.attrs[0].GlobalSize * g.attrs[0].Type.Size()
 	}
-	err := s.catalogCall(func() error {
+	return g, nil
+}
+
+// SetAttributes registers a data group: all dataset metadata goes to
+// access_pattern_table and a group handle is returned (the paper's
+// SDM_set_attributes returning the file handle). Collective.
+func (s *SDM) SetAttributes(attrs []Attr) (*Group, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: SetAttributes with empty attribute list")
+	}
+	g, err := s.newGroup(attrs)
+	if err != nil {
+		return nil, err
+	}
+	err = s.catalogCall(func() error {
 		for _, a := range g.attrs {
 			info := catalog.DatasetInfo{
 				RunID:         s.runID,
@@ -107,6 +119,112 @@ func (s *SDM) SetAttributes(attrs []Attr) (*Group, error) {
 	}
 	s.groups = append(s.groups, g)
 	return g, nil
+}
+
+// OpenGroup reopens datasets already registered for the attached run
+// (Options.AttachRun), reconstructing their attributes from
+// access_pattern_table instead of re-registering them. Rank 0 queries
+// the catalog and broadcasts; append state is primed from the
+// execution table so further writes extend the run's files rather
+// than overwrite them. Collective.
+func (s *SDM) OpenGroup(names []string) (*Group, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: OpenGroup with no dataset names")
+	}
+	if s.opts.DisableDB {
+		return nil, fmt.Errorf("core: OpenGroup requires the metadata catalog")
+	}
+	type wire struct {
+		Attrs []Attr
+		Recs  []catalog.WriteRecord
+		Err   string
+	}
+	var w wire
+	if s.env.Comm.Rank() == 0 {
+		for _, n := range names {
+			info, err := s.env.Catalog.LookupDataset(s.env.Comm.Clock(), s.runID, n)
+			if err != nil {
+				w.Err = err.Error()
+				break
+			}
+			if info == nil {
+				w.Err = fmt.Sprintf("core: dataset %q not registered for run %d", n, s.runID)
+				break
+			}
+			t, err := ParseDataType(info.DataType)
+			if err != nil {
+				w.Err = err.Error()
+				break
+			}
+			w.Attrs = append(w.Attrs, Attr{
+				Name:       info.Dataset,
+				Type:       t,
+				GlobalSize: info.GlobalSize,
+				Pattern:    info.AccessPattern,
+				Order:      info.StorageOrder,
+			})
+		}
+		if w.Err == "" {
+			recs, err := s.env.Catalog.WritesForRun(s.env.Comm.Clock(), s.runID)
+			if err != nil {
+				w.Err = err.Error()
+			} else {
+				w.Recs = recs
+			}
+		}
+	}
+	res := s.env.Comm.Bcast(0, w, 256).(wire)
+	if res.Err != "" {
+		return nil, fmt.Errorf("%s", res.Err)
+	}
+	g, err := s.newGroup(res.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	g.primeAppendState(res.Recs)
+	s.groups = append(s.groups, g)
+	return g, nil
+}
+
+// primeAppendState advances the per-file append cursors past
+// everything the old run wrote, so a reattached group's new writes
+// land after the existing data. Two signals are combined: exact slab
+// ends from the execution table for datasets this group knows, and
+// each file's current size as a floor — the latter protects datasets
+// that share the file but were not named in OpenGroup (a level-3
+// group reopened as a subset must not clobber its siblings).
+func (g *Group) primeAppendState(recs []catalog.WriteRecord) {
+	if g.s.opts.Organization == Level1 {
+		return // file per timestep: nothing to collide with
+	}
+	ends := make(map[string]int64)
+	note := func(file string, end int64) {
+		if cur, ok := ends[file]; !ok || end > cur {
+			ends[file] = end
+		}
+	}
+	for _, rec := range recs {
+		if i, ok := g.byName[rec.Dataset]; ok {
+			a := g.attrs[i]
+			note(rec.FileName, rec.FileOffset+a.GlobalSize*a.Type.Size())
+		} else {
+			note(rec.FileName, 0) // unknown slab size; the size floor below covers it
+		}
+	}
+	for file := range ends {
+		if sz, err := g.s.env.FS.FileSize(file); err == nil {
+			note(file, sz)
+		}
+	}
+	for file, end := range ends {
+		if g.uniform {
+			if slabs := (end + g.slabSize - 1) / g.slabSize; slabs > g.appendSlab[file] {
+				g.appendSlab[file] = slabs
+			}
+		} else if end > g.appendOff[file] {
+			g.appendOff[file] = end
+		}
+	}
 }
 
 // Attr returns a dataset's attributes.
@@ -439,10 +557,13 @@ func (g *Group) Read(dataset string, timestep int64, out []byte) error {
 	switch {
 	case g.s.opts.Organization == Level1:
 		disp, logicalOff = 0, 0
-	case g.uniform:
+	case g.uniform && rec.FileOffset%g.slabSize == 0:
 		slab := rec.FileOffset / g.slabSize
 		logicalOff = slab * int64(v.LocalSize()) * v.elemSize
 	default:
+		// Byte-addressed placement: either a mixed group, or a slab
+		// whose offset doesn't sit on this group's slab grid (written
+		// by a differently-shaped group and reopened as a subset).
 		disp = rec.FileOffset
 	}
 	of.applyView(disp, v)

@@ -18,6 +18,7 @@ type DB struct {
 	queryCount  atomic.Int64 // cumulative statements executed, for cost accounting
 	rowsScanned atomic.Int64 // candidate rows examined by WHERE evaluation
 	indexHits   atomic.Int64 // statements answered from an index (equality or range)
+	orderSkips  atomic.Int64 // ORDER BYs served from index order, skipping the sort
 }
 
 type cachedStmt struct {
@@ -121,6 +122,42 @@ func (idx *index) ensureSorted() []*bucket {
 	return s
 }
 
+// orderIDs reorders matched row ids into the index's value order —
+// buckets ascending (or descending) by compare, ids ascending within
+// each bucket — which is exactly what the stable result sort over
+// insertion-ordered rows produces, so serving ORDER BY from the index
+// is output-identical to sorting.
+func (idx *index) orderIDs(ids []int64, desc bool) []int64 {
+	want := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make([]int64, 0, len(ids))
+	takeBucket := func(b *bucket) {
+		start := len(out)
+		for _, id := range b.ids {
+			if want[id] {
+				out = append(out, id)
+			}
+		}
+		// A bucket's id order can drift from insertion order after
+		// UPDATEs (remove + re-insert); restore it so ties keep the
+		// stable-sort tie order.
+		sort.Slice(out[start:], func(i, j int) bool { return out[start+i] < out[start+j] })
+	}
+	s := idx.ensureSorted()
+	if desc {
+		for i := len(s) - 1; i >= 0; i-- {
+			takeBucket(s[i])
+		}
+	} else {
+		for _, b := range s {
+			takeBucket(b)
+		}
+	}
+	return out
+}
+
 // lookupRange returns the ids of every bucket within the given bounds.
 // A nil bound is unbounded on that side. The result is a fresh slice in
 // arbitrary bucket order; callers re-evaluate the full predicate and
@@ -175,6 +212,10 @@ func (db *DB) RowsScanned() int64 { return db.rowsScanned.Load() }
 // IndexHits reports how many statements obtained their candidate rows
 // from an index (equality or range) instead of a full scan.
 func (db *DB) IndexHits() int64 { return db.indexHits.Load() }
+
+// OrderSkips reports how many SELECTs had their ORDER BY served from
+// an index's value order instead of sorting the result rows.
+func (db *DB) OrderSkips() int64 { return db.orderSkips.Load() }
 
 // Rows is a query result: column labels plus row data.
 type Rows struct {
@@ -985,6 +1026,19 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 		return res, nil
 	}
 
+	// When the single sort key is the indexed column, emit rows in the
+	// index's value order and skip the sort entirely (the ROADMAP's
+	// ORDER-BY-from-index step); the counter lets callers verify the
+	// sort was skipped.
+	orderedByIndex := false
+	if len(s.orderBy) == 1 {
+		if idx, ok := t.indexes[normalizeIdent(s.orderBy[0].col)]; ok {
+			ids = idx.orderIDs(ids, s.orderBy[0].desc)
+			orderedByIndex = true
+			db.orderSkips.Add(1)
+		}
+	}
+
 	for _, id := range ids {
 		ctx.row = t.rows[id]
 		row := make([]Value, len(items))
@@ -998,7 +1052,7 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 		res.Data = append(res.Data, row)
 	}
 
-	if len(s.orderBy) > 0 {
+	if len(s.orderBy) > 0 && !orderedByIndex {
 		// Order by the projected column when present; otherwise fall
 		// back to the source row's column value.
 		keyPos := make([]int, len(s.orderBy))

@@ -2,10 +2,12 @@
 // SDM — the role played by SGI XFS over 10 Fibre Channel controllers
 // and 110 disks on the paper's Origin2000.
 //
-// Files are really stored (in memory, as sparse 64 KiB pages, dumpable
-// to a host directory), so correctness is testable end to end. Costs
-// are simulated: every byte range maps onto stripe units that live on
-// one of a configurable number of I/O servers; each server is a serial
+// Files are really stored, so correctness is testable end to end; the
+// bytes live in a pluggable internal/store backend (in-memory sparse
+// pages by default, a host directory or content-addressed chunk store
+// for durable run bundles). Costs are simulated independently of the
+// backend: every byte range maps onto stripe units that live on one of
+// a configurable number of I/O servers; each server is a serial
 // resource (internal/sim.Resource) charging a fixed per-request latency
 // plus bytes/bandwidth, and a metadata server charges file-open, close,
 // and file-view costs. These are exactly the knobs the paper's
@@ -21,16 +23,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"sdm/internal/sim"
+	"sdm/internal/store"
 )
-
-// pageSize is the granularity of the sparse in-memory backing store.
-const pageSize = 64 * 1024
 
 // Errors returned by the file system.
 var (
@@ -118,12 +117,16 @@ func (a *atomicStats) snapshot() Stats {
 
 // System is one parallel file system instance: a flat namespace of
 // striped files plus the simulated hardware. It is safe for concurrent
-// use by many rank goroutines. The namespace map is guarded by an
-// RWMutex taken only on open/remove/list operations; per-file state is
-// guarded by each file's own lock, so rank goroutines doing data I/O
-// on different files never contend on a system-wide lock.
+// use by many rank goroutines. The namespace lives in the storage
+// backend; the files map caches open objects and is guarded by an
+// RWMutex taken only on open/remove operations. Per-file state is
+// guarded by each file's own lock, so with the default memory (and
+// dir) backends, rank goroutines doing data I/O on different files
+// never contend on a system-wide lock; the cas backend adds its own
+// chunk-pool lock beneath (see internal/store).
 type System struct {
 	cfg     Config
+	backend store.Backend
 	mu      sync.RWMutex
 	files   map[string]*file
 	servers []*sim.Resource
@@ -131,8 +134,17 @@ type System struct {
 	stats atomicStats
 }
 
-// NewSystem creates a file system with the given hardware profile.
+// NewSystem creates a file system with the given hardware profile on
+// the default volatile in-memory backend.
 func NewSystem(cfg Config) *System {
+	return NewSystemOn(cfg, store.NewMem())
+}
+
+// NewSystemOn creates a file system whose bytes live in the given
+// storage backend. Objects already present in the backend (a reopened
+// run bundle) appear as files; cost accounting is identical across
+// backends, so simulated metrics never depend on where bytes live.
+func NewSystemOn(cfg Config, backend store.Backend) *System {
 	if cfg.NumServers < 1 {
 		panic(fmt.Sprintf("pfs: NumServers must be >= 1, got %d", cfg.NumServers))
 	}
@@ -140,8 +152,9 @@ func NewSystem(cfg Config) *System {
 		panic(fmt.Sprintf("pfs: StripeSize must be >= 1, got %d", cfg.StripeSize))
 	}
 	s := &System{
-		cfg:   cfg,
-		files: make(map[string]*file),
+		cfg:     cfg,
+		backend: backend,
+		files:   make(map[string]*file),
 	}
 	s.servers = make([]*sim.Resource, cfg.NumServers)
 	for i := range s.servers {
@@ -152,6 +165,9 @@ func NewSystem(cfg Config) *System {
 
 // Config returns the system's hardware profile.
 func (s *System) Config() Config { return s.cfg }
+
+// Backend exposes the storage backend holding the file bytes.
+func (s *System) Backend() store.Backend { return s.backend }
 
 // Stats returns a snapshot of cumulative activity counters.
 func (s *System) Stats() Stats {
@@ -177,86 +193,39 @@ func (s *System) ResetSchedules() {
 	}
 }
 
-// file is the shared state of one stored file.
+// file is the shared state of one open file: a lock serializing
+// mutation around the backend object holding the bytes.
 type file struct {
-	mu    sync.RWMutex
-	pages map[int64][]byte
-	size  int64
+	mu  sync.RWMutex
+	obj store.Object
 }
 
-func (f *file) writeAt(p []byte, off int64) {
+func (f *file) writeAt(p []byte, off int64) error {
 	if len(p) == 0 {
-		return
+		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	end := off + int64(len(p))
-	if end > f.size {
-		f.size = end
-	}
-	for len(p) > 0 {
-		page := off / pageSize
-		po := off % pageSize
-		n := int64(len(p))
-		if n > pageSize-po {
-			n = pageSize - po
-		}
-		buf := f.pages[page]
-		if buf == nil {
-			buf = make([]byte, pageSize)
-			f.pages[page] = buf
-		}
-		copy(buf[po:po+n], p[:n])
-		p = p[n:]
-		off += n
-	}
+	_, err := f.obj.WriteAt(p, off)
+	return err
 }
 
 func (f *file) readAt(p []byte, off int64) (int, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if off >= f.size {
-		return 0, io.EOF
-	}
-	want := int64(len(p))
-	avail := f.size - off
-	short := false
-	if want > avail {
-		want = avail
-		short = true
-	}
-	read := int64(0)
-	for read < want {
-		page := (off + read) / pageSize
-		po := (off + read) % pageSize
-		n := want - read
-		if n > pageSize-po {
-			n = pageSize - po
-		}
-		if buf := f.pages[page]; buf != nil {
-			copy(p[read:read+n], buf[po:po+n])
-		} else {
-			for i := read; i < read+n; i++ {
-				p[i] = 0
-			}
-		}
-		read += n
-	}
-	if short {
-		return int(read), io.EOF
-	}
-	return int(read), nil
+	return f.obj.ReadAt(p, off)
 }
 
-func (f *file) truncate(n int64) {
+func (f *file) truncate(n int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.size = n
-	for page := range f.pages {
-		if page*pageSize >= n {
-			delete(f.pages, page)
-		}
-	}
+	return f.obj.Truncate(n)
+}
+
+func (f *file) size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.obj.Size()
 }
 
 // Mode selects how a file is opened.
@@ -289,25 +258,44 @@ type Handle struct {
 	vecScratch  []vecSpan
 }
 
+// lookup returns the cached wrapper for name, opening the backend
+// object on first touch and creating it when create is set. The
+// boolean reports whether the object was newly created.
+func (s *System) lookup(name string, create bool) (*file, bool, error) {
+	s.mu.RLock()
+	f := s.files[name]
+	s.mu.RUnlock()
+	if f != nil {
+		return f, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.files[name]; f != nil {
+		return f, false, nil
+	}
+	obj, err := s.backend.Open(name)
+	created := false
+	if errors.Is(err, store.ErrNotExist) {
+		if !create {
+			return nil, false, fmt.Errorf("open %q: %w", name, ErrNotExist)
+		}
+		obj, err = s.backend.Create(name)
+		created = err == nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("pfs: %w", err)
+	}
+	f = &file{obj: obj}
+	s.files[name] = f
+	return f, created, nil
+}
+
 // Open opens (or with CreateMode, creates) a file, charging the open
 // cost to the opening rank's clock.
 func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error) {
-	s.mu.RLock()
-	f, ok := s.files[name]
-	s.mu.RUnlock()
-	created := false
-	if !ok {
-		if mode != CreateMode {
-			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
-		}
-		s.mu.Lock()
-		f, ok = s.files[name]
-		if !ok {
-			f = &file{pages: make(map[int64][]byte)}
-			s.files[name] = f
-			created = true
-		}
-		s.mu.Unlock()
+	f, created, err := s.lookup(name, mode == CreateMode)
+	if err != nil {
+		return nil, err
 	}
 
 	if clock != nil {
@@ -326,18 +314,25 @@ func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error)
 // Exists reports whether a file is present.
 func (s *System) Exists(name string) bool {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.files[name]
-	return ok
+	_, cached := s.files[name]
+	s.mu.RUnlock()
+	if cached {
+		return true
+	}
+	_, err := s.backend.Stat(name)
+	return err == nil
 }
 
-// Remove deletes a file from the namespace. Open handles keep their
-// data (POSIX-like unlink semantics).
+// Remove deletes a file from the namespace. With the memory backend,
+// open handles keep their data (POSIX-like unlink semantics).
 func (s *System) Remove(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.files[name]; !ok {
-		return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+	if err := s.backend.Remove(name); err != nil {
+		if errors.Is(err, store.ErrNotExist) {
+			return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+		}
+		return fmt.Errorf("pfs: %w", err)
 	}
 	delete(s.files, name)
 	return nil
@@ -345,28 +340,34 @@ func (s *System) Remove(name string) error {
 
 // List returns all file names in lexical order.
 func (s *System) List() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.files))
-	for n := range s.files {
-		names = append(names, n)
+	names, err := s.backend.List()
+	if err != nil {
+		return nil
 	}
-	sort.Strings(names)
 	return names
 }
 
 // FileSize reports a file's current size without opening it.
 func (s *System) FileSize(name string) (int64, error) {
 	s.mu.RLock()
-	f, ok := s.files[name]
+	f := s.files[name]
 	s.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+	if f != nil {
+		return f.size(), nil
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.size, nil
+	n, err := s.backend.Stat(name)
+	if err != nil {
+		if errors.Is(err, store.ErrNotExist) {
+			return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+		}
+		return 0, fmt.Errorf("pfs: %w", err)
+	}
+	return n, nil
 }
+
+// Sync flushes the storage backend's durable state (chunk files,
+// manifests). A no-op for volatile backends.
+func (s *System) Sync() error { return s.backend.Sync() }
 
 // Name reports the handle's file name.
 func (h *Handle) Name() string { return h.name }
@@ -393,9 +394,7 @@ func (h *Handle) SieveGap() int64 {
 
 // Size reports the file's current size.
 func (h *Handle) Size() int64 {
-	h.f.mu.RLock()
-	defer h.f.mu.RUnlock()
-	return h.f.size
+	return h.f.size()
 }
 
 // Truncate sets the file size.
@@ -406,8 +405,7 @@ func (h *Handle) Truncate(n int64) error {
 	if h.mode == ReadOnly {
 		return ErrReadOnly
 	}
-	h.f.truncate(n)
-	return nil
+	return h.f.truncate(n)
 }
 
 // Close releases the handle, charging the close cost.
@@ -522,7 +520,9 @@ func (h *Handle) WriteAtTime(p []byte, off int64, at sim.Time) (sim.Time, int, e
 	if off < 0 {
 		return at, 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
-	h.f.writeAt(p, off)
+	if err := h.f.writeAt(p, off); err != nil {
+		return at, 0, err
+	}
 	done := h.charge(off, int64(len(p)), at)
 	h.sys.stats.writeReqs.Add(1)
 	h.sys.stats.bytesWritten.Add(int64(len(p)))
@@ -649,7 +649,9 @@ func (h *Handle) WriteAtVecTime(p []byte, exts []Extent, at sim.Time) (sim.Time,
 	}
 	done := at
 	for _, sp := range spans {
-		h.f.writeAt(p[sp.pPos:sp.pPos+sp.n], sp.off)
+		if err := h.f.writeAt(p[sp.pPos:sp.pPos+sp.n], sp.off); err != nil {
+			return done, 0, err
+		}
 		done = h.charge(sp.off, sp.n, done)
 	}
 	h.sys.stats.writeReqs.Add(int64(len(spans)))
@@ -717,41 +719,16 @@ func (s *System) Dump(dir string) error {
 		return err
 	}
 	for _, name := range s.List() {
-		s.mu.RLock()
-		f := s.files[name]
-		s.mu.RUnlock()
-		f.mu.RLock()
-		buf := make([]byte, f.size)
-		_, _ = f.readAtLocked(buf, 0)
-		f.mu.RUnlock()
+		buf, err := s.ReadFile(name)
+		if err != nil {
+			return err
+		}
 		hostName := strings.ReplaceAll(name, "/", "_")
 		if err := os.WriteFile(filepath.Join(dir, hostName), buf, 0o644); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// readAtLocked is readAt for callers already holding f.mu.
-func (f *file) readAtLocked(p []byte, off int64) (int, error) {
-	want := int64(len(p))
-	if off+want > f.size {
-		want = f.size - off
-	}
-	read := int64(0)
-	for read < want {
-		page := (off + read) / pageSize
-		po := (off + read) % pageSize
-		n := want - read
-		if n > pageSize-po {
-			n = pageSize - po
-		}
-		if buf := f.pages[page]; buf != nil {
-			copy(p[read:read+n], buf[po:po+n])
-		}
-		read += n
-	}
-	return int(read), nil
 }
 
 // Load imports every regular file in dir into the file system,
@@ -784,22 +761,30 @@ func (s *System) WriteFile(name string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	h.f.truncate(0)
-	h.f.writeAt(data, 0)
+	if err := h.f.truncate(0); err != nil {
+		return err
+	}
+	if err := h.f.writeAt(data, 0); err != nil {
+		return err
+	}
 	return h.Close()
 }
 
 // ReadFile returns a file's full contents without cost accounting.
 func (s *System) ReadFile(name string) ([]byte, error) {
-	s.mu.RLock()
-	f, ok := s.files[name]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("read %q: %w", name, ErrNotExist)
+	f, _, err := s.lookup(name, false)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil, fmt.Errorf("read %q: %w", name, ErrNotExist)
+		}
+		return nil, err // a real backend failure, not absence
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	buf := make([]byte, f.size)
-	_, _ = f.readAtLocked(buf, 0)
+	buf := make([]byte, f.size())
+	if len(buf) == 0 {
+		return buf, nil
+	}
+	if _, err := f.readAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
 	return buf, nil
 }

@@ -76,11 +76,11 @@ func TestReadPastEOF(t *testing.T) {
 func TestCrossPageWrite(t *testing.T) {
 	s := NewSystem(freeConfig())
 	h, _ := s.Open("big", CreateMode, nil)
-	data := make([]byte, 3*pageSize+17)
+	data := make([]byte, 3*64*1024+17)
 	for i := range data {
 		data[i] = byte(i * 31)
 	}
-	off := int64(pageSize - 5)
+	off := int64(64*1024 - 5)
 	_, _ = h.WriteAt(data, off)
 	got := make([]byte, len(data))
 	if _, err := h.ReadAt(got, off); err != nil {

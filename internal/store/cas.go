@@ -1,0 +1,576 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DefaultChunkSize is the CAS chunking granularity: small enough that
+// checkpoint slabs rewritten between timesteps share unchanged chunks,
+// large enough that the per-chunk hash is amortized.
+const DefaultChunkSize = 64 * 1024
+
+// CASOptions tunes a content-addressed backend.
+type CASOptions struct {
+	// ChunkSize is the fixed chunk granularity (default 64 KiB).
+	ChunkSize int64
+	// Compress flate-compresses chunks that shrink, trading CPU for
+	// stored bytes (scientific checkpoints are often highly redundant).
+	Compress bool
+}
+
+func (o *CASOptions) fill() {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+}
+
+// CASStats summarizes pool occupancy, for dedup/compression reporting.
+type CASStats struct {
+	Objects          int   // named objects
+	LogicalBytes     int64 // sum of object sizes
+	StoredBytes      int64 // bytes held in unique (possibly compressed) chunks
+	UniqueChunks     int   // distinct chunks in the pool
+	ChunkRefs        int64 // total references from objects to chunks
+	CompressedChunks int   // chunks stored flate-compressed
+}
+
+// chunkKey is a SHA-256 digest used as the pool map key.
+type chunkKey [sha256.Size]byte
+
+func (k chunkKey) hex() string { return hex.EncodeToString(k[:]) }
+
+// chunk is one deduplicated pool entry. data holds the stored form
+// (raw or compressed); nil with onDisk set means it loads lazily.
+type chunk struct {
+	key        chunkKey
+	refs       int64
+	data       []byte
+	stored     int64 // len of the stored form (known even when lazy)
+	compressed bool
+	onDisk     bool
+}
+
+// CAS is the content-addressed backend: every object is a sequence of
+// fixed-size chunks keyed by SHA-256 of their raw bytes, shared across
+// objects with reference counting — the datamon-cafs storage model
+// scaled down to the simulator. With a non-empty root the pool and the
+// object manifest persist to disk (chunks under root/chunks, manifest
+// at root/objects.json, written by Sync), so run bundles can be
+// reopened by a later OS process.
+//
+// All object I/O serializes on the shared pool lock (chunks are
+// interned across objects). That trades the mem/dir backends'
+// uncontended per-file concurrency for dedup; cas backs bundles, not
+// the benchmark hot path, and virtual-time metrics are unaffected
+// either way.
+type CAS struct {
+	mu     sync.Mutex
+	root   string // "" = memory-only
+	opts   CASOptions
+	pool   map[chunkKey]*chunk
+	objs   map[string]*casObject
+	inflIn bytes.Reader // reusable compressed-input reader
+}
+
+// NewCAS creates a memory-only content-addressed backend.
+func NewCAS(opts CASOptions) *CAS {
+	c, _ := OpenCAS("", opts)
+	return c
+}
+
+// OpenCAS opens (creating if needed) a content-addressed backend
+// rooted at root; an existing manifest restores the namespace, with
+// chunk payloads loaded lazily on first read. An empty root keeps
+// everything in memory.
+func OpenCAS(root string, opts CASOptions) (*CAS, error) {
+	opts.fill()
+	c := &CAS{
+		root: root,
+		opts: opts,
+		pool: make(map[chunkKey]*chunk),
+		objs: make(map[string]*casObject),
+	}
+	if root == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(filepath.Join(root, "chunks"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating cas root: %w", err)
+	}
+	if err := c.loadManifest(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Kind reports "cas".
+func (c *CAS) Kind() string { return "cas" }
+
+// Options reports the effective options (after defaulting).
+func (c *CAS) Options() CASOptions { return c.opts }
+
+// Stats snapshots pool occupancy.
+func (c *CAS) Stats() CASStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CASStats{Objects: len(c.objs), UniqueChunks: len(c.pool)}
+	for _, o := range c.objs {
+		st.LogicalBytes += o.size
+	}
+	for _, ch := range c.pool {
+		st.StoredBytes += ch.stored
+		st.ChunkRefs += ch.refs
+		if ch.compressed {
+			st.CompressedChunks++
+		}
+	}
+	return st
+}
+
+// Create makes an empty object.
+func (c *CAS) Create(name string) (Object, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.objs[name]; ok {
+		return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+	}
+	o := &casObject{cas: c, name: name}
+	c.objs[name] = o
+	return o, nil
+}
+
+// Open returns an existing object.
+func (c *CAS) Open(name string) (Object, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+	}
+	return o, nil
+}
+
+// Stat reports an object's size.
+func (c *CAS) Stat(name string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[name]
+	if !ok {
+		return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+	}
+	return o.size, nil
+}
+
+// Remove deletes an object, releasing its chunk references. Unlike
+// Mem, open handles do not outlive removal: their chunks may be
+// reclaimed.
+func (c *CAS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[name]
+	if !ok {
+		return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+	}
+	for _, ch := range o.chunks {
+		c.deref(ch)
+	}
+	o.chunks, o.size = nil, 0
+	delete(c.objs, name)
+	return nil
+}
+
+// List returns all object names in lexical order.
+func (c *CAS) List() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.objs))
+	for n := range c.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ---------------------------------------------------------------------------
+// Chunk pool
+// ---------------------------------------------------------------------------
+
+// put interns a raw chunk (always exactly chunkSize bytes, zero-padded
+// tails), returning the pool entry with its reference count bumped.
+// Callers hold c.mu.
+func (c *CAS) put(raw []byte) *chunk {
+	key := chunkKey(sha256.Sum256(raw))
+	if ch, ok := c.pool[key]; ok {
+		ch.refs++
+		return ch
+	}
+	ch := &chunk{key: key, refs: 1}
+	if c.opts.Compress {
+		if z := deflateBytes(raw); int64(len(z)) < int64(len(raw)) {
+			ch.data, ch.compressed = z, true
+		}
+	}
+	if ch.data == nil {
+		ch.data = append([]byte(nil), raw...)
+	}
+	ch.stored = int64(len(ch.data))
+	c.pool[key] = ch
+	return ch
+}
+
+// deref drops one reference, reclaiming the chunk (and its disk file)
+// when the last reference goes. Callers hold c.mu.
+func (c *CAS) deref(ch *chunk) {
+	if ch == nil {
+		return
+	}
+	ch.refs--
+	if ch.refs > 0 {
+		return
+	}
+	delete(c.pool, ch.key)
+	if ch.onDisk && c.root != "" {
+		_ = os.Remove(c.chunkPath(ch.key))
+	}
+}
+
+// decodeInto materializes a chunk's raw bytes into dst (len chunkSize):
+// zeros for holes, lazy-loading and decompressing stored forms.
+// Callers hold c.mu.
+func (c *CAS) decodeInto(dst []byte, ch *chunk) error {
+	if ch == nil {
+		clear(dst)
+		return nil
+	}
+	if ch.data == nil {
+		if !ch.onDisk {
+			return fmt.Errorf("store: cas chunk %s lost", ch.key.hex())
+		}
+		data, err := os.ReadFile(c.chunkPath(ch.key))
+		if err != nil {
+			return fmt.Errorf("store: loading cas chunk: %w", err)
+		}
+		ch.data = data
+	}
+	if !ch.compressed {
+		copy(dst, ch.data)
+		return nil
+	}
+	c.inflIn.Reset(ch.data)
+	r := flate.NewReader(&c.inflIn)
+	defer r.Close()
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return fmt.Errorf("store: inflating cas chunk %s: %w", ch.key.hex(), err)
+	}
+	return nil
+}
+
+func deflateBytes(raw []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil
+	}
+	if err := w.Close(); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Objects
+// ---------------------------------------------------------------------------
+
+// casObject is one named chunk sequence. A nil slot is a hole.
+type casObject struct {
+	cas     *CAS
+	name    string
+	size    int64
+	chunks  []*chunk
+	scratch []byte // reusable chunk-decode buffer
+}
+
+func (o *casObject) Size() int64 {
+	o.cas.mu.Lock()
+	defer o.cas.mu.Unlock()
+	return o.size
+}
+
+// chunkBuf returns the reusable chunkSize-long scratch buffer.
+func (o *casObject) chunkBuf() []byte {
+	cs := o.cas.opts.ChunkSize
+	if int64(cap(o.scratch)) < cs {
+		o.scratch = make([]byte, cs)
+	}
+	return o.scratch[:cs]
+}
+
+// grow extends the slot table (with holes) to cover size n.
+func (o *casObject) grow(n int64) {
+	o.size = n
+	cs := o.cas.opts.ChunkSize
+	slots := int((n + cs - 1) / cs)
+	for len(o.chunks) < slots {
+		o.chunks = append(o.chunks, nil)
+	}
+}
+
+func (o *casObject) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c := o.cas
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(p)
+	if end := off + int64(n); end > o.size {
+		o.grow(end)
+	}
+	cs := c.opts.ChunkSize
+	for len(p) > 0 {
+		ci := off / cs
+		po := off % cs
+		k := int64(len(p))
+		if k > cs-po {
+			k = cs - po
+		}
+		var raw []byte
+		if po == 0 && k == cs {
+			raw = p[:k]
+		} else {
+			raw = o.chunkBuf()
+			if err := c.decodeInto(raw, o.chunks[ci]); err != nil {
+				return n - len(p), err
+			}
+			copy(raw[po:po+k], p[:k])
+		}
+		nc := c.put(raw)
+		c.deref(o.chunks[ci])
+		o.chunks[ci] = nc
+		p = p[k:]
+		off += k
+	}
+	return n, nil
+}
+
+func (o *casObject) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c := o.cas
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off >= o.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	avail := o.size - off
+	short := false
+	if want > avail {
+		want = avail
+		short = true
+	}
+	cs := c.opts.ChunkSize
+	read := int64(0)
+	for read < want {
+		ci := (off + read) / cs
+		po := (off + read) % cs
+		n := want - read
+		if n > cs-po {
+			n = cs - po
+		}
+		buf := o.chunkBuf()
+		if err := c.decodeInto(buf, o.chunks[ci]); err != nil {
+			return int(read), err
+		}
+		copy(p[read:read+n], buf[po:po+n])
+		read += n
+	}
+	if short {
+		return int(read), io.EOF
+	}
+	return int(read), nil
+}
+
+func (o *casObject) Truncate(n int64) error {
+	c := o.cas
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= o.size {
+		o.grow(n)
+		return nil
+	}
+	cs := c.opts.ChunkSize
+	keep := int((n + cs - 1) / cs)
+	for i := keep; i < len(o.chunks); i++ {
+		c.deref(o.chunks[i])
+	}
+	o.chunks = o.chunks[:keep]
+	// Re-intern the boundary chunk with its tail zeroed, so regrowth
+	// exposes zeros and the stored form stays canonical for dedup.
+	if rem := n % cs; rem != 0 && keep > 0 && o.chunks[keep-1] != nil {
+		raw := o.chunkBuf()
+		if err := c.decodeInto(raw, o.chunks[keep-1]); err != nil {
+			return err
+		}
+		clear(raw[rem:])
+		nc := c.put(raw)
+		c.deref(o.chunks[keep-1])
+		o.chunks[keep-1] = nc
+	}
+	o.size = n
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+const casManifestName = "objects.json"
+
+// casManifest is the persisted namespace: every object's chunk-key
+// sequence plus a pool table recording each chunk's stored form.
+type casManifest struct {
+	Format    int                     `json:"format"`
+	ChunkSize int64                   `json:"chunk_size"`
+	Compress  bool                    `json:"compress"`
+	Pool      map[string]casPoolEntry `json:"pool"`
+	Objects   []casManifestObject     `json:"objects"`
+}
+
+type casPoolEntry struct {
+	Stored     int64 `json:"stored"`
+	Compressed bool  `json:"compressed,omitempty"`
+}
+
+type casManifestObject struct {
+	Name   string   `json:"name"`
+	Size   int64    `json:"size"`
+	Chunks []string `json:"chunks"` // hex keys; "" marks a hole
+}
+
+func (c *CAS) chunkPath(key chunkKey) string {
+	h := key.hex()
+	return filepath.Join(c.root, "chunks", h[:2], h)
+}
+
+// Sync writes unpersisted chunks and the object manifest to the root,
+// atomically replacing the previous manifest. Memory-only backends
+// no-op.
+func (c *CAS) Sync() error {
+	if c.root == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.pool {
+		if ch.onDisk {
+			continue
+		}
+		if ch.data == nil {
+			return fmt.Errorf("store: cas chunk %s has no data to persist", ch.key.hex())
+		}
+		path := c.chunkPath(ch.key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, ch.data, 0o644); err != nil {
+			return err
+		}
+		ch.onDisk = true
+	}
+	m := casManifest{
+		Format:    1,
+		ChunkSize: c.opts.ChunkSize,
+		Compress:  c.opts.Compress,
+		Pool:      make(map[string]casPoolEntry, len(c.pool)),
+		Objects:   make([]casManifestObject, 0, len(c.objs)),
+	}
+	for key, ch := range c.pool {
+		m.Pool[key.hex()] = casPoolEntry{Stored: ch.stored, Compressed: ch.compressed}
+	}
+	names := make([]string, 0, len(c.objs))
+	for n := range c.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		o := c.objs[n]
+		mo := casManifestObject{Name: n, Size: o.size, Chunks: make([]string, len(o.chunks))}
+		for i, ch := range o.chunks {
+			if ch != nil {
+				mo.Chunks[i] = ch.key.hex()
+			}
+		}
+		m.Objects = append(m.Objects, mo)
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.root, casManifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.root, casManifestName))
+}
+
+// loadManifest restores the namespace from a previous Sync, if any.
+func (c *CAS) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(c.root, casManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var m casManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: corrupt cas manifest: %w", err)
+	}
+	if m.ChunkSize > 0 {
+		c.opts.ChunkSize = m.ChunkSize
+	}
+	c.opts.Compress = m.Compress
+	for hexKey, pe := range m.Pool {
+		kb, err := hex.DecodeString(hexKey)
+		if err != nil || len(kb) != sha256.Size {
+			return fmt.Errorf("store: cas manifest has bad chunk key %q", hexKey)
+		}
+		key := chunkKey(kb)
+		c.pool[key] = &chunk{key: key, stored: pe.Stored, compressed: pe.Compressed, onDisk: true}
+	}
+	for _, mo := range m.Objects {
+		o := &casObject{cas: c, name: mo.Name, size: mo.Size}
+		o.chunks = make([]*chunk, len(mo.Chunks))
+		for i, hexKey := range mo.Chunks {
+			if hexKey == "" {
+				continue
+			}
+			kb, err := hex.DecodeString(hexKey)
+			if err != nil || len(kb) != sha256.Size {
+				return fmt.Errorf("store: cas manifest has bad chunk key %q", hexKey)
+			}
+			ch, ok := c.pool[chunkKey(kb)]
+			if !ok {
+				return fmt.Errorf("store: cas object %q references missing chunk %s", mo.Name, hexKey)
+			}
+			ch.refs++
+			o.chunks[i] = ch
+		}
+		c.objs[mo.Name] = o
+	}
+	return nil
+}

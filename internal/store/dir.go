@@ -1,0 +1,162 @@
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Dir is a host-directory backend: each object is one regular file
+// under the root, so a simulated file system's contents survive the
+// process and can be inspected with ordinary tools. Object names are
+// percent-escaped into file names (simulated names may contain path
+// separators); the mapping is reversible, so List round-trips.
+//
+// Each opened object holds its file descriptor for the object's
+// lifetime (the pfs layer caches objects per system, so the fd count
+// is bounded by the number of distinct files ever touched — fine at
+// simulation scale; a descriptor cache would be needed before
+// pointing this at bundles with tens of thousands of files).
+type Dir struct {
+	mu   sync.Mutex
+	root string
+}
+
+// NewDir opens (creating if needed) a directory-backed store rooted at
+// root. Existing files in the directory become the initial namespace.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating dir root: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Kind reports "dir".
+func (d *Dir) Kind() string { return "dir" }
+
+// hostPath maps an object name to its file path under the root.
+func (d *Dir) hostPath(name string) string {
+	return filepath.Join(d.root, url.PathEscape(name))
+}
+
+// Create makes an empty object, failing if one exists.
+func (d *Dir) Create(name string) (Object, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := os.OpenFile(d.hostPath(name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+		}
+		return nil, err
+	}
+	return &dirObject{f: f}, nil
+}
+
+// Open returns an existing object.
+func (d *Dir) Open(name string) (Object, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := os.OpenFile(d.hostPath(name), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+		}
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &dirObject{f: f, size: info.Size()}, nil
+}
+
+// Stat reports an object's size.
+func (d *Dir) Stat(name string) (int64, error) {
+	info, err := os.Stat(d.hostPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+		}
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Remove deletes an object's file. Objects already open keep their
+// data through the underlying descriptor (on POSIX hosts).
+func (d *Dir) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.Remove(d.hostPath(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+		}
+		return err
+	}
+	return nil
+}
+
+// List returns all object names in lexical order.
+func (d *Dir) List() ([]string, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			// Foreign file in the root; surface it under its raw name.
+			name = e.Name()
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Sync is a no-op: writes go straight to the host file system.
+func (d *Dir) Sync() error { return nil }
+
+// dirObject wraps one *os.File. Size is tracked in memory (the pfs
+// layer serializes mutation) so the hot path avoids a stat per call.
+type dirObject struct {
+	f    *os.File
+	size int64
+}
+
+func (o *dirObject) Size() int64 { return o.size }
+
+func (o *dirObject) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := o.f.WriteAt(p, off)
+	if end := off + int64(n); end > o.size {
+		o.size = end
+	}
+	return n, err
+}
+
+func (o *dirObject) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return o.f.ReadAt(p, off)
+}
+
+func (o *dirObject) Truncate(n int64) error {
+	if err := o.f.Truncate(n); err != nil {
+		return err
+	}
+	o.size = n
+	return nil
+}

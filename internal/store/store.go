@@ -1,0 +1,80 @@
+// Package store provides the pluggable byte-storage backends beneath
+// the simulated parallel file system (internal/pfs).
+//
+// The PFS simulation separates two concerns: *cost* (virtual time
+// charged to rank clocks as byte ranges map onto striped I/O servers)
+// and *bytes* (the actual contents, so correctness is testable end to
+// end). This package owns the bytes. A Backend is a flat namespace of
+// named Objects supporting random-access reads and writes; the pfs
+// layer charges virtual time identically no matter which backend holds
+// the data, so swapping backends never changes simulated metrics.
+//
+// Three implementations are provided:
+//
+//   - Mem: sparse in-memory pages — the original volatile store, and
+//     still the default for benchmarks.
+//   - Dir: one host file per object under a root directory, making a
+//     simulated file system's contents durable across OS processes.
+//   - CAS: content-addressed storage in the style of datamon's cafs —
+//     objects are sequences of fixed-size chunks keyed by SHA-256, so
+//     identical chunks are stored once (dedup) and chunks can be
+//     flate-compressed. Rootable on a directory for durability or kept
+//     in memory.
+//
+// The run-bundle layer (sdm.SaveBundle / sdm.OpenBundle) persists a
+// cluster's PFS contents through a Dir or CAS backend so a later
+// process can reopen earlier results by name through the metadata
+// catalog.
+package store
+
+import "errors"
+
+// Errors returned by backends.
+var (
+	ErrNotExist = errors.New("store: object does not exist")
+	ErrExist    = errors.New("store: object already exists")
+)
+
+// Object is one named byte array inside a Backend. Semantics follow
+// the simulated PFS's needs (and os.File where they overlap):
+//
+//   - WriteAt extends the object as needed; unwritten gaps are holes.
+//   - ReadAt zero-fills holes. A read extending past the current size
+//     returns the short count with io.EOF; a read at or past the size
+//     returns (0, io.EOF). Zero-length reads return (0, nil).
+//   - Truncate sets the size, discarding data past the new end;
+//     growing exposes a zero-filled tail.
+//
+// Offsets are non-negative; callers (the pfs layer) validate before
+// calling. Objects are not safe for concurrent mutation — the pfs
+// layer serializes writers per file — but concurrent readers are
+// allowed.
+type Object interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(n int64) error
+	Size() int64
+}
+
+// Backend is a flat namespace of Objects. Namespace operations are
+// safe for concurrent use.
+type Backend interface {
+	// Kind names the backend flavor ("mem", "dir", "cas"), recorded in
+	// bundle manifests so the right implementation reopens the data.
+	Kind() string
+	// Create makes an empty object, failing with ErrExist if present.
+	Create(name string) (Object, error)
+	// Open returns an existing object, or ErrNotExist.
+	Open(name string) (Object, error)
+	// Stat reports an object's size without opening it, or ErrNotExist.
+	Stat(name string) (int64, error)
+	// Remove deletes an object from the namespace, or ErrNotExist.
+	// Whether already-open Objects survive removal is backend-specific;
+	// Mem guarantees POSIX-like unlink semantics.
+	Remove(name string) error
+	// List returns all object names in lexical order.
+	List() ([]string, error)
+	// Sync flushes durable state (chunk files, manifests) for backends
+	// that buffer; a no-op for Mem and Dir.
+	Sync() error
+}
