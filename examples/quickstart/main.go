@@ -54,26 +54,44 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// SDM_write at three checkpoints; the execution table tracks
-		// where each timestep landed.
+		// Typed handles on the registered datasets: Put/Get replace the
+		// old float64 byte-slice calls.
+		pressure, err := sdm.DatasetOf[float64](group, "pressure")
+		if err != nil {
+			log.Fatal(err)
+		}
+		velocity, err := sdm.DatasetOf[float64](group, "velocity")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Write three checkpoints; each timestep is one deferred epoch,
+		// so both datasets flush in a single merged collective and the
+		// execution table records the whole step in one rank-0 batch.
+		pr := make([]float64, len(mapArr))
+		ve := make([]float64, len(mapArr))
 		for ts := 0; ts < steps; ts++ {
-			pr := make([]float64, len(mapArr))
-			ve := make([]float64, len(mapArr))
 			for i, g := range mapArr {
 				pr[i] = float64(g) + float64(ts)*0.001
 				ve[i] = -float64(g)
 			}
-			if err := group.WriteFloat64s("pressure", int64(ts*10), pr); err != nil {
+			if err := group.BeginStep(int64(ts * 10)); err != nil {
 				log.Fatal(err)
 			}
-			if err := group.WriteFloat64s("velocity", int64(ts*10), ve); err != nil {
+			if err := pressure.Put(pr); err != nil {
+				log.Fatal(err)
+			}
+			if err := velocity.Put(ve); err != nil {
+				log.Fatal(err)
+			}
+			if err := group.EndStep(); err != nil {
 				log.Fatal(err)
 			}
 		}
 
 		// SDM_read: fetch the middle checkpoint back and verify.
-		got, err := group.ReadFloat64s("pressure", 10, len(mapArr))
-		if err != nil {
+		got := make([]float64, len(mapArr))
+		if err := pressure.GetAt(10, got); err != nil {
 			log.Fatal(err)
 		}
 		for i, g := range mapArr {

@@ -89,6 +89,14 @@ func main() {
 			if _, err := gt.DataView([]string{"tri"}, triMap); err != nil {
 				log.Fatal(err)
 			}
+			node, err := sdm.DatasetOf[float64](gn, "node")
+			if err != nil {
+				log.Fatal(err)
+			}
+			tri, err := sdm.DatasetOf[float64](gt, "tri")
+			if err != nil {
+				log.Fatal(err)
+			}
 
 			for ts := 0; ts < *steps; ts++ {
 				t := float64(ts) * 0.5
@@ -98,10 +106,10 @@ func main() {
 				for i, g := range owned {
 					nodeLocal[i] = nodeFull[g]
 				}
-				if err := gn.WriteFloat64s("node", int64(ts), nodeLocal); err != nil {
+				if err := node.PutAt(int64(ts), nodeLocal); err != nil {
 					log.Fatal(err)
 				}
-				if err := gt.WriteFloat64s("tri", int64(ts), triFull[start:start+count]); err != nil {
+				if err := tri.PutAt(int64(ts), triFull[start:start+count]); err != nil {
 					log.Fatal(err)
 				}
 				if p.Rank() == 0 && level == sdm.Level1 {

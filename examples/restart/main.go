@@ -96,15 +96,34 @@ func writePhase(dir string, procs int, backend string, compress bool) {
 		if _, err := g.DataView([]string{"pressure", "velocity"}, mapArr); err != nil {
 			log.Fatal(err)
 		}
+		// Typed handles and value buffers are hoisted out of the step
+		// loop; each checkpoint is then one deferred epoch, both
+		// datasets flushing in a single merged collective.
+		names := []string{"pressure", "velocity"}
+		handles := make(map[string]*sdm.Dataset[float64], len(names))
+		vals := make(map[string][]float64, len(names))
+		for _, ds := range names {
+			h, err := sdm.DatasetOf[float64](g, ds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles[ds] = h
+			vals[ds] = make([]float64, len(mapArr))
+		}
 		for ts := int64(0); ts < steps; ts++ {
-			for _, ds := range []string{"pressure", "velocity"} {
-				vals := make([]float64, len(mapArr))
+			if err := g.BeginStep(ts); err != nil {
+				log.Fatal(err)
+			}
+			for _, ds := range names {
 				for i, gi := range mapArr {
-					vals[i] = value(ds, ts, gi)
+					vals[ds][i] = value(ds, ts, gi)
 				}
-				if err := g.WriteFloat64s(ds, ts, vals); err != nil {
+				if err := handles[ds].Put(vals[ds]); err != nil {
 					log.Fatal(err)
 				}
+			}
+			if err := g.EndStep(); err != nil {
+				log.Fatal(err)
 			}
 		}
 	})
@@ -147,16 +166,36 @@ func readPhase(dir string, procs int) {
 		if _, err := g.DataView([]string{"pressure", "velocity"}, mapArr); err != nil {
 			log.Fatal(err)
 		}
+		// Read each checkpoint back as one batched epoch through typed
+		// handles (hoisted out of the loop) and verify.
+		names := []string{"pressure", "velocity"}
+		handles := make(map[string]*sdm.Dataset[float64], len(names))
+		got := make(map[string][]float64, len(names))
+		for _, ds := range names {
+			h, err := sdm.DatasetOf[float64](g, ds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles[ds] = h
+			got[ds] = make([]float64, len(mapArr))
+		}
 		for ts := int64(0); ts < steps; ts++ {
-			for _, ds := range []string{"pressure", "velocity"} {
-				got, err := g.ReadFloat64s(ds, ts, len(mapArr))
-				if err != nil {
+			if err := g.BeginStep(ts); err != nil {
+				log.Fatal(err)
+			}
+			for _, ds := range names {
+				if err := handles[ds].Get(got[ds]); err != nil {
 					log.Fatal(err)
 				}
+			}
+			if err := g.EndStep(); err != nil {
+				log.Fatal(err)
+			}
+			for _, ds := range names {
 				for i, gi := range mapArr {
-					if want := value(ds, ts, gi); got[i] != want {
+					if want := value(ds, ts, gi); got[ds][i] != want {
 						log.Fatalf("rank %d: %s@%d elem %d = %g, want %g",
-							p.Rank(), ds, ts, gi, got[i], want)
+							p.Rank(), ds, ts, gi, got[ds][i], want)
 					}
 				}
 			}

@@ -12,6 +12,7 @@ package catalog
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sdm/internal/metadb"
@@ -64,6 +65,10 @@ var schema = []string{
 		runid INTEGER, dataset TEXT, timestep INTEGER,
 		file_offset INTEGER, file_name TEXT)`,
 	`CREATE INDEX IF NOT EXISTS execution_dataset ON execution_table (dataset)`,
+	// Composite index serving the (run, dataset, timestep) probes the
+	// write/read paths issue — LookupWrite(s) touch exactly the rows
+	// they return instead of scanning a dataset's whole history.
+	`CREATE INDEX IF NOT EXISTS execution_run_ds_ts ON execution_table (runid, dataset, timestep)`,
 
 	`CREATE TABLE IF NOT EXISTS import_table (
 		runid INTEGER, imported_name TEXT, file_name TEXT, data_type TEXT,
@@ -279,24 +284,76 @@ func (c *Catalog) RecordWrite(clock *sim.Clock, rec WriteRecord) error {
 	return err
 }
 
+// RecordWrites inserts a whole epoch's execution_table rows as one
+// batched statement — process 0 records every dataset of a deferred
+// step in a single database round trip, so the per-query virtual cost
+// is charged once for the batch instead of once per dataset.
+func (c *Catalog) RecordWrites(clock *sim.Clock, recs []WriteRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	c.charge(clock)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO execution_table VALUES `)
+	args := make([]any, 0, len(recs)*5)
+	for i, rec := range recs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(`(?, ?, ?, ?, ?)`)
+		args = append(args, rec.RunID, rec.Dataset, rec.Timestep, rec.FileOffset, rec.FileName)
+	}
+	_, err := c.db.Exec(sb.String(), args...)
+	return err
+}
+
+// WriteKey names one (dataset, timestep) slab for batched lookups.
+type WriteKey struct {
+	Dataset  string
+	Timestep int64
+}
+
+// LookupWrites resolves a batch of (dataset, timestep) placements in
+// one metadata round trip (the virtual cost is charged once), each
+// probe served by the execution table's composite
+// (runid, dataset, timestep) index. Missing entries come back as nil
+// slots, in key order.
+func (c *Catalog) LookupWrites(clock *sim.Clock, runid int64, keys []WriteKey) ([]*WriteRecord, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	c.charge(clock)
+	out := make([]*WriteRecord, len(keys))
+	for i, k := range keys {
+		row, err := c.db.QueryRow(
+			`SELECT runid, dataset, timestep, file_offset, file_name
+			 FROM execution_table
+			 WHERE runid = ? AND dataset = ? AND timestep = ?`, runid, k.Dataset, k.Timestep)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			continue
+		}
+		out[i] = &WriteRecord{
+			RunID:      row[0].AsInt(),
+			Dataset:    row[1].AsText(),
+			Timestep:   row[2].AsInt(),
+			FileOffset: row[3].AsInt(),
+			FileName:   row[4].AsText(),
+		}
+	}
+	return out, nil
+}
+
 // LookupWrite finds where a dataset's timestep was written; nil when
 // absent.
 func (c *Catalog) LookupWrite(clock *sim.Clock, runid int64, dataset string, timestep int64) (*WriteRecord, error) {
-	c.charge(clock)
-	row, err := c.db.QueryRow(
-		`SELECT runid, dataset, timestep, file_offset, file_name
-		 FROM execution_table
-		 WHERE runid = ? AND dataset = ? AND timestep = ?`, runid, dataset, timestep)
-	if err != nil || row == nil {
+	recs, err := c.LookupWrites(clock, runid, []WriteKey{{Dataset: dataset, Timestep: timestep}})
+	if err != nil {
 		return nil, err
 	}
-	return &WriteRecord{
-		RunID:      row[0].AsInt(),
-		Dataset:    row[1].AsText(),
-		Timestep:   row[2].AsInt(),
-		FileOffset: row[3].AsInt(),
-		FileName:   row[4].AsText(),
-	}, nil
+	return recs[0], nil
 }
 
 // WritesForRun lists all recorded writes of a run ordered by dataset

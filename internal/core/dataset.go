@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Element enumerates the Go element types datasets store, matching the
+// catalog's DOUBLE / INTEGER / LONG metadata values.
+type Element interface {
+	float64 | int32 | int64
+}
+
+// Dataset is a typed handle on one dataset of a group — the
+// SDM_write/SDM_read surface redesigned around element types and
+// deferred step epochs. Inside a BeginStep/EndStep epoch, Put and Get
+// queue operations zero-copy against the caller's slices; PutAt and
+// GetAt wrap a whole one-operation epoch for callers that don't batch.
+type Dataset[T Element] struct {
+	g    *Group
+	name string
+}
+
+// elemDataType maps the Go element type to its catalog DataType.
+func elemDataType[T Element]() DataType {
+	var z T
+	switch any(z).(type) {
+	case int32:
+		return Integer
+	case int64:
+		return Long
+	default:
+		return Double
+	}
+}
+
+// DatasetOf builds a typed handle on a registered dataset. The element
+// type must match the dataset's registered DataType (float64 for
+// DOUBLE, int32 for INTEGER, int64 for LONG).
+func DatasetOf[T Element](g *Group, name string) (*Dataset[T], error) {
+	a, err := g.Attr(name)
+	if err != nil {
+		return nil, err
+	}
+	if want := elemDataType[T](); a.Type != want {
+		return nil, fmt.Errorf("core: dataset %q stores %s elements, handle requests %s",
+			name, a.Type, want)
+	}
+	return &Dataset[T]{g: g, name: name}, nil
+}
+
+// Name reports the dataset's registered name.
+func (d *Dataset[T]) Name() string { return d.name }
+
+// Group reports the group the handle belongs to.
+func (d *Dataset[T]) Group() *Group { return d.g }
+
+// encodeElems returns the fused permute-and-serialize closure for a
+// Put: at flush time, file-order slot i receives vals[perm[i]] in the
+// dataset's little-endian wire encoding — one pass instead of the old
+// convert-then-permute pair.
+func encodeElems[T Element](vals []T) func(v *View, dst []byte) {
+	switch vs := any(vals).(type) {
+	case []float64:
+		return func(v *View, dst []byte) {
+			for i, p := range v.perm {
+				binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(vs[p]))
+			}
+		}
+	case []int32:
+		return func(v *View, dst []byte) {
+			for i, p := range v.perm {
+				binary.LittleEndian.PutUint32(dst[i*4:], uint32(vs[p]))
+			}
+		}
+	default:
+		vi := any(vals).([]int64)
+		return func(v *View, dst []byte) {
+			for i, p := range v.perm {
+				binary.LittleEndian.PutUint64(dst[i*8:], uint64(vi[p]))
+			}
+		}
+	}
+}
+
+// decodeElems is the inverse: file-order slot i scatters to
+// out[perm[i]].
+func decodeElems[T Element](out []T) func(v *View, src []byte) {
+	switch vs := any(out).(type) {
+	case []float64:
+		return func(v *View, src []byte) {
+			for i, p := range v.perm {
+				vs[p] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+			}
+		}
+	case []int32:
+		return func(v *View, src []byte) {
+			for i, p := range v.perm {
+				vs[p] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+			}
+		}
+	default:
+		vi := any(out).([]int64)
+		return func(v *View, src []byte) {
+			for i, p := range v.perm {
+				vi[p] = int64(binary.LittleEndian.Uint64(src[i*8:]))
+			}
+		}
+	}
+}
+
+// Put queues one timestep of the dataset into the group's open epoch:
+// vals holds this rank's local elements in map-array order. The slice
+// is captured zero-copy and must stay unmodified until EndStep, which
+// performs the write. Returns an error outside an open epoch.
+func (d *Dataset[T]) Put(vals []T) error {
+	return d.g.enqueuePut(d.name, len(vals), encodeElems(vals))
+}
+
+// Get queues a read of the dataset at the epoch's timestep: out
+// receives this rank's local elements in map-array order when EndStep
+// flushes. Returns an error outside an open epoch.
+func (d *Dataset[T]) Get(out []T) error {
+	return d.g.enqueueGet(d.name, len(out), decodeElems(out))
+}
+
+// PutAt writes one timestep as a one-operation epoch — the migration
+// target for the deprecated WriteFloat64s.
+func (d *Dataset[T]) PutAt(timestep int64, vals []T) error {
+	return d.g.oneOpEpoch(timestep, func() error { return d.Put(vals) })
+}
+
+// GetAt reads one timestep as a one-operation epoch — the migration
+// target for the deprecated ReadFloat64s.
+func (d *Dataset[T]) GetAt(timestep int64, out []T) error {
+	return d.g.oneOpEpoch(timestep, func() error { return d.Get(out) })
+}

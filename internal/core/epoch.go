@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+
+	"sdm/internal/catalog"
+	"sdm/internal/mpiio"
+)
+
+// Step-scoped deferred I/O: BeginStep opens an epoch on a group,
+// Dataset.Put/Get (and the byte-level queue entry points beneath
+// Group.Write/Read) record operations zero-copy against the caller's
+// slices, and EndStep flushes everything queued in one merged
+// collective per file — one extent agreement, one all-to-all, and
+// coalesced file requests across the step's datasets, with the whole
+// epoch's execution-table rows recorded in one rank-0 database batch.
+//
+// A single-operation epoch reduces to exactly the pre-epoch Write/Read
+// sequence (same charges in the same order), which is what the
+// differential tests in epoch_test.go pin down.
+
+// pendingPut is one queued deferred write. encode performs the fused
+// permute-and-serialize from the caller's values into a file-order
+// byte slice of the step's staging arena; it runs at EndStep, so the
+// caller's slice must stay valid (and unmodified) until then.
+type pendingPut struct {
+	di     int
+	bytes  int64
+	encode func(v *View, dst []byte)
+}
+
+// pendingGet is one queued deferred read. decode scatters file-order
+// bytes back into the caller's slice at EndStep.
+type pendingGet struct {
+	di     int
+	bytes  int64
+	decode func(v *View, src []byte)
+}
+
+// stepEpoch is a group's open deferred step, plus the flush scratch
+// reused across epochs (staging arena, placement lists, batch-op and
+// record buffers). Queueing still costs one small closure per Put/Get;
+// the bulk staging and collective plumbing beneath is allocation-free
+// in steady state.
+type stepEpoch struct {
+	open     bool
+	timestep int64
+	puts     []pendingPut
+	gets     []pendingGet
+
+	// Flush scratch, reused across epochs.
+	arena    []byte
+	placed   []placedOp
+	ops      []mpiio.BatchOp
+	recs     []catalog.WriteRecord
+	keys     []writeKey
+	resolved []catalog.WriteRecord
+	lookup   []catalog.WriteKey
+	fileOrd  []string
+}
+
+// placedOp is a queued operation after placement: where it lands and
+// the arena slice holding (writes) or receiving (reads) its file-order
+// bytes.
+type placedOp struct {
+	file  string
+	v     *View
+	disp  int64
+	off   int64
+	data  []byte
+	bytes int64
+	idx   int // index into puts/gets, for decode
+}
+
+// BeginStep opens a deferred-I/O epoch for one timestep of the group
+// (the paper's Level-3 rationale made first-class: a whole step's
+// datasets amortize one collective). Every rank must open and close the
+// same epochs with the same queued dataset sequence. An epoch is
+// per-group; opening a second epoch before EndStep is an error.
+func (g *Group) BeginStep(timestep int64) error {
+	if g.ep.open {
+		return fmt.Errorf("core: BeginStep(%d) with step %d already open", timestep, g.ep.timestep)
+	}
+	g.ep.open = true
+	g.ep.timestep = timestep
+	g.ep.puts = g.ep.puts[:0]
+	g.ep.gets = g.ep.gets[:0]
+	return nil
+}
+
+// StepOpen reports whether a deferred epoch is currently open.
+func (g *Group) StepOpen() bool { return g.ep.open }
+
+// cancelStep drops an open epoch and everything queued in it, used
+// when queueing fails partway through a convenience wrapper. Queued
+// entries are zeroed so their closures (and the caller slices they
+// capture) do not stay reachable through the reusable backing arrays.
+func (g *Group) cancelStep() {
+	g.ep.open = false
+	clear(g.ep.puts)
+	clear(g.ep.gets)
+	g.ep.puts = g.ep.puts[:0]
+	g.ep.gets = g.ep.gets[:0]
+}
+
+// prepareOp validates a queue request: the epoch must be open, the
+// dataset registered, a view installed, and the element count must
+// match the view.
+func (g *Group) prepareOp(verb, dataset string, n int) (int, *View, error) {
+	if !g.ep.open {
+		return 0, nil, fmt.Errorf("core: %s on dataset %q outside a BeginStep/EndStep epoch", verb, dataset)
+	}
+	di, ok := g.byName[dataset]
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no dataset %q in group", dataset)
+	}
+	v, ok := g.views[dataset]
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no view installed for dataset %q", dataset)
+	}
+	if n != v.LocalSize() {
+		return 0, nil, fmt.Errorf("core: dataset %q %s has %d elements, view maps %d",
+			dataset, verb, n, v.LocalSize())
+	}
+	return di, v, nil
+}
+
+// enqueuePut queues a deferred write of n view-mapped elements whose
+// file-order bytes encode will produce at flush time.
+func (g *Group) enqueuePut(dataset string, n int, encode func(v *View, dst []byte)) error {
+	di, v, err := g.prepareOp("Put", dataset, n)
+	if err != nil {
+		return err
+	}
+	g.ep.puts = append(g.ep.puts, pendingPut{di: di, bytes: int64(n) * v.elemSize, encode: encode})
+	return nil
+}
+
+// enqueueGet queues a deferred read of n view-mapped elements to be
+// scattered through decode at flush time.
+func (g *Group) enqueueGet(dataset string, n int, decode func(v *View, src []byte)) error {
+	di, v, err := g.prepareOp("Get", dataset, n)
+	if err != nil {
+		return err
+	}
+	g.ep.gets = append(g.ep.gets, pendingGet{di: di, bytes: int64(n) * v.elemSize, decode: decode})
+	return nil
+}
+
+// EndStep closes the epoch and flushes it: all queued puts first (one
+// merged collective write per touched file, one batched
+// execution-table insert), then all queued gets (one batched placement
+// lookup, one merged collective read per file, then the decodes back
+// into the callers' slices). Collective whenever anything was queued;
+// an empty epoch costs nothing.
+func (g *Group) EndStep() error {
+	if !g.ep.open {
+		return fmt.Errorf("core: EndStep without an open BeginStep epoch")
+	}
+	g.ep.open = false
+	if err := g.flushPuts(); err != nil {
+		g.cancelStep()
+		return err
+	}
+	err := g.flushGets()
+	g.cancelStep() // release queued closures and the caller slices they capture
+	return err
+}
+
+// oneOpEpoch wraps a single queued operation in its own
+// BeginStep/EndStep epoch — the shared shape beneath the legacy
+// Group.Write/Read and the typed handles' PutAt/GetAt. A failed
+// enqueue cancels the epoch; a failed BeginStep (epoch already open)
+// leaves the caller's epoch untouched.
+func (g *Group) oneOpEpoch(timestep int64, op func() error) error {
+	if err := g.BeginStep(timestep); err != nil {
+		return err
+	}
+	if err := op(); err != nil {
+		g.cancelStep()
+		return err
+	}
+	return g.EndStep()
+}
+
+// groupByFile partitions placed operations by target file, preserving
+// first-touch order (deterministic across ranks, since epochs queue
+// the same dataset sequence everywhere). It returns the file order;
+// callers then iterate placed ops per file in queue order.
+func (g *Group) groupByFile(placed []placedOp) []string {
+	ord := g.ep.fileOrd[:0]
+	for i := range placed {
+		seen := false
+		for _, f := range ord {
+			if f == placed[i].file {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ord = append(ord, placed[i].file)
+		}
+	}
+	g.ep.fileOrd = ord
+	return ord
+}
+
+// opsForFile builds one file's share of the epoch batch in queue
+// order: each placed op installs its view on the open file and
+// contributes one BatchOp. The returned slice lives in the epoch's
+// reusable ops scratch.
+func (g *Group) opsForFile(of *openFile, placed []placedOp, file string) []mpiio.BatchOp {
+	ops := g.ep.ops[:0]
+	for i := range placed {
+		if placed[i].file != file {
+			continue
+		}
+		of.applyView(placed[i].disp, placed[i].v)
+		ops = append(ops, mpiio.BatchOp{
+			Disp: placed[i].disp, Type: placed[i].v.dtype,
+			Off: placed[i].off, Data: placed[i].data,
+		})
+	}
+	g.ep.ops = ops
+	return ops
+}
+
+// closeIfLevel1 closes and forgets the file under Level-1 organization
+// (one file per write), the same post-collective step the legacy paths
+// took.
+func (g *Group) closeIfLevel1(of *openFile, file string) error {
+	if g.s.opts.Organization != Level1 {
+		return nil
+	}
+	if err := of.f.Close(); err != nil {
+		return err
+	}
+	delete(g.files, file)
+	return nil
+}
+
+// flushPuts performs the write half of EndStep.
+func (g *Group) flushPuts() error {
+	puts := g.ep.puts
+	if len(puts) == 0 {
+		return nil
+	}
+	ts := g.ep.timestep
+
+	// Stage: place every put (allocating slabs in queue order, exactly
+	// as the same sequence of legacy Writes would), then fuse each
+	// put's permutation and serialization straight into the epoch
+	// arena, charging the memory-copy cost the staged bytes represent.
+	var total int64
+	for i := range puts {
+		total += puts[i].bytes
+	}
+	if cap(g.ep.arena) < int(total) {
+		g.ep.arena = make([]byte, total)
+	}
+	arena := g.ep.arena[:total]
+	placed := g.ep.placed[:0]
+	recs := g.ep.recs[:0]
+	var cur int64
+	for i := range puts {
+		p := &puts[i]
+		a := g.attrs[p.di]
+		v := g.views[a.Name]
+		file, physOff, slab := g.place(a.Name, ts, a.GlobalSize*a.Type.Size())
+		dst := arena[cur : cur+p.bytes]
+		cur += p.bytes
+		p.encode(v, dst)
+		g.s.env.Comm.ComputeItems(p.bytes, g.s.opts.MemCopyRate)
+		var disp, logicalOff int64
+		if slab >= 0 {
+			logicalOff = slab * int64(v.LocalSize()) * v.elemSize
+		} else {
+			disp = physOff
+		}
+		placed = append(placed, placedOp{file: file, v: v, disp: disp, off: logicalOff, data: dst, idx: i})
+		recs = append(recs, catalog.WriteRecord{
+			RunID: g.s.runID, Dataset: a.Name, Timestep: ts,
+			FileOffset: physOff, FileName: file,
+		})
+	}
+	g.ep.placed = placed
+	g.ep.recs = recs
+
+	// Flush: one merged collective per touched file. If a file's batch
+	// fails partway through the epoch, the files already flushed have
+	// their bytes on disk — record those ops anyway (below) so the data
+	// stays reachable, exactly as the legacy per-write path recorded
+	// each successful write before a later one failed.
+	var flushErr error
+	flushed := 0
+	for _, file := range g.groupByFile(placed) {
+		of, err := g.open(file)
+		if err != nil {
+			flushErr = err
+			break
+		}
+		if err := of.f.WriteAtAllOps(g.opsForFile(of, placed, file)); err != nil {
+			flushErr = err
+			break
+		}
+		if err := g.closeIfLevel1(of, file); err != nil {
+			flushErr = err
+			break
+		}
+		flushed++
+	}
+	if flushErr != nil {
+		// Keep only the records of files whose batch completed.
+		ok := g.ep.fileOrd[:flushed]
+		kept := recs[:0]
+		for i := range placed {
+			for _, f := range ok {
+				if placed[i].file == f {
+					kept = append(kept, recs[i])
+					break
+				}
+			}
+		}
+		recs = kept
+	}
+
+	// Record: every rank caches the placements; rank 0 inserts the
+	// whole epoch's execution-table rows in one database batch.
+	for i := range recs {
+		g.written[writeKey{recs[i].Dataset, recs[i].Timestep}] = recs[i]
+	}
+	if err := g.s.catalogCall(func() error {
+		return g.s.env.Catalog.RecordWrites(g.s.env.Comm.Clock(), recs)
+	}); flushErr == nil {
+		flushErr = err
+	}
+	return flushErr
+}
+
+// lookupPlacements resolves where each queued (dataset, timestep) slab
+// lives: the rank-local cache first, then one batched rank-0 catalog
+// query (served by the execution table's composite index) broadcast to
+// all ranks. The result is in key order.
+func (g *Group) lookupPlacements(keys []writeKey) ([]catalog.WriteRecord, error) {
+	out := g.ep.resolved[:0]
+	missing := 0
+	for _, k := range keys {
+		rec, ok := g.written[k]
+		if !ok {
+			missing++
+		}
+		out = append(out, rec)
+	}
+	g.ep.resolved = out
+	if missing == 0 {
+		return out, nil
+	}
+	if g.s.opts.DisableDB {
+		for _, k := range keys {
+			if _, ok := g.written[k]; !ok {
+				return nil, fmt.Errorf("core: dataset %q timestep %d not written in this session and DB disabled", k.dataset, k.timestep)
+			}
+		}
+	}
+	type wire struct {
+		Recs []catalog.WriteRecord
+		Err  string
+	}
+	var w wire
+	if g.s.env.Comm.Rank() == 0 {
+		lk := g.ep.lookup[:0]
+		for _, k := range keys {
+			if _, ok := g.written[k]; !ok {
+				lk = append(lk, catalog.WriteKey{Dataset: k.dataset, Timestep: k.timestep})
+			}
+		}
+		g.ep.lookup = lk
+		recs, err := g.s.env.Catalog.LookupWrites(g.s.env.Comm.Clock(), g.s.runID, lk)
+		if err != nil {
+			w.Err = err.Error()
+		} else {
+			for i, rec := range recs {
+				if rec == nil {
+					w.Err = fmt.Sprintf("core: no execution_table entry for dataset %q timestep %d",
+						lk[i].Dataset, lk[i].Timestep)
+					break
+				}
+				w.Recs = append(w.Recs, *rec)
+			}
+		}
+	}
+	res := g.s.env.Comm.Bcast(0, w, int64(missing)*64).(wire)
+	if res.Err != "" {
+		return nil, fmt.Errorf("%s", res.Err)
+	}
+	fill := 0
+	for i, k := range keys {
+		if _, ok := g.written[k]; !ok {
+			out[i] = res.Recs[fill]
+			fill++
+		}
+	}
+	return out, nil
+}
+
+// flushGets performs the read half of EndStep.
+func (g *Group) flushGets() error {
+	gets := g.ep.gets
+	if len(gets) == 0 {
+		return nil
+	}
+	ts := g.ep.timestep
+	keys := g.ep.keys[:0]
+	for i := range gets {
+		keys = append(keys, writeKey{g.attrs[gets[i].di].Name, ts})
+	}
+	g.ep.keys = keys
+	recs, err := g.lookupPlacements(keys)
+	if err != nil {
+		return err
+	}
+
+	// Stage: carve the read arena and compute each get's view position,
+	// mirroring the legacy Read's slab arithmetic.
+	var total int64
+	for i := range gets {
+		total += gets[i].bytes
+	}
+	if cap(g.readScratch) < int(total) {
+		g.readScratch = make([]byte, total)
+	}
+	arena := g.readScratch[:total]
+	placed := g.ep.placed[:0]
+	var cur int64
+	for i := range gets {
+		gt := &gets[i]
+		a := g.attrs[gt.di]
+		v := g.views[a.Name]
+		rec := recs[i]
+		var disp, logicalOff int64
+		switch {
+		case g.s.opts.Organization == Level1:
+			disp, logicalOff = 0, 0
+		case g.uniform && rec.FileOffset%g.slabSize == 0:
+			slab := rec.FileOffset / g.slabSize
+			logicalOff = slab * int64(v.LocalSize()) * v.elemSize
+		default:
+			// Byte-addressed placement: either a mixed group, or a slab
+			// whose offset doesn't sit on this group's slab grid (written
+			// by a differently-shaped group and reopened as a subset).
+			disp = rec.FileOffset
+		}
+		buf := arena[cur : cur+gt.bytes]
+		cur += gt.bytes
+		placed = append(placed, placedOp{file: rec.FileName, v: v, disp: disp, off: logicalOff, data: buf, idx: i})
+	}
+	g.ep.placed = placed
+
+	// Flush: one merged collective read per touched file. No clearing
+	// needed: the views' segments partition each request, so the
+	// collective (and the zero-filling vectored fallback) overwrite
+	// every byte.
+	for _, file := range g.groupByFile(placed) {
+		of, err := g.open(file)
+		if err != nil {
+			return err
+		}
+		if err := of.f.ReadAtAllOps(g.opsForFile(of, placed, file)); err != nil {
+			return err
+		}
+		if err := g.closeIfLevel1(of, file); err != nil {
+			return err
+		}
+	}
+
+	// Deliver: scatter file-order bytes back into the callers' slices,
+	// charging the memory-copy cost of each permutation.
+	for i := range placed {
+		gt := &gets[placed[i].idx]
+		v := placed[i].v
+		gt.decode(v, placed[i].data)
+		g.s.env.Comm.ComputeItems(gt.bytes, g.s.opts.MemCopyRate)
+	}
+	return nil
+}

@@ -28,11 +28,15 @@ type Group struct {
 	uniform  bool // all datasets same type and global size
 	slabSize int64
 
+	// ep is the group's deferred step epoch (BeginStep/EndStep) and its
+	// flush scratch; legacy Write/Read run as one-operation epochs over
+	// the same engine.
+	ep stepEpoch
+
 	// Reusable per-rank staging buffers for the write/read hot path.
 	// A Group belongs to one rank goroutine; the collective I/O layer
 	// copies payloads out before returning, so reuse across operations
 	// is safe.
-	permScratch []byte
 	readScratch []byte
 	convScratch []byte
 	ioScratch   mpiio.Scratch
@@ -319,15 +323,10 @@ func newView(mapArr []int32, elemSize, globalN int64) (*View, error) {
 	}, nil
 }
 
-// permuteToFileOrder reorders a user buffer (map-array order) into the
-// sorted order the file view consumes, charging memory-copy time. The
-// result lives in the group's reusable permutation buffer and is valid
-// until the next permuteToFileOrder call.
-func (g *Group) permuteToFileOrder(v *View, data []byte) []byte {
-	if cap(g.permScratch) < len(data) {
-		g.permScratch = make([]byte, len(data))
-	}
-	out := g.permScratch[:len(data)]
+// permuteBytesToFile reorders a user buffer (map-array order) into the
+// sorted order the file view consumes. Pure data movement; the caller
+// charges the memory-copy cost.
+func permuteBytesToFile(v *View, data, out []byte) {
 	es := v.elemSize
 	if es == 8 {
 		// The dominant case (doubles and int64 indices): a fixed-size
@@ -340,13 +339,10 @@ func (g *Group) permuteToFileOrder(v *View, data []byte) []byte {
 			copy(out[int64(i)*es:(int64(i)+1)*es], data[int64(p)*es:(int64(p)+1)*es])
 		}
 	}
-	g.s.env.Comm.ComputeItems(int64(len(data)), g.s.opts.MemCopyRate)
-	g.permScratch = out
-	return out
 }
 
-// permuteFromFileOrder is the inverse, for reads.
-func (g *Group) permuteFromFileOrder(v *View, fileData, out []byte) {
+// permuteBytesFromFile is the inverse, for reads.
+func permuteBytesFromFile(v *View, fileData, out []byte) {
 	es := v.elemSize
 	if es == 8 {
 		for i, p := range v.perm {
@@ -357,7 +353,6 @@ func (g *Group) permuteFromFileOrder(v *View, fileData, out []byte) {
 			copy(out[int64(p)*es:(int64(p)+1)*es], fileData[int64(i)*es:(int64(i)+1)*es])
 		}
 	}
-	g.s.env.Comm.ComputeItems(int64(len(out)), g.s.opts.MemCopyRate)
 }
 
 // fileFor determines which file a dataset write goes to under the
@@ -438,13 +433,11 @@ func (g *Group) place(dataset string, timestep int64, slabBytes int64) (file str
 	}
 }
 
-// Write stores one timestep of a dataset (the paper's SDM_write).
-// data is the rank's local elements in map-array order; a view must
-// have been installed with DataView. Collective. Process 0 records the
-// write in the execution table.
-func (g *Group) Write(dataset string, timestep int64, data []byte) error {
-	a, err := g.Attr(dataset)
-	if err != nil {
+// putBytes queues raw file-encoded bytes (map-array order) into the
+// open epoch — the byte-level path beneath the legacy Write, validated
+// with the historical error messages.
+func (g *Group) putBytes(dataset string, data []byte) error {
+	if _, err := g.Attr(dataset); err != nil {
 		return err
 	}
 	v, ok := g.views[dataset]
@@ -455,86 +448,15 @@ func (g *Group) Write(dataset string, timestep int64, data []byte) error {
 		return fmt.Errorf("core: dataset %q write has %d bytes, view maps %d elements of %d bytes",
 			dataset, len(data), v.LocalSize(), v.elemSize)
 	}
-	slabBytes := a.GlobalSize * a.Type.Size()
-	file, physOff, slab := g.place(dataset, timestep, slabBytes)
-
-	of, err := g.open(file)
-	if err != nil {
-		return err
-	}
-	// Uniform groups tile the view over slabs: the view stays installed
-	// across timesteps and the slab selects a logical offset in the
-	// view's data space. Mixed groups move the view's displacement to
-	// the slab's physical offset instead, paying the view cost again.
-	var disp, logicalOff int64
-	if slab >= 0 {
-		logicalOff = slab * int64(v.LocalSize()) * v.elemSize
-	} else {
-		disp = physOff
-	}
-	of.applyView(disp, v)
-	buf := g.permuteToFileOrder(v, data)
-	if err := of.f.WriteAtAll(logicalOff, buf); err != nil {
-		return err
-	}
-	if g.s.opts.Organization == Level1 {
-		if err := of.f.Close(); err != nil {
-			return err
-		}
-		delete(g.files, file)
-	}
-
-	rec := catalog.WriteRecord{
-		RunID: g.s.runID, Dataset: dataset, Timestep: timestep,
-		FileOffset: physOff, FileName: file,
-	}
-	g.written[writeKey{dataset, timestep}] = rec
-	return g.s.catalogCall(func() error {
-		return g.s.env.Catalog.RecordWrite(g.s.env.Comm.Clock(), rec)
+	return g.enqueuePut(dataset, v.LocalSize(), func(v *View, dst []byte) {
+		permuteBytesToFile(v, data, dst)
 	})
 }
 
-// lookupPlacement finds where a previously written slab lives, first in
-// the in-memory cache, then in the execution table (rank 0 queries and
-// broadcasts).
-func (g *Group) lookupPlacement(dataset string, timestep int64) (catalog.WriteRecord, error) {
-	if rec, ok := g.written[writeKey{dataset, timestep}]; ok {
-		// All ranks have the cache; no DB round trip needed.
-		return rec, nil
-	}
-	if g.s.opts.DisableDB {
-		return catalog.WriteRecord{}, fmt.Errorf("core: dataset %q timestep %d not written in this session and DB disabled", dataset, timestep)
-	}
-	type wire struct {
-		Rec catalog.WriteRecord
-		Err string
-		Hit bool
-	}
-	var w wire
-	if g.s.env.Comm.Rank() == 0 {
-		rec, err := g.s.env.Catalog.LookupWrite(g.s.env.Comm.Clock(), g.s.runID, dataset, timestep)
-		switch {
-		case err != nil:
-			w.Err = err.Error()
-		case rec == nil:
-			w.Err = fmt.Sprintf("core: no execution_table entry for dataset %q timestep %d", dataset, timestep)
-		default:
-			w.Rec = *rec
-			w.Hit = true
-		}
-	}
-	res := g.s.env.Comm.Bcast(0, w, 64).(wire)
-	if !res.Hit {
-		return catalog.WriteRecord{}, fmt.Errorf("%s", res.Err)
-	}
-	return res.Rec, nil
-}
-
-// Read fetches one timestep of a dataset back into map-array order
-// (the paper's SDM_read — reading data created within SDM). Collective.
-func (g *Group) Read(dataset string, timestep int64, out []byte) error {
-	_, err := g.Attr(dataset)
-	if err != nil {
+// getBytes queues a raw byte read (map-array order) into the open
+// epoch, the byte-level path beneath the legacy Read.
+func (g *Group) getBytes(dataset string, out []byte) error {
+	if _, err := g.Attr(dataset); err != nil {
 		return err
 	}
 	v, ok := g.views[dataset]
@@ -545,55 +467,43 @@ func (g *Group) Read(dataset string, timestep int64, out []byte) error {
 		return fmt.Errorf("core: dataset %q read buffer has %d bytes, view maps %d elements",
 			dataset, len(out), v.LocalSize())
 	}
-	rec, err := g.lookupPlacement(dataset, timestep)
-	if err != nil {
-		return err
-	}
-	of, err := g.open(rec.FileName)
-	if err != nil {
-		return err
-	}
-	var disp, logicalOff int64
-	switch {
-	case g.s.opts.Organization == Level1:
-		disp, logicalOff = 0, 0
-	case g.uniform && rec.FileOffset%g.slabSize == 0:
-		slab := rec.FileOffset / g.slabSize
-		logicalOff = slab * int64(v.LocalSize()) * v.elemSize
-	default:
-		// Byte-addressed placement: either a mixed group, or a slab
-		// whose offset doesn't sit on this group's slab grid (written
-		// by a differently-shaped group and reopened as a subset).
-		disp = rec.FileOffset
-	}
-	of.applyView(disp, v)
-	// No clearing needed: the view's segments partition the request, so
-	// the collective (and the zero-filling vectored fallback) overwrite
-	// every byte.
-	if cap(g.readScratch) < len(out) {
-		g.readScratch = make([]byte, len(out))
-	}
-	buf := g.readScratch[:len(out)]
-	if err := of.f.ReadAtAll(logicalOff, buf); err != nil {
-		return err
-	}
-	g.permuteFromFileOrder(v, buf, out)
-	if g.s.opts.Organization == Level1 {
-		if err := of.f.Close(); err != nil {
-			return err
-		}
-		delete(g.files, rec.FileName)
-	}
-	return nil
+	return g.enqueueGet(dataset, v.LocalSize(), func(v *View, src []byte) {
+		permuteBytesFromFile(v, src, out)
+	})
+}
+
+// Write stores one timestep of a dataset (the paper's SDM_write).
+// data is the rank's local elements in map-array order; a view must
+// have been installed with DataView. Collective. Process 0 records the
+// write in the execution table. Since the step-epoch redesign, Write
+// is a one-operation BeginStep/Put/EndStep epoch over the deferred
+// engine; batch several datasets of a timestep with
+// BeginStep/Dataset.Put/EndStep to merge their collectives.
+func (g *Group) Write(dataset string, timestep int64, data []byte) error {
+	return g.oneOpEpoch(timestep, func() error { return g.putBytes(dataset, data) })
+}
+
+// Read fetches one timestep of a dataset back into map-array order
+// (the paper's SDM_read — reading data created within SDM). Collective.
+// A one-operation epoch over the deferred engine, like Write.
+func (g *Group) Read(dataset string, timestep int64, out []byte) error {
+	return g.oneOpEpoch(timestep, func() error { return g.getBytes(dataset, out) })
 }
 
 // WriteFloat64s is Write for float64 data.
+//
+// Deprecated: build a typed handle with DatasetOf[float64] and use
+// Put (inside BeginStep/EndStep) or PutAt — the typed path fuses
+// conversion and permutation and batches whole timesteps.
 func (g *Group) WriteFloat64s(dataset string, timestep int64, vals []float64) error {
 	g.convScratch = float64sToBytesInto(g.convScratch, vals)
 	return g.Write(dataset, timestep, g.convScratch)
 }
 
 // ReadFloat64s is Read for float64 data.
+//
+// Deprecated: build a typed handle with DatasetOf[float64] and use
+// Get (inside BeginStep/EndStep) or GetAt.
 func (g *Group) ReadFloat64s(dataset string, timestep int64, n int) ([]float64, error) {
 	if cap(g.convScratch) < n*8 {
 		g.convScratch = make([]byte, n*8)

@@ -1,0 +1,189 @@
+package metadb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// execTable loads a miniature execution_table shape: nRuns runs x
+// nDatasets datasets x nSteps timesteps, with a composite index over
+// all three key columns and the old single-column dataset index
+// alongside.
+func execTable(t *testing.T, nRuns, nDatasets, nSteps int) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE exec (runid INTEGER, dataset TEXT, timestep INTEGER, off INTEGER)`)
+	mustExec(t, db, `CREATE INDEX exec_ds ON exec (dataset)`)
+	mustExec(t, db, `CREATE INDEX exec_run_ds_ts ON exec (runid, dataset, timestep)`)
+	for r := 1; r <= nRuns; r++ {
+		for d := 0; d < nDatasets; d++ {
+			for s := 0; s < nSteps; s++ {
+				mustExec(t, db, `INSERT INTO exec VALUES (?, ?, ?, ?)`,
+					r, fmt.Sprintf("ds%d", d), s, r*1000+d*100+s)
+			}
+		}
+	}
+	return db
+}
+
+// TestCompositeIndexFullEqualityProbe asserts that a probe binding all
+// three columns is served by the composite index: one index hit, and
+// exactly the matching row scanned (the single-column dataset index
+// would have scanned the dataset's entire history).
+func TestCompositeIndexFullEqualityProbe(t *testing.T) {
+	db := execTable(t, 3, 4, 10)
+	hits0, scanned0 := db.IndexHits(), db.RowsScanned()
+	row, err := db.QueryRow(`SELECT off FROM exec WHERE runid = ? AND dataset = ? AND timestep = ?`,
+		2, "ds3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0].AsInt() != 2*1000+3*100+7 {
+		t.Fatalf("probe returned %v", row)
+	}
+	if got := db.IndexHits() - hits0; got != 1 {
+		t.Fatalf("IndexHits delta = %d, want 1", got)
+	}
+	if got := db.RowsScanned() - scanned0; got != 1 {
+		t.Fatalf("RowsScanned delta = %d, want 1 (composite bucket is exact)", got)
+	}
+}
+
+// TestCompositePreferredOverSingleColumn loads the same probe against a
+// table with only the dataset index: the candidate set is the whole
+// dataset history, proving the composite index is what narrows the
+// scan.
+func TestCompositePreferredOverSingleColumn(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE exec (runid INTEGER, dataset TEXT, timestep INTEGER, off INTEGER)`)
+	mustExec(t, db, `CREATE INDEX exec_ds ON exec (dataset)`)
+	const nSteps = 25
+	for s := 0; s < nSteps; s++ {
+		mustExec(t, db, `INSERT INTO exec VALUES (1, 'p', ?, ?)`, s, s)
+	}
+	scanned0 := db.RowsScanned()
+	if _, err := db.QueryRow(`SELECT off FROM exec WHERE runid = 1 AND dataset = 'p' AND timestep = 13`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RowsScanned() - scanned0; got != nSteps {
+		t.Fatalf("single-column probe scanned %d rows, want %d", got, nSteps)
+	}
+
+	mustExec(t, db, `CREATE INDEX exec_cmp ON exec (runid, dataset, timestep)`)
+	scanned1 := db.RowsScanned()
+	if _, err := db.QueryRow(`SELECT off FROM exec WHERE runid = 1 AND dataset = 'p' AND timestep = 13`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RowsScanned() - scanned1; got != 1 {
+		t.Fatalf("composite probe scanned %d rows, want 1", got)
+	}
+}
+
+// TestCompositePartialBindingFallsBack verifies a probe binding only a
+// prefix (or a subset) of the composite columns cannot use the hash
+// index: it falls back to a covered single-column index or a scan, and
+// still answers correctly.
+func TestCompositePartialBindingFallsBack(t *testing.T) {
+	db := execTable(t, 2, 3, 5)
+	rows, err := db.Query(`SELECT off FROM exec WHERE runid = 1 AND dataset = 'ds1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 5 {
+		t.Fatalf("partial probe returned %d rows, want 5", rows.Len())
+	}
+	// Only timestep bound: no covering index at all -> full scan, right
+	// answer regardless.
+	scanned0 := db.RowsScanned()
+	rows, err = db.Query(`SELECT off FROM exec WHERE timestep = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2*3 {
+		t.Fatalf("timestep probe returned %d rows, want 6", rows.Len())
+	}
+	if got := db.RowsScanned() - scanned0; got != 2*3*5 {
+		t.Fatalf("unindexed probe scanned %d rows, want full table %d", got, 2*3*5)
+	}
+}
+
+// TestCompositeIndexMutationMaintenance drives UPDATE and DELETE
+// through composite-indexed rows and re-probes.
+func TestCompositeIndexMutationMaintenance(t *testing.T) {
+	db := execTable(t, 2, 2, 4)
+	mustExec(t, db, `UPDATE exec SET timestep = 99 WHERE runid = 2 AND dataset = 'ds1' AND timestep = 3`)
+	row, err := db.QueryRow(`SELECT off FROM exec WHERE runid = 2 AND dataset = 'ds1' AND timestep = 99`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0].AsInt() != 2*1000+1*100+3 {
+		t.Fatalf("re-probe after UPDATE returned %v", row)
+	}
+	if row, _ := db.QueryRow(`SELECT off FROM exec WHERE runid = 2 AND dataset = 'ds1' AND timestep = 3`); row != nil {
+		t.Fatalf("stale composite entry survived UPDATE: %v", row)
+	}
+
+	mustExec(t, db, `DELETE FROM exec WHERE runid = 1 AND dataset = 'ds0' AND timestep = 0`)
+	if row, _ := db.QueryRow(`SELECT off FROM exec WHERE runid = 1 AND dataset = 'ds0' AND timestep = 0`); row != nil {
+		t.Fatalf("deleted row still probe-able: %v", row)
+	}
+	row, err = db.QueryRow(`SELECT COUNT(*) FROM exec`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].AsInt() != 2*2*4-1 {
+		t.Fatalf("row count after delete = %d", row[0].AsInt())
+	}
+}
+
+// TestCompositeKeyNoBoundaryCollisions guards the tuple hash key
+// against column-boundary ambiguity: ("ab", "c") must not collide with
+// ("a", "bc").
+func TestCompositeKeyNoBoundaryCollisions(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE kv (a TEXT, b TEXT, v INTEGER)`)
+	mustExec(t, db, `CREATE INDEX kv_ab ON kv (a, b)`)
+	mustExec(t, db, `INSERT INTO kv VALUES ('ab', 'c', 1), ('a', 'bc', 2)`)
+	row, err := db.QueryRow(`SELECT v FROM kv WHERE a = 'ab' AND b = 'c'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0].AsInt() != 1 {
+		t.Fatalf("probe ('ab','c') = %v", row)
+	}
+	row, err = db.QueryRow(`SELECT v FROM kv WHERE a = 'a' AND b = 'bc'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0].AsInt() != 2 {
+		t.Fatalf("probe ('a','bc') = %v", row)
+	}
+}
+
+// TestCompositeIndexPersistRoundTrip snapshots a database holding a
+// composite index and reloads it, verifying the index definition and
+// its probe behavior survive.
+func TestCompositeIndexPersistRoundTrip(t *testing.T) {
+	db := execTable(t, 2, 3, 4)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hits0, scanned0 := db2.IndexHits(), db2.RowsScanned()
+	row, err := db2.QueryRow(`SELECT off FROM exec WHERE runid = 2 AND dataset = 'ds2' AND timestep = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0].AsInt() != 2*1000+2*100+1 {
+		t.Fatalf("reloaded probe returned %v", row)
+	}
+	if db2.IndexHits()-hits0 != 1 || db2.RowsScanned()-scanned0 != 1 {
+		t.Fatalf("reloaded composite index not used: hits %d scanned %d",
+			db2.IndexHits()-hits0, db2.RowsScanned()-scanned0)
+	}
+}

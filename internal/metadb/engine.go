@@ -3,6 +3,8 @@ package metadb
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -34,51 +36,106 @@ type table struct {
 	nextID  int64
 	order   []int64 // row ids in insertion order
 	rows    map[int64][]Value
-	indexes map[string]*index // keyed by column name
+	indexes map[string]*index // keyed by the joined column list (see indexKey)
 }
 
-// bucket holds the row ids sharing one distinct value of an indexed
-// column, remembering the value itself so buckets can be ordered for
-// range scans.
+// indexKey is the map key an index is registered under: its column
+// names joined by commas, so a single-column index is found under the
+// bare column name (range and ORDER BY lookups use that) and composite
+// indexes never shadow it.
+func indexKey(cols []string) string { return strings.Join(cols, ",") }
+
+// bucket holds the row ids sharing one distinct tuple of the indexed
+// columns, remembering the tuple itself so single-column buckets can be
+// ordered for range scans.
 type bucket struct {
-	val Value
-	ids []int64
+	vals []Value
+	ids  []int64
 }
 
+// index is a hash index over one or more columns. Single-column indexes
+// additionally support range scans and ORDER BY service through the
+// sorted bucket cache; composite (multi-column) indexes answer only
+// full-equality lookups — the shape of the catalog's
+// (runid, dataset, timestep) execution-table probes.
 type index struct {
 	name   string
-	column string
-	colPos int
+	cols   []string
+	colPos []int
 	m      map[string]*bucket
-	// sorted caches the buckets ordered by compare(val); nil when a
+	// sorted caches the buckets ordered by compare(vals[0]); nil when a
 	// structural change (new or emptied bucket) made it stale. Range
 	// predicates rebuild it lazily and binary-search it. sortMu
 	// serializes the rebuild: SELECTs run under the DB's read lock, so
 	// two queries may race to rebuild; mutations invalidate only under
-	// the DB's exclusive lock.
+	// the DB's exclusive lock. Only maintained meaningfully for
+	// single-column indexes.
 	sortMu sync.Mutex
 	sorted []*bucket
 }
 
-func newIndex(name, column string, colPos int) *index {
-	return &index{name: name, column: column, colPos: colPos, m: make(map[string]*bucket)}
+func newIndex(name string, cols []string, colPos []int) *index {
+	return &index{name: name, cols: cols, colPos: colPos, m: make(map[string]*bucket)}
 }
 
-// insert records id under value v.
-func (idx *index) insert(v Value, id int64) {
-	key := v.hashKey()
+// single reports whether this is a one-column index (range/order
+// capable).
+func (idx *index) single() bool { return len(idx.colPos) == 1 }
+
+// writeTupleKey appends one component of a composite hash key: the
+// value's hashKey, length-prefixed so concatenations never collide
+// across column boundaries. keyOf and rowKey both encode through it,
+// keeping lookup and maintenance keys byte-identical.
+func writeTupleKey(sb *strings.Builder, v Value) {
+	k := v.hashKey()
+	sb.WriteString(strconv.Itoa(len(k)))
+	sb.WriteByte(':')
+	sb.WriteString(k)
+}
+
+// keyOf builds the unambiguous hash key of a value tuple.
+func keyOf(vals []Value) string {
+	if len(vals) == 1 {
+		return vals[0].hashKey()
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		writeTupleKey(&sb, v)
+	}
+	return sb.String()
+}
+
+// rowKey extracts the indexed columns' tuple key from a full row.
+func (idx *index) rowKey(row []Value) string {
+	if idx.single() {
+		return row[idx.colPos[0]].hashKey()
+	}
+	var sb strings.Builder
+	for _, p := range idx.colPos {
+		writeTupleKey(&sb, row[p])
+	}
+	return sb.String()
+}
+
+// insert records id under the row's indexed tuple.
+func (idx *index) insert(row []Value, id int64) {
+	key := idx.rowKey(row)
 	b, ok := idx.m[key]
 	if !ok {
-		b = &bucket{val: v}
+		vals := make([]Value, len(idx.colPos))
+		for i, p := range idx.colPos {
+			vals[i] = row[p]
+		}
+		b = &bucket{vals: vals}
 		idx.m[key] = b
-		idx.sorted = nil // new distinct value invalidates the order cache
+		idx.sorted = nil // new distinct tuple invalidates the order cache
 	}
 	b.ids = append(b.ids, id)
 }
 
-// remove drops id from value v's bucket.
-func (idx *index) remove(v Value, id int64) {
-	key := v.hashKey()
+// remove drops id from the row's tuple bucket.
+func (idx *index) remove(row []Value, id int64) {
+	key := idx.rowKey(row)
 	b, ok := idx.m[key]
 	if !ok {
 		return
@@ -95,9 +152,10 @@ func (idx *index) remove(v Value, id int64) {
 	}
 }
 
-// lookupEq returns the ids matching value v exactly.
-func (idx *index) lookupEq(v Value) []int64 {
-	if b, ok := idx.m[v.hashKey()]; ok {
+// lookupEq returns the ids matching a value tuple exactly. vals must
+// have one value per indexed column, in index column order.
+func (idx *index) lookupEq(vals []Value) []int64 {
+	if b, ok := idx.m[keyOf(vals)]; ok {
 		return b.ids
 	}
 	return nil
@@ -117,7 +175,7 @@ func (idx *index) ensureSorted() []*bucket {
 	for _, b := range idx.m {
 		s = append(s, b)
 	}
-	sort.Slice(s, func(i, j int) bool { return compare(s[i].val, s[j].val) < 0 })
+	sort.Slice(s, func(i, j int) bool { return compare(s[i].vals[0], s[j].vals[0]) < 0 })
 	idx.sorted = s
 	return s
 }
@@ -167,7 +225,7 @@ func (idx *index) lookupRange(lo *Value, loInc bool, hi *Value, hiInc bool) []in
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(s), func(i int) bool {
-			c := compare(s[i].val, *lo)
+			c := compare(s[i].vals[0], *lo)
 			if loInc {
 				return c >= 0
 			}
@@ -177,7 +235,7 @@ func (idx *index) lookupRange(lo *Value, loInc bool, hi *Value, hiInc bool) []in
 	end := len(s)
 	if hi != nil {
 		end = sort.Search(len(s), func(i int) bool {
-			c := compare(s[i].val, *hi)
+			c := compare(s[i].vals[0], *hi)
 			if hiInc {
 				return c > 0
 			}
@@ -387,22 +445,29 @@ func (db *DB) execCreateIndex(s createIndexStmt) error {
 	if !ok {
 		return fmt.Errorf("metadb: no such table %q", s.table)
 	}
-	col := normalizeIdent(s.column)
-	pos, ok := t.colIdx[col]
-	if !ok {
-		return fmt.Errorf("metadb: no column %q in table %q", s.column, s.table)
+	cols := make([]string, len(s.columns))
+	colPos := make([]int, len(s.columns))
+	for i, c := range s.columns {
+		col := normalizeIdent(c)
+		pos, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("metadb: no column %q in table %q", c, s.table)
+		}
+		cols[i] = col
+		colPos[i] = pos
 	}
-	if _, exists := t.indexes[col]; exists {
+	key := indexKey(cols)
+	if _, exists := t.indexes[key]; exists {
 		if s.ifNotExists {
 			return nil
 		}
-		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, s.column)
+		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, key)
 	}
-	idx := newIndex(normalizeIdent(s.name), col, pos)
+	idx := newIndex(normalizeIdent(s.name), cols, colPos)
 	for _, id := range t.order {
-		idx.insert(t.rows[id][pos], id)
+		idx.insert(t.rows[id], id)
 	}
-	t.indexes[col] = idx
+	t.indexes[key] = idx
 	return nil
 }
 
@@ -648,7 +713,7 @@ func (db *DB) execInsert(s insertStmt, params []Value) (int, error) {
 		t.rows[id] = row
 		t.order = append(t.order, id)
 		for _, idx := range t.indexes {
-			idx.insert(row[idx.colPos], id)
+			idx.insert(row, id)
 		}
 		inserted++
 	}
@@ -703,33 +768,67 @@ func collectBounds(where expr, bounds []colBound) []colBound {
 	return bounds
 }
 
-// candidateIDs returns the row ids to scan for a WHERE clause. An
-// equality conjunct on an indexed column answers from that hash bucket;
-// otherwise `<`, `<=`, `>`, `>=` conjuncts on an indexed column
-// (including BETWEEN-shaped `lo <= col AND col <= hi` pairs) answer
-// from the index's ordered buckets. Only with no indexable conjunct
-// does the full table scan remain. The returned candidates may
-// over-approximate; matchingIDs re-evaluates the complete predicate.
+// candidateIDs returns the row ids to scan for a WHERE clause. The
+// index whose columns are all bound by equality conjuncts — the widest
+// such index, so a composite (runid, dataset, timestep) index beats the
+// single-column one when the probe binds all three — answers from its
+// hash bucket; otherwise `<`, `<=`, `>`, `>=` conjuncts on an indexed
+// column (including BETWEEN-shaped `lo <= col AND col <= hi` pairs)
+// answer from a single-column index's ordered buckets. Only with no
+// indexable conjunct does the full table scan remain. The returned
+// candidates may over-approximate; matchingIDs re-evaluates the
+// complete predicate.
 func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
 	bounds := collectBounds(where, nil)
 	if len(bounds) == 0 {
 		return t.order, false
 	}
 	ctx := &evalCtx{params: params}
-	// Prefer an exact equality lookup.
+	// Prefer an exact equality lookup: gather the equality-bound
+	// columns, then pick the widest index fully covered by them
+	// (lexically smallest name on ties, for determinism).
+	var eqCols map[string]Value
 	for _, bd := range bounds {
 		if bd.op != "=" {
-			continue
-		}
-		idx, ok := t.indexes[bd.col]
-		if !ok {
 			continue
 		}
 		v, err := ctx.eval(bd.e)
 		if err != nil {
 			continue
 		}
-		return idx.lookupEq(v), true
+		if eqCols == nil {
+			eqCols = make(map[string]Value, 4)
+		}
+		if _, dup := eqCols[bd.col]; !dup {
+			eqCols[bd.col] = v
+		}
+	}
+	if eqCols != nil {
+		var best *index
+		var bestKey string
+		for key, idx := range t.indexes {
+			covered := true
+			for _, c := range idx.cols {
+				if _, ok := eqCols[c]; !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+			if best == nil || len(idx.cols) > len(best.cols) ||
+				(len(idx.cols) == len(best.cols) && key < bestKey) {
+				best, bestKey = idx, key
+			}
+		}
+		if best != nil {
+			vals := make([]Value, len(best.cols))
+			for i, c := range best.cols {
+				vals[i] = eqCols[c]
+			}
+			return best.lookupEq(vals), true
+		}
 	}
 	// Otherwise intersect the range conjuncts per indexed column and
 	// scan the tightest single-column window.
@@ -865,11 +964,9 @@ func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
 			newRow[pos] = cv
 		}
 		for _, idx := range t.indexes {
-			oldKey := row[idx.colPos].hashKey()
-			newKey := newRow[idx.colPos].hashKey()
-			if oldKey != newKey {
-				idx.remove(row[idx.colPos], id)
-				idx.insert(newRow[idx.colPos], id)
+			if idx.rowKey(row) != idx.rowKey(newRow) {
+				idx.remove(row, id)
+				idx.insert(newRow, id)
 			}
 		}
 		t.rows[id] = newRow
@@ -891,7 +988,7 @@ func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
 		doomed[id] = true
 		row := t.rows[id]
 		for _, idx := range t.indexes {
-			idx.remove(row[idx.colPos], id)
+			idx.remove(row, id)
 		}
 		delete(t.rows, id)
 	}

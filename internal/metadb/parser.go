@@ -26,7 +26,7 @@ type createTableStmt struct {
 type createIndexStmt struct {
 	name        string
 	table       string
-	column      string
+	columns     []string // one or more: composite indexes list several
 	ifNotExists bool
 }
 
@@ -280,14 +280,22 @@ func (p *parser) parseCreate() (statement, error) {
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		col, err := p.expectIdent()
-		if err != nil {
-			return nil, err
+		var cols []string
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		return createIndexStmt{name: name, table: table, column: col, ifNotExists: ifne}, nil
+		return createIndexStmt{name: name, table: table, columns: cols, ifNotExists: ifne}, nil
 	}
 	return nil, fmt.Errorf("metadb: expected TABLE or INDEX after CREATE, found %s", p.peek())
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Snapshot format:
@@ -142,15 +143,18 @@ func (db *DB) Save(w io.Writer) error {
 				return err
 			}
 		}
-		idxCols := make([]string, 0, len(t.indexes))
+		// Index definitions serialize as (name, joined column list); a
+		// composite index's columns join with commas, which identifiers
+		// cannot contain, so old single-column snapshots load unchanged.
+		idxKeys := make([]string, 0, len(t.indexes))
 		for c := range t.indexes {
-			idxCols = append(idxCols, c)
+			idxKeys = append(idxKeys, c)
 		}
-		sort.Strings(idxCols)
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(idxCols))); err != nil {
+		sort.Strings(idxKeys)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(idxKeys))); err != nil {
 			return err
 		}
-		for _, c := range idxCols {
+		for _, c := range idxKeys {
 			if err := writeString(bw, t.indexes[c].name); err != nil {
 				return err
 			}
@@ -251,15 +255,20 @@ func (db *DB) Load(r io.Reader) error {
 			t.order = append(t.order, id)
 		}
 		for _, d := range idxDefs {
-			pos, ok := t.colIdx[d.col]
-			if !ok {
-				return fmt.Errorf("metadb: snapshot index on unknown column %q", d.col)
+			cols := strings.Split(d.col, ",")
+			colPos := make([]int, len(cols))
+			for i, c := range cols {
+				pos, ok := t.colIdx[c]
+				if !ok {
+					return fmt.Errorf("metadb: snapshot index on unknown column %q", c)
+				}
+				colPos[i] = pos
 			}
-			idx := newIndex(d.name, d.col, pos)
+			idx := newIndex(d.name, cols, colPos)
 			for _, id := range t.order {
-				idx.insert(t.rows[id][pos], id)
+				idx.insert(t.rows[id], id)
 			}
-			t.indexes[d.col] = idx
+			t.indexes[indexKey(cols)] = idx
 		}
 		tables[name] = t
 	}

@@ -1,0 +1,193 @@
+package mpiio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sdm/internal/mpi"
+	"sdm/internal/pfs"
+	"sdm/internal/sim"
+)
+
+// costedSys is a system with real per-request latency, so tests can
+// observe that batching collectives reduces both request counts and
+// virtual time.
+func costedSys() *pfs.System {
+	return pfs.NewSystem(pfs.Config{
+		NumServers:      4,
+		StripeSize:      4096,
+		ServerBandwidth: 100e6,
+		RequestLatency:  500_000,
+	})
+}
+
+// slabOps builds nOps slab-tiled operations over one shared round-robin
+// view: op k covers slab k of the file, mirroring how a level-3 group
+// lays consecutive datasets of one timestep into consecutive slabs.
+func slabOps(c *mpi.Comm, view *Datatype, elems, nOps, seed int) []BatchOp {
+	ops := make([]BatchOp, nOps)
+	for k := range ops {
+		data := make([]byte, elems*8)
+		for i := range data {
+			data[i] = byte((seed + k*131 + c.Rank()*31 + i) % 251)
+		}
+		ops[k] = BatchOp{Type: view, Off: int64(k * elems * 8), Data: data}
+	}
+	return ops
+}
+
+func roundRobinView(c *mpi.Comm, elems int) *Datatype {
+	displs := make([]int, elems)
+	for i := range displs {
+		displs[i] = i*c.Size() + c.Rank()
+	}
+	d := IndexedBlock(1, displs, Bytes(8))
+	return Resized(d, int64(elems*c.Size()*8))
+}
+
+// TestBatchedWriteMatchesSequential proves the tentpole contract: a
+// multi-op WriteAtAllOps batch produces a bit-identical file to the
+// same ops issued as separate WriteAtAll collectives, while issuing
+// fewer file-system write requests and finishing in less virtual time.
+func TestBatchedWriteMatchesSequential(t *testing.T) {
+	const ranks, elems, nOps = 4, 256, 5
+	run := func(batched bool) (data []byte, stats pfs.Stats, elapsed sim.Time) {
+		sys := costedSys()
+		world := fastWorld(ranks)
+		err := world.Run(func(c *mpi.Comm) {
+			f, err := Open(c, sys, "f", pfs.CreateMode, Hints{})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			view := roundRobinView(c, elems)
+			f.SetView(0, view)
+			ops := slabOps(c, view, elems, nOps, 7)
+			if batched {
+				if err := f.WriteAtAllOps(ops); err != nil {
+					panic(err)
+				}
+			} else {
+				for _, op := range ops {
+					if err := f.WriteAtAll(op.Off, op.Data); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err = sys.ReadFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, sys.Stats(), world.MaxTime()
+	}
+
+	batchData, batchStats, batchTime := run(true)
+	seqData, seqStats, seqTime := run(false)
+	if !bytes.Equal(batchData, seqData) {
+		t.Fatal("batched and sequential collective writes produced different bytes")
+	}
+	if batchStats.WriteReqs >= seqStats.WriteReqs {
+		t.Fatalf("batched epoch issued %d write requests, sequential %d; want fewer",
+			batchStats.WriteReqs, seqStats.WriteReqs)
+	}
+	if batchTime >= seqTime {
+		t.Fatalf("batched epoch took %v virtual time, sequential %v; want less",
+			batchTime, seqTime)
+	}
+}
+
+// TestBatchedReadRoundTrip writes a batch and reads it back both as one
+// ReadAtAllOps batch and per-op, verifying identical recovered bytes —
+// including with the op order reversed, which exercises the unsorted
+// merge in flattenOps.
+func TestBatchedReadRoundTrip(t *testing.T) {
+	const ranks, elems, nOps = 4, 128, 4
+	sys := costedSys()
+	var wrote [ranks][]byte
+	err := fastWorld(ranks).Run(func(c *mpi.Comm) {
+		f, err := Open(c, sys, "f", pfs.CreateMode, Hints{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		view := roundRobinView(c, elems)
+		f.SetView(0, view)
+		ops := slabOps(c, view, elems, nOps, 3)
+		var all []byte
+		for _, op := range ops {
+			all = append(all, op.Data...)
+		}
+		wrote[c.Rank()] = all
+		if err := f.WriteAtAllOps(ops); err != nil {
+			panic(err)
+		}
+
+		// Read back as one batch, in reverse op order.
+		got := make([]BatchOp, nOps)
+		for k := range got {
+			rk := nOps - 1 - k
+			got[k] = BatchOp{Type: view, Off: int64(rk * elems * 8), Data: make([]byte, elems*8)}
+		}
+		if err := f.ReadAtAllOps(got); err != nil {
+			panic(err)
+		}
+		for k := range got {
+			rk := nOps - 1 - k
+			want := all[rk*elems*8 : (rk+1)*elems*8]
+			if !bytes.Equal(got[k].Data, want) {
+				panic(fmt.Sprintf("rank %d op %d: batch read mismatch", c.Rank(), rk))
+			}
+		}
+
+		// And per-op, for the same answer.
+		single := make([]byte, elems*8)
+		for k := 0; k < nOps; k++ {
+			if err := f.ReadAtAll(int64(k*elems*8), single); err != nil {
+				panic(err)
+			}
+			if !bytes.Equal(single, all[k*elems*8:(k+1)*elems*8]) {
+				panic(fmt.Sprintf("rank %d op %d: single read mismatch", c.Rank(), k))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedIndependentFallback checks the DisableCollective ablation
+// still works op-per-op for batches.
+func TestBatchedIndependentFallback(t *testing.T) {
+	const ranks, elems, nOps = 3, 64, 3
+	sysA, sysB := freeSys(), freeSys()
+	for _, tc := range []struct {
+		sys     *pfs.System
+		disable bool
+	}{{sysA, false}, {sysB, true}} {
+		err := fastWorld(ranks).Run(func(c *mpi.Comm) {
+			f, err := Open(c, tc.sys, "f", pfs.CreateMode, Hints{DisableCollective: tc.disable})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			view := roundRobinView(c, elems)
+			f.SetView(0, view)
+			if err := f.WriteAtAllOps(slabOps(c, view, elems, nOps, 11)); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := sysA.ReadFile("f")
+	b, _ := sysB.ReadFile("f")
+	if !bytes.Equal(a, b) {
+		t.Fatal("collective and independent batch writes differ")
+	}
+}

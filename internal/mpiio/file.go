@@ -59,7 +59,12 @@ type File struct {
 // (all ranks issue the same collective sequence) therefore guarantees
 // no rank still reads a buffer when its owner rewrites it.
 type ioScratch struct {
-	segs       []Segment   // flattened physical segments of this rank's request
+	segs       []Segment   // flattened physical segments of one op
+	flat       []flatSeg   // merged (segment, buffer) list across the batch's ops
+	flatAux    []flatSeg   // merge ping-pong buffer
+	opBounds   []int       // per-op run boundaries within flat
+	opBoundsAx []int       // merge ping-pong buffer
+	ops        [1]BatchOp  // single-op buffer for the legacy entry points
 	parcels    []ioParcel  // outgoing phase-1 parcels, one per rank
 	incoming   []ioParcel  // received phase-1 parcels
 	anyParts   []any       // boxing buffer for Alltoall
@@ -166,32 +171,68 @@ func (f *File) ReadAt(off int64, data []byte) error {
 // ---------------------------------------------------------------------------
 // Two-phase collective I/O.
 //
-// Phase 0: every rank flattens its request into physical segments once
-// (the same flattening feeds the extent agreement and the routing) and
-// the ranks agree (allreduce) on the union's extent. The extent is
-// split into stripe-aligned file domains, one per aggregator.
+// Phase 0: every rank flattens its request — one operation or a whole
+// deferred-step batch of (view, offset, buffer) operations — into a
+// single sorted physical segment list (the same flattening feeds the
+// extent agreement and the routing) and the ranks agree (allreduce) on
+// the union's extent. The extent is split into stripe-aligned file
+// domains, one per aggregator.
 // Phase 1: each rank routes segment descriptors (plus data, for writes)
-// to the owning aggregators with an all-to-all.
+// to the owning aggregators with an all-to-all. Parcels carry
+// iovec-style buffer lists that alias the callers' staging buffers, so
+// no payload concatenation copy is made on the sending side.
 // Phase 2: aggregators coalesce the segments in their domain and issue
 // large vectored file-system requests, bounded by cb_buffer_size; for
 // reads the data flows back through a second all-to-all.
 // ---------------------------------------------------------------------------
 
-// wireSeg pairs a physical segment with the position of its payload in
-// the owner's local buffer, so read responses can be scattered back.
-type wireSeg struct {
-	Seg Segment
-	Pos int64 // offset in the requesting rank's user buffer
+// BatchOp is one operation of a multi-op collective batch: data written
+// to (or read into) the logical offset Off through the view (Disp,
+// Type). A nil Type means contiguous bytes from Disp. Batching a whole
+// timestep's datasets into one WriteAtAllOps/ReadAtAllOps call merges
+// their segments into a single two-phase collective — one extent
+// agreement, one all-to-all, and coalesced file requests across the
+// ops, which is how step-scoped deferred I/O amortizes collective
+// costs.
+type BatchOp struct {
+	Disp int64
+	Type *Datatype
+	Off  int64
+	Data []byte
 }
 
-// ioParcel is the unit routed between ranks in phase 1.
+// flatSeg pairs a physical segment with the buffer piece holding its
+// payload (writes) or receiving it (reads). Buffers alias caller
+// memory; the collective never copies payload until the aggregator
+// stages it.
+type flatSeg struct {
+	seg Segment
+	buf []byte
+}
+
+// wireSegBytes is the simulated wire size of one segment descriptor in
+// a phase-1 parcel: offset, length, and the requester's scatter tag.
+const wireSegBytes = 24
+
+// ioParcel is the unit routed between ranks in phase 1. Segs[i]'s
+// payload (write) or destination (read) is Bufs[i]; the slices alias
+// the sending rank's buffers and travel by reference, per the ioScratch
+// reuse protocol.
 type ioParcel struct {
-	Segs []wireSeg
-	Data []byte // write payload, concatenated in Segs order; empty for reads
+	Segs []Segment
+	Bufs [][]byte
 }
 
-func (p *ioParcel) bytes() int64 {
-	n := int64(len(p.Data)) + int64(len(p.Segs))*24
+// bytes reports the parcel's simulated wire size. Write parcels carry
+// their payload; read parcels carry descriptors only (Bufs are local
+// scatter destinations, not wire data).
+func (p *ioParcel) bytes(withPayload bool) int64 {
+	n := int64(len(p.Segs)) * wireSegBytes
+	if withPayload {
+		for _, b := range p.Bufs {
+			n += int64(len(b))
+		}
+	}
 	return n
 }
 
@@ -215,13 +256,62 @@ func alignUp(n, align int64) int64 {
 	return n + align - r
 }
 
+// flattenOps maps every op of a batch through its view and merges the
+// resulting per-op sorted segment lists into one globally sorted
+// (segment, buffer) list in the File's reusable flat scratch. Buffer
+// pieces alias the ops' Data slices. Per-op lists are sorted by
+// construction; when ops interleave in file space, a bottom-up merge of
+// the per-op runs restores global order.
+func (f *File) flattenOps(ops []BatchOp) []flatSeg {
+	flat := f.scratch.flat[:0]
+	bounds := f.scratch.opBounds[:0]
+	sorted := true
+	for i := range ops {
+		op := &ops[i]
+		segs := f.opSegments(op)
+		if len(segs) == 0 {
+			continue
+		}
+		if len(flat) > 0 && segs[0].Off < flat[len(flat)-1].seg.Off {
+			sorted = false
+		}
+		bounds = append(bounds, len(flat))
+		pos := int64(0)
+		for _, s := range segs {
+			flat = append(flat, flatSeg{seg: s, buf: op.Data[pos : pos+s.Len]})
+			pos += s.Len
+		}
+	}
+	bounds = append(bounds, len(flat))
+	f.scratch.opBounds = bounds
+	if sorted || len(bounds) <= 2 {
+		f.scratch.flat = flat
+		return flat
+	}
+	if cap(f.scratch.flatAux) < len(flat) {
+		f.scratch.flatAux = make([]flatSeg, len(flat))
+	}
+	aux := f.scratch.flatAux[:len(flat)]
+	if cap(f.scratch.opBoundsAx) < len(bounds) {
+		f.scratch.opBoundsAx = make([]int, 0, len(bounds))
+	}
+	res := mergeSortedRuns(flat, aux, bounds, f.scratch.opBoundsAx[:0],
+		func(a, b flatSeg) bool { return a.seg.Off < b.seg.Off })
+	if &res[0] == &aux[0] {
+		f.scratch.flat, f.scratch.flatAux = aux, flat[:0]
+	} else {
+		f.scratch.flat = flat
+	}
+	return res
+}
+
 // collectiveRange agrees on the global [lo, hi) extent of this
 // collective operation and the per-aggregator domain size.
-func (f *File) collectiveRange(segs []Segment) (lo, hi, domain int64, nAgg int) {
+func (f *File) collectiveRange(flat []flatSeg) (lo, hi, domain int64, nAgg int) {
 	myLo, myHi := int64(1<<62), int64(-1)
-	if len(segs) > 0 {
-		myLo = segs[0].Off
-		last := segs[len(segs)-1]
+	if len(flat) > 0 {
+		myLo = flat[0].seg.Off
+		last := flat[len(flat)-1].seg
 		myHi = last.Off + last.Len
 	}
 	lo = f.comm.AllreduceInt64(myLo, mpi.OpMin)
@@ -235,11 +325,13 @@ func (f *File) collectiveRange(segs []Segment) (lo, hi, domain int64, nAgg int) 
 	return lo, hi, domain, nAgg
 }
 
-// routeSegments splits this rank's segments across aggregator domains,
-// producing one parcel per aggregator rank in the File's reusable
-// parcel scratch. Aggregators are ranks 0..nAgg-1 (rank r aggregates
-// domain r).
-func (f *File) routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg int) []ioParcel {
+// routeSegments splits this rank's flattened segments across aggregator
+// domains, producing one parcel per aggregator rank in the File's
+// reusable parcel scratch. Aggregators are ranks 0..nAgg-1 (rank r
+// aggregates domain r). Buffer pieces are split alongside their
+// segments and keep aliasing the callers' memory — the iovec-style
+// zero-copy routing.
+func (f *File) routeSegments(flat []flatSeg, lo, domain int64, nAgg int) []ioParcel {
 	size := f.comm.Size()
 	parcels := f.scratch.parcels
 	if cap(parcels) < size {
@@ -249,12 +341,12 @@ func (f *File) routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg
 	}
 	for i := range parcels {
 		parcels[i].Segs = parcels[i].Segs[:0]
-		parcels[i].Data = parcels[i].Data[:0]
+		parcels[i].Bufs = parcels[i].Bufs[:0]
 	}
 	f.scratch.parcels = parcels
-	pos := int64(0)
-	for _, s := range segs {
-		remaining := s
+	for _, fs := range flat {
+		remaining := fs.seg
+		buf := fs.buf
 		for remaining.Len > 0 {
 			agg := domainOf(remaining.Off, lo, domain)
 			if agg >= nAgg {
@@ -266,11 +358,9 @@ func (f *File) routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg
 				take = domainEnd - remaining.Off
 			}
 			p := &parcels[agg]
-			p.Segs = append(p.Segs, wireSeg{Segment{Off: remaining.Off, Len: take}, pos})
-			if data != nil {
-				p.Data = append(p.Data, data[pos:pos+take]...)
-			}
-			pos += take
+			p.Segs = append(p.Segs, Segment{Off: remaining.Off, Len: take})
+			p.Bufs = append(p.Bufs, buf[:take])
+			buf = buf[take:]
 			remaining.Off += take
 			remaining.Len -= take
 		}
@@ -281,13 +371,15 @@ func (f *File) routeSegments(segs []Segment, data []byte, lo, domain int64, nAgg
 // exchangeParcels performs the phase-1 all-to-all. Parcels travel by
 // pointer (boxing a pointer into an interface does not allocate); the
 // receivers' references stay valid until the owners' next collective
-// operation, per the ioScratch reuse protocol.
-func (f *File) exchangeParcels(parcels []ioParcel) []ioParcel {
+// operation, per the ioScratch reuse protocol. withPayload selects
+// whether Bufs count as wire traffic (writes) or are local-only scatter
+// destinations (reads).
+func (f *File) exchangeParcels(parcels []ioParcel, withPayload bool) []ioParcel {
 	anyParts := f.scratch.anyParts[:0]
 	var total int64
 	for i := range parcels {
 		anyParts = append(anyParts, &parcels[i])
-		total += parcels[i].bytes()
+		total += parcels[i].bytes(withPayload)
 	}
 	f.scratch.anyParts = anyParts
 	res := f.comm.Alltoall(anyParts, total)
@@ -311,9 +403,8 @@ func (f *File) exchangeParcels(parcels []ioParcel) []ioParcel {
 // aggSeg tracks an incoming segment and its origin for the return trip.
 type aggSeg struct {
 	seg    Segment
-	src    int   // requesting rank
-	srcIdx int   // index within that rank's parcel
-	dataAt int64 // offset of payload within the parcel's Data
+	src    int // requesting rank
+	srcIdx int // index within that rank's parcel
 }
 
 // gatherAggSegs flattens incoming parcels into the File's reusable
@@ -331,14 +422,12 @@ func (f *File) gatherAggSegs(incoming []ioParcel) []aggSeg {
 		if len(p.Segs) == 0 {
 			continue
 		}
-		if len(all) > 0 && p.Segs[0].Seg.Off < all[len(all)-1].seg.Off {
+		if len(all) > 0 && p.Segs[0].Off < all[len(all)-1].seg.Off {
 			sorted = false
 		}
 		bounds = append(bounds, len(all))
-		pos := int64(0)
-		for i, ws := range p.Segs {
-			all = append(all, aggSeg{seg: ws.Seg, src: src, srcIdx: i, dataAt: pos})
-			pos += ws.Seg.Len
+		for i, s := range p.Segs {
+			all = append(all, aggSeg{seg: s, src: src, srcIdx: i})
 		}
 	}
 	bounds = append(bounds, len(all))
@@ -354,7 +443,8 @@ func (f *File) gatherAggSegs(incoming []ioParcel) []aggSeg {
 	if cap(f.scratch.boundsAux) < len(bounds) {
 		f.scratch.boundsAux = make([]int, 0, len(bounds))
 	}
-	res := mergeSortedRuns(all, aux, bounds, f.scratch.boundsAux[:0])
+	res := mergeSortedRuns(all, aux, bounds, f.scratch.boundsAux[:0],
+		func(a, b aggSeg) bool { return a.seg.Off < b.seg.Off })
 	// Keep both buffers' capacity regardless of which side the merge
 	// finished on.
 	if &res[0] == &aux[0] {
@@ -368,8 +458,9 @@ func (f *File) gatherAggSegs(incoming []ioParcel) []aggSeg {
 // mergeSortedRuns merges the sorted runs of src delimited by bounds
 // (bounds[i] is run i's start; the final entry is the total length),
 // ping-ponging between src and dst, and returns the fully sorted
-// slice, which aliases either src or dst.
-func mergeSortedRuns(src, dst []aggSeg, bounds, boundsAux []int) []aggSeg {
+// slice, which aliases either src or dst. Ties keep the earlier run's
+// element first, so merges are stable across sources.
+func mergeSortedRuns[T any](src, dst []T, bounds, boundsAux []int, less func(a, b T) bool) []T {
 	b, nb := bounds, boundsAux
 	for len(b) > 2 {
 		nb = nb[:0]
@@ -378,7 +469,7 @@ func mergeSortedRuns(src, dst []aggSeg, bounds, boundsAux []int) []aggSeg {
 			lo, mid, hi := b[i], b[i+1], b[i+2]
 			a, c, o := lo, mid, lo
 			for a < mid && c < hi {
-				if src[c].seg.Off < src[a].seg.Off {
+				if less(src[c], src[a]) {
 					dst[o] = src[c]
 					c++
 				} else {
@@ -469,18 +560,49 @@ func (f *File) chunkedRead(buf []byte, off int64) error {
 // through the view. Every rank of the communicator must participate
 // (pass a nil/empty slice to contribute nothing).
 func (f *File) WriteAtAll(off int64, data []byte) error {
+	f.scratch.ops[0] = BatchOp{Disp: f.disp, Type: f.filetype, Off: off, Data: data}
+	err := f.WriteAtAllOps(f.scratch.ops[:1])
+	// Drop the op-slot alias; flat/parcel scratch still references the
+	// buffer until the next collective, per the ioScratch protocol.
+	f.scratch.ops[0] = BatchOp{}
+	return err
+}
+
+// WriteAtAllOps collectively writes a whole batch of operations as ONE
+// two-phase collective: the ops' segments are merged before the extent
+// agreement, so a multi-dataset step epoch pays one allreduce, one
+// all-to-all, and coalesced aggregator requests instead of one
+// collective per dataset. Every rank must call it with the same number
+// of batches per file (ops themselves may differ; pass an empty batch
+// to contribute nothing). Ops must not overlap each other in file
+// space.
+//
+// Buffer lifetime: the ops' Data slices are aliased into phase-1
+// parcels (zero-copy, unlike the old concatenating path) and may still
+// be read by aggregator goroutines after this call returns on a
+// non-aggregator rank. Per the ioScratch reuse protocol, callers must
+// keep the buffers valid and unmodified until their next collective
+// operation on the communicator — the epoch engine satisfies this via
+// the execution-table rendezvous that follows every put flush.
+func (f *File) WriteAtAllOps(ops []BatchOp) error {
 	if f.hints.DisableCollective {
-		err := f.WriteAt(off, data)
+		var firstErr error
+		for i := range ops {
+			segs := f.opSegments(&ops[i])
+			if _, err := f.h.WriteAtVec(ops[i].Data, segs); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		f.comm.Barrier()
-		return err
+		return firstErr
 	}
-	segs := f.physSegments(off, int64(len(data)))
-	lo, _, domain, nAgg := f.collectiveRange(segs)
+	flat := f.flattenOps(ops)
+	lo, _, domain, nAgg := f.collectiveRange(flat)
 	if nAgg == 0 {
 		return nil // nothing to write anywhere
 	}
-	parcels := f.routeSegments(segs, data, lo, domain, nAgg)
-	incoming := f.exchangeParcels(parcels)
+	parcels := f.routeSegments(flat, lo, domain, nAgg)
+	incoming := f.exchangeParcels(parcels, true)
 
 	// Phase 2: aggregate and issue vectored contiguous writes. Runs
 	// with small interior holes are data-sieved: read-modify-write of
@@ -498,8 +620,7 @@ func (f *File) WriteAtAll(off int64, data []byte) error {
 				}
 			}
 			for _, a := range all[run.lo:run.hi] {
-				src := incoming[a.src].Data[a.dataAt : a.dataAt+a.seg.Len]
-				copy(buf[a.seg.Off-run.start:], src)
+				copy(buf[a.seg.Off-run.start:], incoming[a.src].Bufs[a.srcIdx])
 			}
 			if err := f.chunkedWrite(buf, run.start); err != nil {
 				return err
@@ -510,8 +631,27 @@ func (f *File) WriteAtAll(off int64, data []byte) error {
 	return nil
 }
 
+// opSegments maps one op's logical range through its view into the
+// File's reusable segment scratch — the per-op flattening the
+// independent (DisableCollective) fallback issues as one vectored
+// request, with the op's Data already concatenated in segment order.
+func (f *File) opSegments(op *BatchOp) []Segment {
+	segs := f.scratch.segs[:0]
+	n := int64(len(op.Data))
+	if op.Type == nil {
+		if n > 0 {
+			segs = append(segs, Segment{Off: op.Disp + op.Off, Len: n})
+		}
+	} else {
+		segs = op.Type.mapRangeInto(segs, op.Disp, op.Off, n)
+	}
+	f.scratch.segs = segs
+	return segs
+}
+
 // readReply carries phase-2 data back to requesters: Data[i] answers
-// the i-th wireSeg the requester sent.
+// the i-th segment of the requester's parcel (parcels[agg].Segs[i],
+// scattered into parcels[agg].Bufs[i]).
 type readReply struct {
 	Data [][]byte
 }
@@ -529,21 +669,37 @@ func (r *readReply) bytes() int64 {
 // a collective read of a hole; an error is returned only for structural
 // failures.
 func (f *File) ReadAtAll(off int64, data []byte) error {
+	f.scratch.ops[0] = BatchOp{Disp: f.disp, Type: f.filetype, Off: off, Data: data}
+	err := f.ReadAtAllOps(f.scratch.ops[:1])
+	// Drop the op-slot alias; flat/parcel scratch still references the
+	// buffer until the next collective, per the ioScratch protocol.
+	f.scratch.ops[0] = BatchOp{}
+	return err
+}
+
+// ReadAtAllOps collectively fills a whole batch of operations as one
+// two-phase collective, the read counterpart of WriteAtAllOps: each
+// op's Data receives the bytes its (Disp, Type, Off) range maps to.
+// Short reads zero-fill.
+func (f *File) ReadAtAllOps(ops []BatchOp) error {
 	if f.hints.DisableCollective {
-		err := f.ReadAt(off, data)
-		f.comm.Barrier()
-		if err == io.EOF {
-			err = nil
+		var firstErr error
+		for i := range ops {
+			segs := f.opSegments(&ops[i])
+			if _, err := f.h.ReadAtVec(ops[i].Data, segs); err != nil && err != io.EOF && firstErr == nil {
+				firstErr = err
+			}
 		}
-		return err
+		f.comm.Barrier()
+		return firstErr
 	}
-	segs := f.physSegments(off, int64(len(data)))
-	lo, _, domain, nAgg := f.collectiveRange(segs)
+	flat := f.flattenOps(ops)
+	lo, _, domain, nAgg := f.collectiveRange(flat)
 	if nAgg == 0 {
 		return nil
 	}
-	parcels := f.routeSegments(segs, nil, lo, domain, nAgg)
-	incoming := f.exchangeParcels(parcels)
+	parcels := f.routeSegments(flat, lo, domain, nAgg)
+	incoming := f.exchangeParcels(parcels, false)
 
 	// Phase 2: aggregators read their domains as spanning runs (data
 	// sieving through small holes) and split the data per requester.
@@ -600,16 +756,15 @@ func (f *File) ReadAtAll(off int64, data []byte) error {
 	f.scratch.anyParts = anyReplies
 	back := f.comm.Alltoall(anyReplies, total)
 
-	// Scatter returned data into the user buffer using the positions
-	// recorded when routing.
+	// Scatter returned data into the callers' buffers through the
+	// destination slices recorded when routing.
 	for agg, v := range back {
 		if v == nil {
 			continue
 		}
 		reply := v.(*readReply)
 		for i, d := range reply.Data {
-			ws := parcels[agg].Segs[i]
-			copy(data[ws.Pos:ws.Pos+ws.Seg.Len], d)
+			copy(parcels[agg].Bufs[i], d)
 		}
 	}
 	return nil

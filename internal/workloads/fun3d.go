@@ -364,6 +364,12 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 		if _, err := ga.DataView(namesA, owned); err != nil {
 			panic(err)
 		}
+		dsA := make([]*sdm.Dataset[float64], len(namesA))
+		for i, name := range namesA {
+			if dsA[i], err = sdm.DatasetOf[float64](ga, name); err != nil {
+				panic(err)
+			}
+		}
 		// Group B: one five-times-larger dataset, block-partitioned.
 		attrsB := sdm.MakeDatalist("flux")
 		attrsB[0].GlobalSize = bigN
@@ -375,6 +381,10 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 		if _, err := gb.DataView([]string{"flux"}, blockMap); err != nil {
 			panic(err)
 		}
+		flux, err := sdm.DatasetOf[float64](gb, "flux")
+		if err != nil {
+			panic(err)
+		}
 
 		bufA := make([]float64, len(owned))
 		for i, g := range owned {
@@ -384,28 +394,44 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 		for i := range bufB {
 			bufB[i] = float64(i)
 		}
+		readA := make([]float64, len(owned))
+		readB := make([]float64, len(blockMap))
 
+		// Each timestep is one deferred epoch per group: group A's four
+		// datasets flush as a single merged collective.
 		p.Comm.Barrier()
 		t0 := p.Comm.Now()
 		for ts := 0; ts < steps; ts++ {
-			for _, name := range namesA {
-				if err := ga.WriteFloat64s(name, int64(ts*10), bufA); err != nil {
+			if err := ga.BeginStep(int64(ts * 10)); err != nil {
+				panic(err)
+			}
+			for _, d := range dsA {
+				if err := d.Put(bufA); err != nil {
 					panic(err)
 				}
 			}
-			if err := gb.WriteFloat64s("flux", int64(ts*10), bufB); err != nil {
+			if err := ga.EndStep(); err != nil {
+				panic(err)
+			}
+			if err := flux.PutAt(int64(ts*10), bufB); err != nil {
 				panic(err)
 			}
 		}
 		p.Comm.Barrier()
 		t1 := p.Comm.Now()
 		for ts := 0; ts < steps; ts++ {
-			for _, name := range namesA {
-				if _, err := ga.ReadFloat64s(name, int64(ts*10), len(owned)); err != nil {
+			if err := ga.BeginStep(int64(ts * 10)); err != nil {
+				panic(err)
+			}
+			for _, d := range dsA {
+				if err := d.Get(readA); err != nil {
 					panic(err)
 				}
 			}
-			if _, err := gb.ReadFloat64s("flux", int64(ts*10), len(blockMap)); err != nil {
+			if err := ga.EndStep(); err != nil {
+				panic(err)
+			}
+			if err := flux.GetAt(int64(ts*10), readB); err != nil {
 				panic(err)
 			}
 		}

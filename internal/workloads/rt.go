@@ -150,6 +150,7 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 		// Node dataset and triangle dataset live in separate groups
 		// (different sizes), so level 2 and level 3 coincide: two files.
 		var gn, gt *sdm.Group
+		var nodeDS, triDS *sdm.Dataset[float64]
 		if mode != RTOriginal {
 			an := sdm.MakeDatalist("node")
 			an[0].GlobalSize = nNodes
@@ -160,6 +161,9 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 			if _, err := gn.DataView([]string{"node"}, owned); err != nil {
 				panic(err)
 			}
+			if nodeDS, err = sdm.DatasetOf[float64](gn, "node"); err != nil {
+				panic(err)
+			}
 			at := sdm.MakeDatalist("tri")
 			at[0].GlobalSize = nTris
 			gt, err = s.SetAttributes(at)
@@ -167,6 +171,9 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 				panic(err)
 			}
 			if _, err := gt.DataView([]string{"tri"}, triMap); err != nil {
+				panic(err)
+			}
+			if triDS, err = sdm.DatasetOf[float64](gt, "tri"); err != nil {
 				panic(err)
 			}
 		}
@@ -205,10 +212,10 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 					panic(err)
 				}
 			default:
-				if err := gn.WriteFloat64s("node", int64(ts), nodeLocal); err != nil {
+				if err := nodeDS.PutAt(int64(ts), nodeLocal); err != nil {
 					panic(err)
 				}
-				if err := gt.WriteFloat64s("tri", int64(ts), triLocal); err != nil {
+				if err := triDS.PutAt(int64(ts), triLocal); err != nil {
 					panic(err)
 				}
 			}

@@ -49,6 +49,25 @@ type Dataset struct {
 	group   *sdm.Group
 	defined bool
 	counts  map[string]int64 // records written per variable
+	handles map[string]*sdm.Dataset[float64]
+}
+
+// handle returns the cached typed handle on a variable's backing SDM
+// dataset, building it on first use so per-record Put/Get calls skip
+// the attr lookup and type check.
+func (d *Dataset) handle(name string) (*sdm.Dataset[float64], error) {
+	if h, ok := d.handles[name]; ok {
+		return h, nil
+	}
+	h, err := sdm.DatasetOf[float64](d.group, d.name+"."+name)
+	if err != nil {
+		return nil, err
+	}
+	if d.handles == nil {
+		d.handles = make(map[string]*sdm.Dataset[float64])
+	}
+	d.handles[name] = h
+	return h, nil
 }
 
 // Create starts a new dataset in define mode: declare dimensions,
@@ -309,7 +328,11 @@ func (d *Dataset) PutFloat64s(name string, rec int64, vals []float64) error {
 	if !d.hasRecordDim(v) && rec != 0 {
 		return fmt.Errorf("ncsdm: variable %q has no record dimension", name)
 	}
-	if err := d.group.WriteFloat64s(d.name+"."+name, rec, vals); err != nil {
+	h, err := d.handle(name)
+	if err != nil {
+		return err
+	}
+	if err := h.PutAt(rec, vals); err != nil {
 		return err
 	}
 	if rec+1 > d.counts[name] {
@@ -327,7 +350,15 @@ func (d *Dataset) GetFloat64s(name string, rec int64, localN int) ([]float64, er
 	if _, ok := d.hdr.Vars[name]; !ok {
 		return nil, fmt.Errorf("ncsdm: no variable %q", name)
 	}
-	return d.group.ReadFloat64s(d.name+"."+name, rec, localN)
+	h, err := d.handle(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, localN)
+	if err := h.GetAt(rec, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NumRecords reports how many records of a variable this session wrote.

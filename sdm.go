@@ -25,11 +25,20 @@
 //		s, _ := p.Initialize("myapp", sdm.Options{Organization: sdm.Level3})
 //		defer s.Finalize()
 //
-//		attrs := sdm.MakeDatalist("density")
-//		attrs[0].GlobalSize = 1_000_000
+//		attrs := sdm.MakeDatalist("density", "energy")
+//		for i := range attrs {
+//			attrs[i].GlobalSize = 1_000_000
+//		}
 //		g, _ := s.SetAttributes(attrs)
-//		g.DataView([]string{"density"}, myMapArray)
-//		g.WriteFloat64s("density", 0, myLocalValues)
+//		g.DataView([]string{"density", "energy"}, myMapArray)
+//		density, _ := sdm.DatasetOf[float64](g, "density")
+//		energy, _ := sdm.DatasetOf[float64](g, "energy")
+//		for ts := int64(0); ts < steps; ts++ {
+//			g.BeginStep(ts)        // open the step's deferred epoch
+//			density.Put(myDensity) // queued zero-copy
+//			energy.Put(myEnergy)
+//			g.EndStep()            // one merged collective for the whole step
+//		}
 //	})
 //
 // See examples/ for complete irregular-application walkthroughs.
@@ -101,4 +110,21 @@ func MakeDatalist(names ...string) []Attr { return core.MakeDatalist(names...) }
 // with Importer.ImportView.
 func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
 	return core.NewView(mapArr, t, globalSize)
+}
+
+// Element constrains the Go element types typed dataset handles store:
+// float64 (DOUBLE), int32 (INTEGER), int64 (LONG).
+type Element = core.Element
+
+// Dataset is a typed handle on one dataset of a group. Inside a
+// Group.BeginStep/EndStep epoch, Put and Get queue operations
+// zero-copy against the caller's slices and EndStep flushes the whole
+// timestep as one merged collective; PutAt/GetAt wrap one-operation
+// epochs.
+type Dataset[T Element] = core.Dataset[T]
+
+// DatasetOf builds a typed handle on a registered dataset; the element
+// type must match the dataset's registered DataType.
+func DatasetOf[T Element](g *Group, name string) (*Dataset[T], error) {
+	return core.DatasetOf[T](g, name)
 }
