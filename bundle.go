@@ -163,6 +163,56 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	return os.Rename(tmp, filepath.Join(dir, bundleManifestName))
 }
 
+// GCBundle garbage-collects a saved bundle's storage, driven by its
+// manifest: objects the manifest does not name are removed, and for
+// content-addressed bundles the chunk pool is swept — refcounts are
+// verified and on-disk chunk files no live object references (left by
+// an interrupted save) are reclaimed. The bundle's durable state is
+// re-synced afterwards, so a following OpenBundle sees exactly the
+// manifest's files.
+func GCBundle(dir string) (store.GCStats, error) {
+	var st store.GCStats
+	raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName))
+	if err != nil {
+		return st, fmt.Errorf("sdm: opening bundle for gc: %w", err)
+	}
+	var m bundleManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return st, fmt.Errorf("sdm: corrupt bundle manifest: %w", err)
+	}
+	live := make(map[string]bool, len(m.Files))
+	for _, f := range m.Files {
+		live[f.Name] = true
+	}
+	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize)
+	if err != nil {
+		return st, err
+	}
+	if cas, ok := b.(*store.CAS); ok {
+		if st, err = cas.GC(func(name string) bool { return live[name] }); err != nil {
+			return st, fmt.Errorf("sdm: bundle gc: %w", err)
+		}
+	} else {
+		names, err := b.List()
+		if err != nil {
+			return st, fmt.Errorf("sdm: bundle gc listing: %w", err)
+		}
+		for _, n := range names {
+			if live[n] {
+				continue
+			}
+			if err := b.Remove(n); err != nil {
+				return st, fmt.Errorf("sdm: bundle gc removing %q: %w", n, err)
+			}
+			st.ObjectsRemoved++
+		}
+	}
+	if err := b.Sync(); err != nil {
+		return st, fmt.Errorf("sdm: bundle gc sync: %w", err)
+	}
+	return st, nil
+}
+
 // openBundle assembles a cluster on a saved bundle's storage.
 func openBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName))

@@ -83,6 +83,38 @@ func main() {
 					log.Fatal(err)
 				}
 			}
+			// Write the run's result checkpoint through the async
+			// split-collective step API: the flush is issued here, the
+			// application would keep computing, and Finalize joins
+			// whatever the computation did not overlap — the same
+			// pattern as SDM's asynchronous history-file write above,
+			// generalized to ordinary datasets.
+			res := sdm.MakeDatalist("p")
+			res[0].GlobalSize = int64(m.NumNodes())
+			gr, err := s.SetAttributes(res)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := gr.DataView([]string{"p"}, ip.OwnedNodes); err != nil {
+				log.Fatal(err)
+			}
+			dp, err := sdm.DatasetOf[float64](gr, "p")
+			if err != nil {
+				log.Fatal(err)
+			}
+			vals := make([]float64, len(ip.OwnedNodes))
+			for i, g := range ip.OwnedNodes {
+				vals[i] = float64(g)
+			}
+			if err := s.BeginStep(1); err != nil {
+				log.Fatal(err)
+			}
+			if err := dp.Put(vals); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := s.EndStepAsync(); err != nil {
+				log.Fatal(err)
+			}
 			if p.Rank() == 0 {
 				src := "ring distribution"
 				if ip.FromHistory {

@@ -98,6 +98,12 @@ func main() {
 				log.Fatal(err)
 			}
 
+			// Each checkpoint is one Manager-level cross-group step: the
+			// node and triangle datasets (separate groups, separate
+			// files) flush in a single rendezvous with one
+			// execution-table batch, issued asynchronously so the next
+			// checkpoint's data assembly overlaps the outstanding flush.
+			var tok *sdm.StepToken
 			for ts := 0; ts < *steps; ts++ {
 				t := float64(ts) * 0.5
 				nodeFull := rt.NodeDataset(t)
@@ -106,15 +112,31 @@ func main() {
 				for i, g := range owned {
 					nodeLocal[i] = nodeFull[g]
 				}
-				if err := node.PutAt(int64(ts), nodeLocal); err != nil {
+				if tok != nil {
+					if err := tok.Wait(); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if err := s.BeginStep(int64(ts)); err != nil {
 					log.Fatal(err)
 				}
-				if err := tri.PutAt(int64(ts), triFull[start:start+count]); err != nil {
+				if err := node.Put(nodeLocal); err != nil {
+					log.Fatal(err)
+				}
+				if err := tri.Put(triFull[start : start+count]); err != nil {
+					log.Fatal(err)
+				}
+				if tok, err = s.EndStepAsync(); err != nil {
 					log.Fatal(err)
 				}
 				if p.Rank() == 0 && level == sdm.Level1 {
 					fmt.Printf("  t=%.1f mixing width %.4f: checkpoint %d written\n",
 						t, rt.MixingWidth(t), ts)
+				}
+			}
+			if tok != nil {
+				if err := tok.Wait(); err != nil {
+					log.Fatal(err)
 				}
 			}
 		})

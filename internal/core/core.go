@@ -179,6 +179,21 @@ type SDM struct {
 	// asyncDone tracks completion times of asynchronous history writes
 	// to be joined at Finalize.
 	asyncDone []sim.Time
+
+	// step is the Manager-level cross-group epoch (SDM.BeginStep), which
+	// merges every group's per-step datasets into one rendezvous.
+	step struct {
+		open     bool
+		timestep int64
+	}
+	// pending maps file names to the asynchronous step flush still in
+	// flight over them; a second flush touching such a file fails loudly
+	// instead of interleaving with the outstanding one. tokens holds
+	// every unwaited token so Finalize can drain them. recScratch is the
+	// cross-group RecordWrites merge buffer.
+	pending    map[string]*StepToken
+	tokens     []*StepToken
+	recScratch []catalog.WriteRecord
 }
 
 // Initialize establishes the database connection, creates the six
@@ -191,7 +206,7 @@ func Initialize(env Env, app string, opts Options) (*SDM, error) {
 	if env.Catalog == nil && !opts.DisableDB {
 		return nil, fmt.Errorf("core: Env requires Catalog unless Options.DisableDB")
 	}
-	s := &SDM{env: env, app: app, opts: opts}
+	s := &SDM{env: env, app: app, opts: opts, pending: make(map[string]*StepToken)}
 	if opts.DisableDB {
 		if opts.AttachRun > 0 {
 			return nil, fmt.Errorf("core: Options.AttachRun requires the metadata catalog")
@@ -304,6 +319,14 @@ func (s *SDM) Finalize() error {
 	}
 	s.asyncDone = nil
 	var firstErr error
+	// Drain unwaited split-collective step tokens, so an application
+	// that issued EndStepAsync without a matching Wait still charges the
+	// flush before its files close.
+	for len(s.tokens) > 0 {
+		if err := s.tokens[0].Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, g := range s.groups {
 		if err := g.closeFiles(); err != nil && firstErr == nil {
 			firstErr = err

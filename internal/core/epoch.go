@@ -5,6 +5,7 @@ import (
 
 	"sdm/internal/catalog"
 	"sdm/internal/mpiio"
+	"sdm/internal/sim"
 )
 
 // Step-scoped deferred I/O: BeginStep opens an epoch on a group,
@@ -44,6 +45,7 @@ type pendingGet struct {
 // in steady state.
 type stepEpoch struct {
 	open     bool
+	managed  bool // opened by a Manager-level cross-group step
 	timestep int64
 	puts     []pendingPut
 	gets     []pendingGet
@@ -81,11 +83,21 @@ func (g *Group) BeginStep(timestep int64) error {
 	if g.ep.open {
 		return fmt.Errorf("core: BeginStep(%d) with step %d already open", timestep, g.ep.timestep)
 	}
+	if g.pending != nil {
+		return fmt.Errorf("core: BeginStep(%d) with an outstanding async step token; Wait on it first", timestep)
+	}
+	g.openStep(timestep, false)
+	return nil
+}
+
+// openStep resets the epoch for a new timestep. managed marks epochs
+// opened (and owned) by a Manager-level cross-group step.
+func (g *Group) openStep(timestep int64, managed bool) {
 	g.ep.open = true
+	g.ep.managed = managed
 	g.ep.timestep = timestep
 	g.ep.puts = g.ep.puts[:0]
 	g.ep.gets = g.ep.gets[:0]
-	return nil
 }
 
 // StepOpen reports whether a deferred epoch is currently open.
@@ -97,6 +109,7 @@ func (g *Group) StepOpen() bool { return g.ep.open }
 // capture) do not stay reachable through the reusable backing arrays.
 func (g *Group) cancelStep() {
 	g.ep.open = false
+	g.ep.managed = false
 	clear(g.ep.puts)
 	clear(g.ep.gets)
 	g.ep.puts = g.ep.puts[:0]
@@ -147,24 +160,20 @@ func (g *Group) enqueueGet(dataset string, n int, decode func(v *View, src []byt
 	return nil
 }
 
-// EndStep closes the epoch and flushes it: all queued puts first (one
-// merged collective write per touched file, one batched
+// EndStep closes the epoch and flushes it synchronously: all queued
+// puts first (one merged collective write per touched file, one batched
 // execution-table insert), then all queued gets (one batched placement
 // lookup, one merged collective read per file, then the decodes back
 // into the callers' slices). Collective whenever anything was queued;
-// an empty epoch costs nothing.
+// an empty epoch costs nothing. EndStep is exactly
+// EndStepAsync().Wait(): the split-collective path with the wait issued
+// immediately, pinned bit-identical by the differential tests.
 func (g *Group) EndStep() error {
-	if !g.ep.open {
-		return fmt.Errorf("core: EndStep without an open BeginStep epoch")
-	}
-	g.ep.open = false
-	if err := g.flushPuts(); err != nil {
-		g.cancelStep()
+	tok, err := g.EndStepAsync()
+	if err != nil {
 		return err
 	}
-	err := g.flushGets()
-	g.cancelStep() // release queued closures and the caller slices they capture
-	return err
+	return tok.Wait()
 }
 
 // oneOpEpoch wraps a single queued operation in its own
@@ -239,18 +248,15 @@ func (g *Group) closeIfLevel1(of *openFile, file string) error {
 	return nil
 }
 
-// flushPuts performs the write half of EndStep.
-func (g *Group) flushPuts() error {
+// stagePuts performs the staging half of a put flush: it places every
+// queued put (allocating slabs in queue order, exactly as the same
+// sequence of legacy Writes would), then fuses each put's permutation
+// and serialization straight into the epoch arena, charging the
+// memory-copy cost the staged bytes represent. It fills g.ep.placed and
+// g.ep.recs.
+func (g *Group) stagePuts() {
 	puts := g.ep.puts
-	if len(puts) == 0 {
-		return nil
-	}
 	ts := g.ep.timestep
-
-	// Stage: place every put (allocating slabs in queue order, exactly
-	// as the same sequence of legacy Writes would), then fuse each
-	// put's permutation and serialization straight into the epoch
-	// arena, charging the memory-copy cost the staged bytes represent.
 	var total int64
 	for i := range puts {
 		total += puts[i].bytes
@@ -285,21 +291,40 @@ func (g *Group) flushPuts() error {
 	}
 	g.ep.placed = placed
 	g.ep.recs = recs
+}
 
-	// Flush: one merged collective per touched file. If a file's batch
-	// fails partway through the epoch, the files already flushed have
-	// their bytes on disk — record those ops anyway (below) so the data
-	// stays reachable, exactly as the legacy per-write path recorded
-	// each successful write before a later one failed.
+// issuePutFlushes issues one merged collective write per touched file,
+// each on a sub-timeline forked from the clock's current position —
+// the overlappable pipeline: different files flow through different
+// collectives concurrently in virtual time, shared PFS servers
+// serializing where they collide. It returns the join time (the latest
+// file completion) with the clock left at the fork point; the caller
+// joins with AdvanceTo.
+//
+// If a file's batch fails partway through the epoch, the files already
+// flushed have their bytes on disk — g.ep.recs is trimmed to those
+// files so the caller records them anyway and the data stays reachable,
+// exactly as the legacy per-write path recorded each successful write
+// before a later one failed.
+func (g *Group) issuePutFlushes() (sim.Time, error) {
+	clock := g.s.env.Comm.Clock()
+	join := clock.Now()
 	var flushErr error
 	flushed := 0
+	placed := g.ep.placed
 	for _, file := range g.groupByFile(placed) {
+		// Opening the file and installing views are blocking metadata
+		// operations (MPI_File_open is a synchronous collective): they
+		// charge the main timeline. Only the data collective — and, for
+		// level 1, the close that must follow it — runs on the fork.
 		of, err := g.open(file)
 		if err != nil {
 			flushErr = err
 			break
 		}
-		if err := of.f.WriteAtAllOps(g.opsForFile(of, placed, file)); err != nil {
+		ops := g.opsForFile(of, placed, file)
+		fork := clock.Now()
+		if err := of.f.WriteAtAllOps(ops); err != nil {
 			flushErr = err
 			break
 		}
@@ -307,30 +332,51 @@ func (g *Group) flushPuts() error {
 			flushErr = err
 			break
 		}
+		join = sim.MaxTime(join, clock.Now())
+		clock.Rebase(fork)
 		flushed++
 	}
 	if flushErr != nil {
-		// Keep only the records of files whose batch completed.
+		// An aborted file's partial charges still happened-before the
+		// join; keep only the records of files whose batch completed.
+		join = sim.MaxTime(join, clock.Now())
 		ok := g.ep.fileOrd[:flushed]
-		kept := recs[:0]
+		kept := g.ep.recs[:0]
 		for i := range placed {
 			for _, f := range ok {
 				if placed[i].file == f {
-					kept = append(kept, recs[i])
+					kept = append(kept, g.ep.recs[i])
 					break
 				}
 			}
 		}
-		recs = kept
+		g.ep.recs = kept
 	}
+	return join, flushErr
+}
 
-	// Record: every rank caches the placements; rank 0 inserts the
-	// whole epoch's execution-table rows in one database batch.
-	for i := range recs {
-		g.written[writeKey{recs[i].Dataset, recs[i].Timestep}] = recs[i]
+// cacheWrites caches the staged records rank-locally, so same-session
+// reads resolve placements without a catalog round trip.
+func (g *Group) cacheWrites() {
+	for i := range g.ep.recs {
+		rec := g.ep.recs[i]
+		g.written[writeKey{rec.Dataset, rec.Timestep}] = rec
 	}
+}
+
+// flushPuts performs the write half of a per-group EndStep: stage,
+// forked per-file collectives, join, then the whole epoch's
+// execution-table rows in one rank-0 database batch.
+func (g *Group) flushPuts() error {
+	if len(g.ep.puts) == 0 {
+		return nil
+	}
+	g.stagePuts()
+	join, flushErr := g.issuePutFlushes()
+	g.s.env.Comm.Clock().AdvanceTo(join)
+	g.cacheWrites()
 	if err := g.s.catalogCall(func() error {
-		return g.s.env.Catalog.RecordWrites(g.s.env.Comm.Clock(), recs)
+		return g.s.env.Catalog.RecordWrites(g.s.env.Comm.Clock(), g.ep.recs)
 	}); flushErr == nil {
 		flushErr = err
 	}
@@ -403,12 +449,13 @@ func (g *Group) lookupPlacements(keys []writeKey) ([]catalog.WriteRecord, error)
 	return out, nil
 }
 
-// flushGets performs the read half of EndStep.
-func (g *Group) flushGets() error {
+// resolveGets looks up where every queued get's slab lives (rank-local
+// cache, then one batched catalog query) and verifies none of the
+// resolved files has an asynchronous flush in flight from another
+// token (tok is the flush being issued; its own claims — a put and a
+// get of one file in the same epoch — are fine).
+func (g *Group) resolveGets(tok *StepToken) ([]catalog.WriteRecord, error) {
 	gets := g.ep.gets
-	if len(gets) == 0 {
-		return nil
-	}
 	ts := g.ep.timestep
 	keys := g.ep.keys[:0]
 	for i := range gets {
@@ -417,11 +464,21 @@ func (g *Group) flushGets() error {
 	g.ep.keys = keys
 	recs, err := g.lookupPlacements(keys)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	for i := range recs {
+		if other := g.s.pending[recs[i].FileName]; other != nil && other != tok {
+			return nil, fmt.Errorf("core: reading %q while an async step flush to it is outstanding; Wait on its token first", recs[i].FileName)
+		}
+	}
+	return recs, nil
+}
 
-	// Stage: carve the read arena and compute each get's view position,
-	// mirroring the legacy Read's slab arithmetic.
+// stageGets carves the read arena and computes each get's view
+// position, mirroring the legacy Read's slab arithmetic; it fills
+// g.ep.placed.
+func (g *Group) stageGets(recs []catalog.WriteRecord) {
+	gets := g.ep.gets
 	var total int64
 	for i := range gets {
 		total += gets[i].bytes
@@ -455,31 +512,67 @@ func (g *Group) flushGets() error {
 		placed = append(placed, placedOp{file: rec.FileName, v: v, disp: disp, off: logicalOff, data: buf, idx: i})
 	}
 	g.ep.placed = placed
+}
 
-	// Flush: one merged collective read per touched file. No clearing
-	// needed: the views' segments partition each request, so the
-	// collective (and the zero-filling vectored fallback) overwrite
-	// every byte.
+// issueGetFlushes issues one merged collective read per touched file on
+// forked sub-timelines, the read counterpart of issuePutFlushes. No
+// clearing is needed: the views' segments partition each request, so
+// the collective (and the zero-filling vectored fallback) overwrite
+// every byte.
+func (g *Group) issueGetFlushes() (sim.Time, error) {
+	clock := g.s.env.Comm.Clock()
+	join := clock.Now()
+	placed := g.ep.placed
 	for _, file := range g.groupByFile(placed) {
+		// As on the write side: open and view charges stay on the main
+		// timeline, the data collective (and a level-1 close) forks.
 		of, err := g.open(file)
 		if err != nil {
-			return err
+			return sim.MaxTime(join, clock.Now()), err
 		}
-		if err := of.f.ReadAtAllOps(g.opsForFile(of, placed, file)); err != nil {
-			return err
+		ops := g.opsForFile(of, placed, file)
+		fork := clock.Now()
+		if err := of.f.ReadAtAllOps(ops); err != nil {
+			return sim.MaxTime(join, clock.Now()), err
 		}
 		if err := g.closeIfLevel1(of, file); err != nil {
-			return err
+			return sim.MaxTime(join, clock.Now()), err
 		}
+		join = sim.MaxTime(join, clock.Now())
+		clock.Rebase(fork)
 	}
+	return join, nil
+}
 
-	// Deliver: scatter file-order bytes back into the callers' slices,
-	// charging the memory-copy cost of each permutation.
+// decodeGets scatters file-order bytes back into the callers' slices,
+// charging the memory-copy cost of each permutation.
+func (g *Group) decodeGets() {
+	gets := g.ep.gets
+	placed := g.ep.placed
 	for i := range placed {
 		gt := &gets[placed[i].idx]
 		v := placed[i].v
 		gt.decode(v, placed[i].data)
 		g.s.env.Comm.ComputeItems(gt.bytes, g.s.opts.MemCopyRate)
 	}
+}
+
+// flushGets performs the read half of a per-group EndStep; tok is the
+// step token being flushed (its own file claims do not conflict).
+func (g *Group) flushGets(tok *StepToken) error {
+	if len(g.ep.gets) == 0 {
+		return nil
+	}
+	recs, err := g.resolveGets(tok)
+	if err != nil {
+		return err
+	}
+	g.stageGets(recs)
+	join, err := g.issueGetFlushes()
+	g.s.env.Comm.Clock().AdvanceTo(join)
+	if err != nil {
+		return err
+	}
+	g.decodeGets()
 	return nil
 }

@@ -161,6 +161,7 @@ const (
 	modeLegacy  epochMode = iota // pre-redesign reference paths
 	modeOneOp                    // Group.Write/Read (one-op epochs over the engine)
 	modeBatched                  // BeginStep / Put,Get per dataset / EndStep
+	modeAsync                    // BeginStep / Put,Get / EndStepAsync + immediate Wait
 )
 
 // diffScript is one randomized workload: a group of datasets written
@@ -229,7 +230,7 @@ func runScript(t *testing.T, sc diffScript, mode epochMode) *testEnv {
 						panic(err)
 					}
 				}
-			case modeBatched:
+			case modeBatched, modeAsync:
 				if err := g.BeginStep(int64(ts)); err != nil {
 					panic(err)
 				}
@@ -241,7 +242,15 @@ func runScript(t *testing.T, sc diffScript, mode epochMode) *testEnv {
 						panic(err)
 					}
 				}
-				if err := g.EndStep(); err != nil {
+				if mode == modeAsync {
+					tok, err := g.EndStepAsync()
+					if err != nil {
+						panic(err)
+					}
+					if err := tok.Wait(); err != nil {
+						panic(err)
+					}
+				} else if err := g.EndStep(); err != nil {
 					panic(err)
 				}
 			}
@@ -276,7 +285,7 @@ func runScript(t *testing.T, sc diffScript, mode epochMode) *testEnv {
 					}
 					check(ds, ts, bytesToFloat64s(out))
 				}
-			case modeBatched:
+			case modeBatched, modeAsync:
 				if err := g.BeginStep(int64(ts)); err != nil {
 					panic(err)
 				}
@@ -287,7 +296,15 @@ func runScript(t *testing.T, sc diffScript, mode epochMode) *testEnv {
 						panic(err)
 					}
 				}
-				if err := g.EndStep(); err != nil {
+				if mode == modeAsync {
+					tok, err := g.EndStepAsync()
+					if err != nil {
+						panic(err)
+					}
+					if err := tok.Wait(); err != nil {
+						panic(err)
+					}
+				} else if err := g.EndStep(); err != nil {
 					panic(err)
 				}
 				for ds := range sc.sizes {

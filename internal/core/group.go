@@ -33,6 +33,11 @@ type Group struct {
 	// the same engine.
 	ep stepEpoch
 
+	// pending is the group's outstanding asynchronous step token, if an
+	// EndStepAsync has not been waited on yet. BeginStep refuses to open
+	// a new epoch until the token is joined.
+	pending *StepToken
+
 	// Reusable per-rank staging buffers for the write/read hot path.
 	// A Group belongs to one rank goroutine; the collective I/O layer
 	// copies payloads out before returning, so reuse across operations

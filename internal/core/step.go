@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"sdm/internal/sim"
+)
+
+// Split-collective step epochs.
+//
+// EndStepAsync generalizes the paper's asynchronous history-file write
+// to every dataset: the epoch's flush — staging, the merged collectives,
+// the execution-table batch — is costed on a forked sub-timeline while
+// the application's own clock stays at the call point, so the next
+// step's computation overlaps the flush in virtual time. The returned
+// StepToken is the MPI_Request analogue: Wait joins the flush's
+// completion back into the rank's timeline, charging only whatever the
+// overlapped computation did not already cover. The work itself still
+// executes inside EndStepAsync in host time (the simulation stays
+// deterministic); only the cost model is split.
+//
+// Manager-level cross-group steps (SDM.BeginStep/EndStep) merge the
+// per-group epochs of every registered group into one rendezvous: the
+// groups' files flush as concurrently forked collectives and the whole
+// step's execution-table rows land in a single rank-0 RecordWrites
+// batch, instead of one rendezvous and one batch per group.
+
+// StepToken is the handle of an asynchronous (split-collective) step
+// flush, returned by Group.EndStepAsync and SDM.EndStepAsync. The flush
+// has been issued; Wait joins its completion into the rank's timeline
+// and surfaces any flush error. Exactly one Wait per token; waiting
+// twice fails loudly. Get results decoded by an asynchronous flush must
+// not be consumed before Wait returns.
+type StepToken struct {
+	s      *SDM
+	groups []*Group // groups whose epochs this token flushed
+	files  []string // files claimed by the flush (writes)
+	arenas [][]byte // snapshotted staging arenas, returned at Wait
+	done   sim.Time // flush completion on the forked timeline
+	err    error    // flush error, surfaced by Wait
+	waited bool
+}
+
+// Wait joins the asynchronous flush: the rank's clock advances to the
+// flush completion time if the computation since EndStepAsync has not
+// already overlapped it, the flushed files become available for new
+// epochs, and any flush error is returned. Local (not collective);
+// every rank waits on its own token.
+func (t *StepToken) Wait() error {
+	if t.waited {
+		return fmt.Errorf("core: Wait called twice on a step token")
+	}
+	t.waited = true
+	t.s.env.Comm.Clock().AdvanceTo(t.done)
+	for _, f := range t.files {
+		if t.s.pending[f] == t {
+			delete(t.s.pending, f)
+		}
+	}
+	for i, g := range t.groups {
+		if g.pending == t {
+			g.pending = nil
+		}
+		// Return the snapshotted arena unless a newer epoch already grew
+		// its own.
+		if g.ep.arena == nil {
+			g.ep.arena = t.arenas[i]
+		}
+		t.arenas[i] = nil
+	}
+	for i, tok := range t.s.tokens {
+		if tok == t {
+			t.s.tokens = append(t.s.tokens[:i], t.s.tokens[i+1:]...)
+			break
+		}
+	}
+	return t.err
+}
+
+// Done reports whether Wait has been called.
+func (t *StepToken) Done() bool { return t.waited }
+
+// claimPutFiles verifies no queued put lands in a file with an
+// outstanding asynchronous flush and appends the epoch's distinct
+// target files to tok.files, claiming them in the manager's pending
+// registry. Claims are released at Wait.
+func (g *Group) claimPutFiles(tok *StepToken) error {
+	start := len(tok.files)
+	for i := range g.ep.puts {
+		file := g.fileFor(g.attrs[g.ep.puts[i].di].Name, g.ep.timestep)
+		if other := g.s.pending[file]; other != nil && other != tok {
+			return fmt.Errorf("core: step flush would overlap the outstanding async flush of %q; Wait on its token first", file)
+		}
+		dup := false
+		for _, f := range tok.files[start:] {
+			if f == file {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tok.files = append(tok.files, file)
+		}
+	}
+	for _, f := range tok.files[start:] {
+		if other := g.s.pending[f]; other != nil {
+			if other == tok {
+				return fmt.Errorf("core: cross-group step writes %q from two groups in one epoch", f)
+			}
+			return fmt.Errorf("core: step flush would overlap the outstanding async flush of %q; Wait on its token first", f)
+		}
+		g.s.pending[f] = tok
+	}
+	return nil
+}
+
+// adopt records that tok flushed g's epoch: the group is blocked from
+// opening a new epoch until Wait, and the staging arena moves into the
+// token (snapshot, not borrow) so a later epoch cannot scribble an
+// in-flight flush's buffers.
+func (tok *StepToken) adopt(g *Group) {
+	tok.groups = append(tok.groups, g)
+	tok.arenas = append(tok.arenas, g.ep.arena)
+	g.ep.arena = nil
+	g.pending = tok
+}
+
+// release undoes a token's claims when EndStepAsync fails before the
+// token is handed to the caller.
+func (tok *StepToken) release() {
+	for _, f := range tok.files {
+		if tok.s.pending[f] == tok {
+			delete(tok.s.pending, f)
+		}
+	}
+}
+
+// EndStepAsync closes the epoch and issues its flush as a
+// split-collective: all ranks run the flush's collectives now (every
+// rank must call it, like EndStep), but the cost lands on a forked
+// sub-timeline and the caller's clock stays put, so subsequent
+// computation overlaps the flush in virtual time. The returned token's
+// Wait joins the completion and reports flush errors. The caller's Put
+// slices may be reused as soon as EndStepAsync returns (the arena
+// snapshot happened); Get results are valid only after Wait.
+func (g *Group) EndStepAsync() (*StepToken, error) {
+	if !g.ep.open {
+		return nil, fmt.Errorf("core: EndStepAsync without an open BeginStep epoch")
+	}
+	if g.ep.managed {
+		return nil, fmt.Errorf("core: group epoch is owned by a Manager-level step; close it with the Manager's EndStep")
+	}
+	tok := &StepToken{s: g.s}
+	if err := g.claimPutFiles(tok); err != nil {
+		tok.release()
+		g.cancelStep()
+		return nil, err
+	}
+	g.ep.open = false
+	clock := g.s.env.Comm.Clock()
+	fork := clock.Now()
+	flushErr := g.flushPuts()
+	if flushErr == nil {
+		flushErr = g.flushGets(tok)
+	}
+	tok.err = flushErr
+	tok.done = clock.Now()
+	tok.adopt(g)
+	g.cancelStep() // release queued closures and the caller slices they capture
+	clock.Rebase(fork)
+	g.s.tokens = append(g.s.tokens, tok)
+	return tok, nil
+}
+
+// ---------------------------------------------------------------------------
+// Manager-level cross-group steps
+// ---------------------------------------------------------------------------
+
+// BeginStep opens one deferred epoch for the given timestep on every
+// group registered so far — the cross-group generalization of
+// Group.BeginStep. Dataset Puts and Gets queue into their own group's
+// epoch as usual; the Manager's EndStep (or EndStepAsync) then flushes
+// all groups in one rendezvous with a single execution-table batch.
+// Collective; every rank must open and close the same manager steps.
+func (s *SDM) BeginStep(timestep int64) error {
+	if s.step.open {
+		return fmt.Errorf("core: Manager BeginStep(%d) with step %d already open", timestep, s.step.timestep)
+	}
+	for _, g := range s.groups {
+		if g.ep.open {
+			return fmt.Errorf("core: Manager BeginStep(%d) with a group epoch (step %d) already open", timestep, g.ep.timestep)
+		}
+		if g.pending != nil {
+			return fmt.Errorf("core: Manager BeginStep(%d) with an outstanding async step token; Wait on it first", timestep)
+		}
+	}
+	for _, g := range s.groups {
+		g.openStep(timestep, true)
+	}
+	s.step.open = true
+	s.step.timestep = timestep
+	return nil
+}
+
+// StepOpen reports whether a Manager-level cross-group step is open.
+func (s *SDM) StepOpen() bool { return s.step.open }
+
+// EndStep closes the Manager-level step and flushes every group's epoch
+// synchronously — exactly EndStepAsync().Wait().
+func (s *SDM) EndStep() error {
+	tok, err := s.EndStepAsync()
+	if err != nil {
+		return err
+	}
+	return tok.Wait()
+}
+
+// EndStepAsync closes the Manager-level step and issues the merged
+// flush as a split-collective. The pipeline is the point: each group's
+// staging runs on the main timeline (it is CPU work), every touched
+// file's collective is forked as soon as its data is staged — so one
+// group's I/O overlaps the next group's staging and the other files'
+// collectives — and the whole step's execution-table rows are recorded
+// in ONE rank-0 RecordWrites batch at the join. Gets flush after all
+// puts are recorded, their per-file collectives forked the same way.
+func (s *SDM) EndStepAsync() (*StepToken, error) {
+	if !s.step.open {
+		return nil, fmt.Errorf("core: Manager EndStep without an open BeginStep step")
+	}
+	tok := &StepToken{s: s}
+	for _, g := range s.groups {
+		if !g.ep.open || !g.ep.managed {
+			continue
+		}
+		if err := g.claimPutFiles(tok); err != nil {
+			tok.release()
+			for _, g := range s.groups {
+				if g.ep.managed {
+					g.cancelStep()
+				}
+			}
+			s.step.open = false
+			return nil, err
+		}
+	}
+	s.step.open = false
+	clock := s.env.Comm.Clock()
+	fork := clock.Now()
+
+	// Writes: stage each group in registration order on the main
+	// timeline, issuing its files' collectives forked from the
+	// post-staging time; the join is the latest completion across all
+	// groups' files.
+	join := fork
+	recs := s.recScratch[:0]
+	var flushErr error
+	for _, g := range s.groups {
+		if !g.ep.managed || len(g.ep.puts) == 0 {
+			continue
+		}
+		g.ep.open = false
+		g.stagePuts()
+		j, err := g.issuePutFlushes()
+		join = sim.MaxTime(join, j)
+		g.cacheWrites()
+		recs = append(recs, g.ep.recs...)
+		if err != nil {
+			flushErr = err
+			break
+		}
+	}
+	s.recScratch = recs[:0]
+	// The execution-table batch overlaps the array: the records'
+	// contents (files, offsets) were fixed at staging time, so the
+	// catalog call is issued from the post-staging clock — before the
+	// I/O join — and the step completes at the later of the database
+	// round trip and the data collectives.
+	if err := s.catalogCall(func() error {
+		return s.env.Catalog.RecordWrites(s.env.Comm.Clock(), recs)
+	}); flushErr == nil {
+		flushErr = err
+	}
+	clock.AdvanceTo(join)
+
+	// Reads: resolve and stage every group's gets (lookups are main-
+	// timeline work), fork each file's collective, join, then decode.
+	if flushErr == nil {
+		readJoin := clock.Now()
+		for _, g := range s.groups {
+			if !g.ep.managed || len(g.ep.gets) == 0 {
+				continue
+			}
+			recs, err := g.resolveGets(tok)
+			if err != nil {
+				flushErr = err
+				break
+			}
+			g.stageGets(recs)
+			j, err := g.issueGetFlushes()
+			readJoin = sim.MaxTime(readJoin, j)
+			if err != nil {
+				flushErr = err
+				break
+			}
+		}
+		clock.AdvanceTo(readJoin)
+		if flushErr == nil {
+			// All gets flushed cleanly; deliver them.
+			for _, g := range s.groups {
+				if g.ep.managed && len(g.ep.gets) > 0 {
+					g.decodeGets()
+				}
+			}
+		}
+	}
+
+	tok.err = flushErr
+	tok.done = clock.Now()
+	for _, g := range s.groups {
+		if g.ep.managed {
+			tok.adopt(g)
+			g.cancelStep()
+		}
+	}
+	clock.Rebase(fork)
+	s.tokens = append(s.tokens, tok)
+	return tok, nil
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sdm/internal/sim"
+)
+
+// TestAsyncEndStepBitIdenticalToSync pins the split-collective
+// contract: EndStepAsync followed immediately by Wait must be
+// bit-identical — file bytes, per-rank virtual clocks, pfs stats, and
+// database query counts — to the synchronous EndStep.
+func TestAsyncEndStepBitIdenticalToSync(t *testing.T) {
+	for _, sc := range []diffScript{
+		{nRanks: 4, level: Level3, sizes: []int64{96, 96, 96, 96, 96}, steps: 2, readBack: true},
+		{nRanks: 3, level: Level2, sizes: []int64{64, 64}, steps: 2, readBack: true},
+		{nRanks: 2, level: Level1, sizes: []int64{48}, steps: 3, readBack: true},
+		{nRanks: 2, level: Level3, sizes: []int64{40, 80}, steps: 2, readBack: true}, // mixed group
+	} {
+		t.Run(fmt.Sprintf("level%d-ds%d", sc.level, len(sc.sizes)), func(t *testing.T) {
+			ref := runScript(t, sc, modeBatched)
+			got := runScript(t, sc, modeAsync)
+			filesEqual(t, "async vs sync", snapshotFiles(t, ref.fs), snapshotFiles(t, got.fs))
+			if rs, gs := ref.fs.Stats(), got.fs.Stats(); rs != gs {
+				t.Fatalf("pfs stats differ:\nsync  %+v\nasync %+v", rs, gs)
+			}
+			rc, gc := clocks(ref, sc.nRanks), clocks(got, sc.nRanks)
+			for r := range rc {
+				if rc[r] != gc[r] {
+					t.Fatalf("rank %d virtual clock differs: sync %v, async %v", r, rc[r], gc[r])
+				}
+			}
+			if rq, gq := ref.cat.DB().QueryCount(), got.cat.DB().QueryCount(); rq != gq {
+				t.Fatalf("db query counts differ: sync %d, async %d", rq, gq)
+			}
+		})
+	}
+}
+
+// stepWorkload writes `steps` timesteps of one dataset with `compute`
+// of virtual computation per step, either synchronously or with the
+// flush issued async before the compute and waited after — the paper's
+// overlap pattern. Returns the environment.
+func stepWorkload(t *testing.T, n, steps int, compute sim.Duration, async bool) *testEnv {
+	t.Helper()
+	te := newCostedEnv(n)
+	te.run(t, Options{Organization: Level3}, func(s *SDM) {
+		g, d, m := epochGroup(t, te, s, 4096)
+		vals := make([]float64, len(m))
+		for i, gi := range m {
+			vals[i] = float64(gi)
+		}
+		var tok *StepToken
+		for ts := 0; ts < steps; ts++ {
+			if tok != nil {
+				if err := tok.Wait(); err != nil {
+					panic(err)
+				}
+			}
+			if err := g.BeginStep(int64(ts)); err != nil {
+				panic(err)
+			}
+			if err := d.Put(vals); err != nil {
+				panic(err)
+			}
+			if async {
+				var err error
+				if tok, err = g.EndStepAsync(); err != nil {
+					panic(err)
+				}
+				s.env.Comm.Compute(compute) // next step's work overlaps the flush
+			} else {
+				if err := g.EndStep(); err != nil {
+					panic(err)
+				}
+				s.env.Comm.Compute(compute)
+			}
+		}
+		if tok != nil {
+			if err := tok.Wait(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return te
+}
+
+// TestAsyncOverlapReducesTime is the fig-6 claim in miniature: with
+// computation between steps, issuing the flush asynchronously and
+// waiting a step later must cut virtual makespan versus the
+// synchronous path, while writing identical bytes.
+func TestAsyncOverlapReducesTime(t *testing.T) {
+	const steps, compute = 3, 40 * 1_000_000 // 40ms of per-step compute
+	sync := stepWorkload(t, 4, steps, compute, false)
+	async := stepWorkload(t, 4, steps, compute, true)
+	filesEqual(t, "async vs sync bytes", snapshotFiles(t, sync.fs), snapshotFiles(t, async.fs))
+	st, at := sync.world.MaxTime(), async.world.MaxTime()
+	if at >= st {
+		t.Fatalf("async makespan %v, sync %v; want overlap to reduce it", at, st)
+	}
+}
+
+// managerWorkload writes (and reads back) two groups with different
+// global sizes for several steps, either through Manager-level
+// cross-group steps or per-group epochs.
+func managerWorkload(t *testing.T, n, steps int, manager bool) *testEnv {
+	t.Helper()
+	te := newCostedEnv(n)
+	te.run(t, Options{Organization: Level3}, func(s *SDM) {
+		mk := func(name string, size int64) (*Group, *Dataset[float64], []float64) {
+			attrs := MakeDatalist(name)
+			attrs[0].GlobalSize = size
+			g, err := s.SetAttributes(attrs)
+			if err != nil {
+				panic(err)
+			}
+			m := roundRobinMap(s.env.Comm.Rank(), s.env.Comm.Size(), int(size))
+			if _, err := g.DataView([]string{name}, m); err != nil {
+				panic(err)
+			}
+			d, err := DatasetOf[float64](g, name)
+			if err != nil {
+				panic(err)
+			}
+			vals := make([]float64, len(m))
+			for i, gi := range m {
+				vals[i] = float64(gi) + 0.5
+			}
+			return g, d, vals
+		}
+		ga, da, va := mk("alpha", 96)
+		gb, db, vb := mk("beta", 480)
+
+		for ts := 0; ts < steps; ts++ {
+			if manager {
+				if err := s.BeginStep(int64(ts)); err != nil {
+					panic(err)
+				}
+				if err := da.Put(va); err != nil {
+					panic(err)
+				}
+				if err := db.Put(vb); err != nil {
+					panic(err)
+				}
+				if err := s.EndStep(); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := da.PutAt(int64(ts), va); err != nil {
+					panic(err)
+				}
+				if err := db.PutAt(int64(ts), vb); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ra := make([]float64, len(va))
+		rb := make([]float64, len(vb))
+		for ts := 0; ts < steps; ts++ {
+			if manager {
+				if err := s.BeginStep(int64(ts)); err != nil {
+					panic(err)
+				}
+				if err := da.Get(ra); err != nil {
+					panic(err)
+				}
+				if err := db.Get(rb); err != nil {
+					panic(err)
+				}
+				if err := s.EndStep(); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := da.GetAt(int64(ts), ra); err != nil {
+					panic(err)
+				}
+				if err := db.GetAt(int64(ts), rb); err != nil {
+					panic(err)
+				}
+			}
+		}
+		for i := range ra {
+			if ra[i] != va[i] {
+				panic(fmt.Sprintf("alpha readback elem %d = %g want %g", i, ra[i], va[i]))
+			}
+		}
+		for i := range rb {
+			if rb[i] != vb[i] {
+				panic(fmt.Sprintf("beta readback elem %d = %g want %g", i, rb[i], vb[i]))
+			}
+		}
+		_, _ = ga, gb
+	})
+	return te
+}
+
+// TestManagerCrossGroupStep pins the cross-group rendezvous: merging
+// two groups' epochs into one Manager step must write identical bytes
+// while issuing fewer database statements (one RecordWrites batch per
+// step instead of one per group) and finishing in less virtual time
+// (the groups' file collectives overlap).
+func TestManagerCrossGroupStep(t *testing.T) {
+	const steps = 2
+	ref := managerWorkload(t, 4, steps, false)
+	mgr := managerWorkload(t, 4, steps, true)
+	filesEqual(t, "manager vs per-group", snapshotFiles(t, ref.fs), snapshotFiles(t, mgr.fs))
+	if rq, mq := ref.cat.DB().QueryCount(), mgr.cat.DB().QueryCount(); mq >= rq {
+		t.Fatalf("manager step issued %d db statements, per-group %d; want fewer", mq, rq)
+	}
+	rt, mt := ref.world.MaxTime(), mgr.world.MaxTime()
+	if mt >= rt {
+		t.Fatalf("manager step virtual time %v, per-group %v; want lower", mt, rt)
+	}
+}
+
+// TestStepMisuse drives every misuse path of the async/cross-group API:
+// each must fail loudly without corrupting the engine.
+func TestStepMisuse(t *testing.T) {
+	te := newTestEnv(2)
+	te.run(t, Options{Organization: Level3}, func(s *SDM) {
+		g, d, m := epochGroup(t, te, s, 32)
+		vals := make([]float64, len(m))
+
+		// Wait called twice.
+		if err := g.BeginStep(0); err != nil {
+			panic(err)
+		}
+		if err := d.Put(vals); err != nil {
+			panic(err)
+		}
+		tok, err := g.EndStepAsync()
+		if err != nil {
+			panic(err)
+		}
+		if err := tok.Wait(); err != nil {
+			panic(err)
+		}
+		if err := tok.Wait(); err == nil {
+			t.Error("second Wait on a token accepted")
+		}
+
+		// BeginStep while a token is outstanding.
+		if err := g.BeginStep(1); err != nil {
+			panic(err)
+		}
+		if err := d.Put(vals); err != nil {
+			panic(err)
+		}
+		tok, err = g.EndStepAsync()
+		if err != nil {
+			panic(err)
+		}
+		if err := g.BeginStep(2); err == nil {
+			t.Error("BeginStep with an outstanding token accepted")
+		}
+		if err := s.BeginStep(2); err == nil {
+			t.Error("Manager BeginStep with an outstanding token accepted")
+		}
+		if err := tok.Wait(); err != nil {
+			panic(err)
+		}
+
+		// EndStepAsync without an open epoch.
+		if _, err := g.EndStepAsync(); err == nil {
+			t.Error("EndStepAsync without BeginStep accepted")
+		}
+		// Manager EndStep without a manager step.
+		if err := s.EndStep(); err == nil {
+			t.Error("Manager EndStep without BeginStep accepted")
+		}
+
+		// A group epoch owned by a manager step cannot be closed alone.
+		if err := s.BeginStep(3); err != nil {
+			panic(err)
+		}
+		if !s.StepOpen() {
+			t.Error("StepOpen false inside a manager step")
+		}
+		if err := d.Put(vals); err != nil {
+			panic(err)
+		}
+		if err := g.EndStep(); err == nil {
+			t.Error("group EndStep inside a manager step accepted")
+		}
+		if _, err := g.EndStepAsync(); err == nil {
+			t.Error("group EndStepAsync inside a manager step accepted")
+		}
+		if err := g.BeginStep(4); err == nil {
+			t.Error("group BeginStep inside a manager step accepted")
+		}
+		if err := s.EndStep(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestOverlappingFlushesSameFileRejected pins the arena-safety rule:
+// two epochs flushing the same file may not be in flight at once. Two
+// groups registering the same dataset name under Level2 share a file;
+// the second flush (write or read) must fail loudly while the first
+// token is outstanding, and succeed after Wait.
+func TestOverlappingFlushesSameFileRejected(t *testing.T) {
+	te := newTestEnv(2)
+	te.run(t, Options{Organization: Level2}, func(s *SDM) {
+		mk := func() (*Group, *Dataset[float64], []float64) {
+			attrs := MakeDatalist("shared")
+			attrs[0].GlobalSize = 32
+			g, err := s.SetAttributes(attrs)
+			if err != nil {
+				panic(err)
+			}
+			m := roundRobinMap(s.env.Comm.Rank(), s.env.Comm.Size(), 32)
+			if _, err := g.DataView([]string{"shared"}, m); err != nil {
+				panic(err)
+			}
+			d, err := DatasetOf[float64](g, "shared")
+			if err != nil {
+				panic(err)
+			}
+			return g, d, make([]float64, len(m))
+		}
+		ga, da, va := mk()
+		gb, db, vb := mk()
+
+		if err := ga.BeginStep(0); err != nil {
+			panic(err)
+		}
+		if err := da.Put(va); err != nil {
+			panic(err)
+		}
+		tok, err := ga.EndStepAsync()
+		if err != nil {
+			panic(err)
+		}
+
+		// Write overlap: group B flushes the same Level2 file.
+		if err := gb.BeginStep(1); err != nil {
+			panic(err)
+		}
+		if err := db.Put(vb); err != nil {
+			panic(err)
+		}
+		if _, err := gb.EndStepAsync(); err == nil {
+			t.Error("overlapping async flush of the same file accepted")
+		} else if !strings.Contains(err.Error(), "outstanding") {
+			t.Errorf("overlap error does not name the conflict: %v", err)
+		}
+
+		// Read overlap: a sync read of the file mid-flight is refused too.
+		out := make([]float64, len(vb))
+		if err := db.GetAt(0, out); err == nil {
+			t.Error("read of a file with an outstanding async flush accepted")
+		}
+
+		if err := tok.Wait(); err != nil {
+			panic(err)
+		}
+		// After the join both operations go through.
+		if err := db.PutAt(1, vb); err != nil {
+			panic(err)
+		}
+		if err := da.GetAt(0, out); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestManagerStepSameFileTwoGroupsRejected: a cross-group step whose
+// groups write the same file must fail loudly at EndStep.
+func TestManagerStepSameFileTwoGroupsRejected(t *testing.T) {
+	te := newTestEnv(2)
+	te.run(t, Options{Organization: Level2}, func(s *SDM) {
+		var ds [2]*Dataset[float64]
+		var vals [2][]float64
+		for k := 0; k < 2; k++ {
+			attrs := MakeDatalist("dup")
+			attrs[0].GlobalSize = 32
+			g, err := s.SetAttributes(attrs)
+			if err != nil {
+				panic(err)
+			}
+			m := roundRobinMap(s.env.Comm.Rank(), s.env.Comm.Size(), 32)
+			if _, err := g.DataView([]string{"dup"}, m); err != nil {
+				panic(err)
+			}
+			if ds[k], err = DatasetOf[float64](g, "dup"); err != nil {
+				panic(err)
+			}
+			vals[k] = make([]float64, len(m))
+		}
+		if err := s.BeginStep(0); err != nil {
+			panic(err)
+		}
+		if err := ds[0].Put(vals[0]); err != nil {
+			panic(err)
+		}
+		if err := ds[1].Put(vals[1]); err != nil {
+			panic(err)
+		}
+		if err := s.EndStep(); err == nil {
+			t.Error("cross-group step writing one file from two groups accepted")
+		} else if !strings.Contains(err.Error(), "two groups") {
+			t.Errorf("cross-group conflict error does not explain itself: %v", err)
+		}
+		// The failed step cancelled cleanly: a fresh per-group epoch works.
+		if err := ds[0].PutAt(1, vals[0]); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestFinalizeDrainsTokens: an application that forgets Wait still
+// charges the flush at Finalize, and the bytes are durable.
+func TestFinalizeDrainsTokens(t *testing.T) {
+	te := newCostedEnv(2)
+	var issued, finalized sim.Time
+	te.run(t, Options{Organization: Level3}, func(s *SDM) {
+		g, d, m := epochGroup(t, te, s, 256)
+		vals := make([]float64, len(m))
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		if err := g.BeginStep(0); err != nil {
+			panic(err)
+		}
+		if err := d.Put(vals); err != nil {
+			panic(err)
+		}
+		if _, err := g.EndStepAsync(); err != nil {
+			panic(err)
+		}
+		if s.env.Comm.Rank() == 0 {
+			issued = s.env.Comm.Now()
+		}
+	})
+	finalized = te.world.Comm(0).Now()
+	if finalized <= issued {
+		t.Fatalf("Finalize did not charge the unwaited flush: issued at %v, finalized at %v", issued, finalized)
+	}
+	if n := len(te.fs.List()); n != 1 {
+		t.Fatalf("unwaited async flush left %d files, want 1", n)
+	}
+}

@@ -1,0 +1,121 @@
+package mesh
+
+import "fmt"
+
+// Streamed mesh generation.
+//
+// GenerateTet materializes every tetrahedron and dedups edges through a
+// map — fine at laptop scale, but the paper-scale nx=128 grid (~15M
+// unique edges) spends its time and memory almost entirely there. The
+// Kuhn (six-tet) triangulation has a closed-form edge set: node
+// (x,y,z) connects to its neighbours along the three axes, the three
+// face diagonals (+1,+1,0), (0,+1,+1), (+1,0,+1), and the body
+// diagonal (+1,+1,+1) — exactly the 19 intra-tet pairs of the six
+// simplices, deduplicated. Streaming that stencil in node-id order
+// yields the same edges in the same sorted order as GenerateTet, in
+// blocks, with no tet array and no map.
+
+// edgeStencil is the seven positive-direction neighbour offsets of the
+// Kuhn triangulation, in increasing node-id delta order (so emitting
+// them per node in id order produces a globally (edge1, edge2)-sorted
+// stream).
+var edgeStencil = [7][3]int{
+	{1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// EdgeCount reports the number of unique edges GenerateTet(nx, ny, nz)
+// produces, in closed form.
+func EdgeCount(nx, ny, nz int) int64 {
+	px, py, pz := int64(nx+1), int64(ny+1), int64(nz+1)
+	ex, ey, ez := int64(nx), int64(ny), int64(nz)
+	return ex*py*pz + px*ey*pz + ex*ey*pz + // x, y, xy-diagonal
+		px*py*ez + ex*py*ez + px*ey*ez + // z, xz-, yz-diagonal
+		ex*ey*ez // body diagonal
+}
+
+// StreamTetEdges generates the unique edges of the nx x ny x nz Kuhn
+// triangulation in the exact sorted order GenerateTet produces, calling
+// yield with reused blocks of at most blockEdges parallel (edge1,
+// edge2) entries. Neither the tetrahedra nor the full edge arrays are
+// materialized, so paper-scale meshes stream in O(blockEdges) memory.
+// yield must not retain the slices; returning an error aborts the
+// stream.
+func StreamTetEdges(nx, ny, nz, blockEdges int, yield func(edge1, edge2 []int32) error) error {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return fmt.Errorf("mesh: grid dimensions must be >= 1, got %dx%dx%d", nx, ny, nz)
+	}
+	if blockEdges < 1 {
+		blockEdges = 1 << 18
+	}
+	px, py, pz := nx+1, ny+1, nz+1
+	e1 := make([]int32, 0, blockEdges)
+	e2 := make([]int32, 0, blockEdges)
+	flush := func() error {
+		if len(e1) == 0 {
+			return nil
+		}
+		if err := yield(e1, e2); err != nil {
+			return err
+		}
+		e1, e2 = e1[:0], e2[:0]
+		return nil
+	}
+	for z := 0; z < pz; z++ {
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				id := int32((z*py+y)*px + x)
+				for _, d := range edgeStencil {
+					tx, ty, tz := x+d[0], y+d[1], z+d[2]
+					if tx >= px || ty >= py || tz >= pz {
+						continue
+					}
+					e1 = append(e1, id)
+					e2 = append(e2, int32((tz*py+ty)*px+tx))
+					if len(e1) == blockEdges {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// GenerateTetEdges builds the same mesh as GenerateTet — coordinates
+// and the sorted unique edge arrays — through the streamed stencil,
+// without materializing tetrahedra or an edge map. The returned mesh
+// has no Tets; use it for edge/node workloads (FUN3D) where the
+// triangulation itself is never consumed.
+func GenerateTetEdges(nx, ny, nz int) (*Mesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("mesh: grid dimensions must be >= 1, got %dx%dx%d", nx, ny, nz)
+	}
+	px, py, pz := nx+1, ny+1, nz+1
+	m := &Mesh{Coords: make([][3]float64, 0, px*py*pz)}
+	for z := 0; z < pz; z++ {
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				m.Coords = append(m.Coords, [3]float64{
+					float64(x) / float64(nx),
+					float64(y) / float64(ny),
+					float64(z) / float64(nz),
+				})
+			}
+		}
+	}
+	n := EdgeCount(nx, ny, nz)
+	m.Edge1 = make([]int32, 0, n)
+	m.Edge2 = make([]int32, 0, n)
+	err := StreamTetEdges(nx, ny, nz, 1<<18, func(e1, e2 []int32) error {
+		m.Edge1 = append(m.Edge1, e1...)
+		m.Edge2 = append(m.Edge2, e2...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStreamMatchesGenerateTet pins the closed-form stencil to the
+// tet-materializing generator: identical edges in identical order.
+func TestStreamMatchesGenerateTet(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {1, 6, 2}} {
+		nx, ny, nz := dims[0], dims[1], dims[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", nx, ny, nz), func(t *testing.T) {
+			ref, err := GenerateTet(nx, ny, nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := GenerateTetEdges(nx, ny, nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := EdgeCount(nx, ny, nz); want != int64(ref.NumEdges()) {
+				t.Fatalf("EdgeCount = %d, GenerateTet has %d", want, ref.NumEdges())
+			}
+			if got.NumEdges() != ref.NumEdges() || got.NumNodes() != ref.NumNodes() {
+				t.Fatalf("streamed mesh %d nodes/%d edges, want %d/%d",
+					got.NumNodes(), got.NumEdges(), ref.NumNodes(), ref.NumEdges())
+			}
+			for i := range ref.Edge1 {
+				if got.Edge1[i] != ref.Edge1[i] || got.Edge2[i] != ref.Edge2[i] {
+					t.Fatalf("edge %d = (%d,%d), want (%d,%d)",
+						i, got.Edge1[i], got.Edge2[i], ref.Edge1[i], ref.Edge2[i])
+				}
+			}
+			for i := range ref.Coords {
+				if got.Coords[i] != ref.Coords[i] {
+					t.Fatalf("coord %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamBlocksAndAbort checks block sizing and early abort.
+func TestStreamBlocksAndAbort(t *testing.T) {
+	var blocks, edges int
+	err := StreamTetEdges(3, 3, 3, 7, func(e1, e2 []int32) error {
+		if len(e1) != len(e2) || len(e1) == 0 || len(e1) > 7 {
+			t.Fatalf("bad block size %d/%d", len(e1), len(e2))
+		}
+		blocks++
+		edges += len(e1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(edges) != EdgeCount(3, 3, 3) {
+		t.Fatalf("streamed %d edges, want %d", edges, EdgeCount(3, 3, 3))
+	}
+	if blocks < 2 {
+		t.Fatalf("expected multiple blocks, got %d", blocks)
+	}
+	wantErr := fmt.Errorf("stop")
+	calls := 0
+	err = StreamTetEdges(3, 3, 3, 7, func(e1, e2 []int32) error {
+		calls++
+		return wantErr
+	})
+	if err != wantErr || calls != 1 {
+		t.Fatalf("abort: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestStreamPaperScale runs the paper-scale nx=128 grid (~15M edges)
+// through the stream in O(block) memory: the count must match the
+// closed form and the stream must stay sorted and in range. Gated out
+// of -short so the ordinary test cycle stays fast.
+func TestStreamPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale mesh stream (nx=128) skipped in -short")
+	}
+	const nx = 128
+	nNodes := int64(nx+1) * (nx + 1) * (nx + 1)
+	var n int64
+	var prev1, prev2 int32 = -1, -1
+	err := StreamTetEdges(nx, nx, nx, 1<<20, func(e1, e2 []int32) error {
+		for i := range e1 {
+			if e1[i] < prev1 || (e1[i] == prev1 && e2[i] <= prev2) {
+				return fmt.Errorf("stream unsorted at edge %d: (%d,%d) after (%d,%d)",
+					n+int64(i), e1[i], e2[i], prev1, prev2)
+			}
+			if e1[i] >= e2[i] || int64(e2[i]) >= nNodes {
+				return fmt.Errorf("edge (%d,%d) malformed", e1[i], e2[i])
+			}
+			prev1, prev2 = e1[i], e2[i]
+		}
+		n += int64(len(e1))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := EdgeCount(nx, nx, nx); n != want {
+		t.Fatalf("streamed %d edges, closed form says %d", n, want)
+	}
+	if n < 14_000_000 {
+		t.Fatalf("paper-scale mesh has only %d edges", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"sdm/internal/mpi"
 	"sdm/internal/pfs"
+	"sdm/internal/sim"
 )
 
 // Hints mirror the MPI-IO info keys ROMIO's two-phase implementation
@@ -536,24 +537,27 @@ func sieveRunsInto(dst []sieveRun, all []aggSeg, maxGap int64) []sieveRun {
 	return dst
 }
 
-// chunkedWrite issues buf at off as one vectored request. Adjacent
+// chunkedWriteAt issues buf at off as one vectored request beginning at
+// virtual time `at`, returning the completion time without touching the
+// rank's clock — the unit of a forked phase-2 sub-timeline. Adjacent
 // cb_buffer_size chunks coalesce into a single contiguous stripe span
 // server-side, so each I/O server is charged once for its share of the
 // whole run instead of once per staging-buffer chunk.
-func (f *File) chunkedWrite(buf []byte, off int64) error {
+func (f *File) chunkedWriteAt(buf []byte, off int64, at sim.Time) (sim.Time, error) {
 	f.scratch.ext[0] = Segment{Off: off, Len: int64(len(buf))}
-	_, err := f.h.WriteAtVec(buf, f.scratch.ext[:])
-	return err
+	done, _, err := f.h.WriteAtVecTime(buf, f.scratch.ext[:], at)
+	return done, err
 }
 
-// chunkedRead fills buf from off as one vectored request; reads past
-// EOF zero-fill.
-func (f *File) chunkedRead(buf []byte, off int64) error {
+// chunkedReadAt fills buf from off as one vectored request beginning at
+// `at`, returning the completion time; reads past EOF zero-fill.
+func (f *File) chunkedReadAt(buf []byte, off int64, at sim.Time) (sim.Time, error) {
 	f.scratch.ext[0] = Segment{Off: off, Len: int64(len(buf))}
-	if _, err := f.h.ReadAtVec(buf, f.scratch.ext[:]); err != nil && err != io.EOF {
-		return err
+	done, _, err := f.h.ReadAtVecTime(buf, f.scratch.ext[:], at)
+	if err != nil && err != io.EOF {
+		return done, err
 	}
-	return nil
+	return done, nil
 }
 
 // WriteAtAll collectively writes each rank's data at its logical offset
@@ -604,28 +608,41 @@ func (f *File) WriteAtAllOps(ops []BatchOp) error {
 	parcels := f.routeSegments(flat, lo, domain, nAgg)
 	incoming := f.exchangeParcels(parcels, true)
 
-	// Phase 2: aggregate and issue vectored contiguous writes. Runs
-	// with small interior holes are data-sieved: read-modify-write of
-	// the whole span beats per-piece requests.
+	// Phase 2: aggregate and issue vectored contiguous writes. Every
+	// run is issued on its own sub-timeline forked at the phase-2 start
+	// — the runs cover disjoint file spans, so an aggregator drives them
+	// concurrently, shared I/O servers serializing contending requests
+	// in virtual time — and the rank's clock joins at the latest
+	// completion. Runs with small interior holes are data-sieved:
+	// read-modify-write of the whole span beats per-piece requests, and
+	// the read chains before the write within the run's sub-timeline.
 	if f.comm.Rank() < nAgg {
 		all := f.gatherAggSegs(incoming)
 		runs := sieveRunsInto(f.scratch.runs[:0], all, f.h.SieveGap())
 		f.scratch.runs = runs
+		clock := f.comm.Clock()
+		fork := clock.Now()
+		join := fork
 		for _, run := range runs {
+			at := fork
 			f.scratch.writeStage = grow(f.scratch.writeStage, run.end-run.start)
 			buf := f.scratch.writeStage
 			if run.holes {
-				if err := f.chunkedRead(buf, run.start); err != nil {
+				var err error
+				if at, err = f.chunkedReadAt(buf, run.start, at); err != nil {
 					return err
 				}
 			}
 			for _, a := range all[run.lo:run.hi] {
 				copy(buf[a.seg.Off-run.start:], incoming[a.src].Bufs[a.srcIdx])
 			}
-			if err := f.chunkedWrite(buf, run.start); err != nil {
+			at, err := f.chunkedWriteAt(buf, run.start, at)
+			if err != nil {
 				return err
 			}
+			join = sim.MaxTime(join, at)
 		}
+		clock.AdvanceTo(join)
 	}
 	f.comm.Barrier()
 	return nil
@@ -735,17 +752,27 @@ func (f *File) ReadAtAllOps(ops []BatchOp) error {
 		}
 		f.scratch.readArena = grow(f.scratch.readArena, need)
 		arena := f.scratch.readArena
+		// Forked sub-timeline per run, as on the write side: runs carve
+		// disjoint arena regions and file spans, so they are issued
+		// concurrently from the phase-2 fork point and the clock joins
+		// at the latest completion before the reply all-to-all.
+		clock := f.comm.Clock()
+		fork := clock.Now()
+		join := fork
 		var cur int64
 		for _, run := range runs {
 			buf := arena[cur : cur+run.end-run.start]
 			cur += run.end - run.start
-			if err := f.chunkedRead(buf, run.start); err != nil {
+			done, err := f.chunkedReadAt(buf, run.start, fork)
+			if err != nil {
 				return err
 			}
+			join = sim.MaxTime(join, done)
 			for _, a := range all[run.lo:run.hi] {
 				replies[a.src].Data[a.srcIdx] = buf[a.seg.Off-run.start : a.seg.Off-run.start+a.seg.Len]
 			}
 		}
+		clock.AdvanceTo(join)
 	}
 	anyReplies := f.scratch.anyParts[:0]
 	var total int64

@@ -113,6 +113,65 @@ func FromEdges(nNodes int, edge1, edge2 []int32) (*Graph, error) {
 	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt}, nil
 }
 
+// FromEdgeStream builds a CSR graph from an edge stream invoked twice
+// (a degree-counting pass, then a fill pass), so paper-scale meshes
+// partition without a dedup map or a second copy of the edge arrays.
+// The stream must produce unique normalized edges (u < v) in
+// nondecreasing (u, v) order — what mesh.StreamTetEdges and the arrays
+// GenerateTet builds provide — and must be deterministic across the two
+// passes. The result is identical to FromEdges over the same edges.
+func FromEdgeStream(nNodes int, stream func(yield func(u, v int32) error) error) (*Graph, error) {
+	deg := make([]int32, nNodes)
+	var prevU, prevV int32 = -1, -1
+	count := func(u, v int32) error {
+		if u < 0 || v < 0 || int(u) >= nNodes || int(v) >= nNodes {
+			return fmt.Errorf("partition: edge (%d,%d) out of range [0,%d)", u, v, nNodes)
+		}
+		if u >= v {
+			return fmt.Errorf("partition: edge stream must be normalized (u < v), got (%d,%d)", u, v)
+		}
+		if u < prevU || (u == prevU && v <= prevV) {
+			return fmt.Errorf("partition: edge stream not sorted/unique at (%d,%d)", u, v)
+		}
+		prevU, prevV = u, v
+		deg[u]++
+		deg[v]++
+		return nil
+	}
+	if err := stream(count); err != nil {
+		return nil, err
+	}
+	xadj := make([]int32, nNodes+1)
+	for i := 0; i < nNodes; i++ {
+		xadj[i+1] = xadj[i] + deg[i]
+	}
+	adj := make([]int32, xadj[nNodes])
+	ewgt := make([]int32, xadj[nNodes])
+	fill := make([]int32, nNodes)
+	edges := int64(xadj[nNodes]) / 2
+	var seen int64
+	fillOne := func(u, v int32) error {
+		seen++
+		if seen > edges {
+			return fmt.Errorf("partition: edge stream grew between passes")
+		}
+		adj[xadj[u]+fill[u]] = v
+		ewgt[xadj[u]+fill[u]] = 1
+		fill[u]++
+		adj[xadj[v]+fill[v]] = u
+		ewgt[xadj[v]+fill[v]] = 1
+		fill[v]++
+		return nil
+	}
+	if err := stream(fillOne); err != nil {
+		return nil, err
+	}
+	if seen != edges {
+		return nil, fmt.Errorf("partition: edge stream shrank between passes (%d of %d edges)", seen, edges)
+	}
+	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt}, nil
+}
+
 // Vector is a partitioning vector: Vector[node] is the rank the node is
 // assigned to. This is the structure the paper requires to be
 // "replicated among processes".

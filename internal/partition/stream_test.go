@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"testing"
+
+	"sdm/internal/mesh"
+)
+
+func streamOf(edge1, edge2 []int32) func(func(u, v int32) error) error {
+	return func(yield func(u, v int32) error) error {
+		for i := range edge1 {
+			if err := yield(edge1[i], edge2[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestFromEdgeStreamMatchesFromEdges pins the streamed CSR builder to
+// the map-based one on a real mesh: identical graph, identical
+// multilevel partition.
+func TestFromEdgeStreamMatchesFromEdges(t *testing.T) {
+	m, err := mesh.GenerateTet(6, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromEdges(m.NumNodes(), m.Edge1, m.Edge2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromEdgeStream(m.NumNodes(), streamOf(m.Edge1, m.Edge2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.XAdj) != len(ref.XAdj) || len(got.Adj) != len(ref.Adj) {
+		t.Fatalf("shape differs: xadj %d/%d adj %d/%d", len(got.XAdj), len(ref.XAdj), len(got.Adj), len(ref.Adj))
+	}
+	for i := range ref.XAdj {
+		if got.XAdj[i] != ref.XAdj[i] {
+			t.Fatalf("xadj[%d] = %d, want %d", i, got.XAdj[i], ref.XAdj[i])
+		}
+	}
+	for i := range ref.Adj {
+		if got.Adj[i] != ref.Adj[i] || got.EWgt[i] != ref.EWgt[i] {
+			t.Fatalf("adj[%d] = (%d,w%d), want (%d,w%d)", i, got.Adj[i], got.EWgt[i], ref.Adj[i], ref.EWgt[i])
+		}
+	}
+	vRef, err := Multilevel(ref, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vGot, err := Multilevel(got, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vRef {
+		if vGot[i] != vRef[i] {
+			t.Fatalf("partition vector diverges at node %d: %d vs %d", i, vGot[i], vRef[i])
+		}
+	}
+}
+
+// TestFromEdgeStreamValidation: malformed streams fail loudly.
+func TestFromEdgeStreamValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		edge1, edge2 []int32
+	}{
+		{"out-of-range", []int32{0}, []int32{9}},
+		{"self-loop", []int32{2}, []int32{2}},
+		{"unnormalized", []int32{3}, []int32{1}},
+		{"unsorted", []int32{1, 0}, []int32{2, 1}},
+		{"duplicate", []int32{0, 0}, []int32{1, 1}},
+	}
+	for _, c := range cases {
+		if _, err := FromEdgeStream(4, streamOf(c.edge1, c.edge2)); err == nil {
+			t.Errorf("%s stream accepted", c.name)
+		}
+	}
+}

@@ -246,6 +246,7 @@ type Handle struct {
 	sys    *System
 	f      *file
 	name   string
+	shift  int // starting-server rotation for this file's stripe 0
 	clock  *sim.Clock
 	mode   Mode
 	closed bool
@@ -308,7 +309,28 @@ func (s *System) Open(name string, mode Mode, clock *sim.Clock) (*Handle, error)
 	if created {
 		s.stats.creates.Add(1)
 	}
-	return &Handle{sys: s, f: f, name: name, clock: clock, mode: mode}, nil
+	return &Handle{sys: s, f: f, name: name, shift: s.startingServer(name), clock: clock, mode: mode}, nil
+}
+
+// startingServer picks the I/O server holding a file's first stripe.
+// Striped file systems rotate each file's starting device (Lustre's
+// round-robin OST selection; XFS allocation groups behave similarly),
+// so a workload flushing several files concurrently engages the whole
+// array instead of queueing every file's low stripes on server 0. The
+// choice is a stable hash of the name (FNV-1a), keeping placement — and
+// therefore every virtual-time figure — deterministic across runs and
+// backends.
+func (s *System) startingServer(name string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(s.cfg.NumServers))
 }
 
 // Exists reports whether a file is present.
@@ -438,15 +460,16 @@ type serverSpan struct {
 
 // spansInto splits the byte range [off, off+n) into per-server totals
 // according to the striping layout, appending to dst (reused across
-// calls by the owning Handle). totals must have NumServers entries and
-// be zeroed; it is re-zeroed before returning.
-func (s *System) spansInto(dst []serverSpan, totals []int64, off, n int64) []serverSpan {
+// calls by the owning Handle). shift rotates the file's stripe-0 server
+// (see startingServer). totals must have NumServers entries and be
+// zeroed; it is re-zeroed before returning.
+func (s *System) spansInto(dst []serverSpan, totals []int64, off, n int64, shift int) []serverSpan {
 	if n <= 0 {
 		return dst
 	}
 	for n > 0 {
 		stripe := off / s.cfg.StripeSize
-		srv := int(stripe % int64(s.cfg.NumServers))
+		srv := int((stripe + int64(shift)) % int64(s.cfg.NumServers))
 		in := s.cfg.StripeSize - off%s.cfg.StripeSize
 		if in > n {
 			in = n
@@ -464,12 +487,13 @@ func (s *System) spansInto(dst []serverSpan, totals []int64, off, n int64) []ser
 	return dst
 }
 
-// spansFor is the allocating convenience form of spansInto.
+// spansFor is the allocating convenience form of spansInto, with no
+// starting-server rotation.
 func (s *System) spansFor(off, n int64) []serverSpan {
 	if n <= 0 {
 		return nil
 	}
-	return s.spansInto(nil, make([]int64, s.cfg.NumServers), off, n)
+	return s.spansInto(nil, make([]int64, s.cfg.NumServers), off, n, 0)
 }
 
 // charge schedules the I/O cost of an n-byte access at offset off
@@ -481,7 +505,7 @@ func (h *Handle) charge(off, n int64, at sim.Time) sim.Time {
 	if h.totScratch == nil {
 		h.totScratch = make([]int64, s.cfg.NumServers)
 	}
-	h.spanScratch = s.spansInto(h.spanScratch[:0], h.totScratch, off, n)
+	h.spanScratch = s.spansInto(h.spanScratch[:0], h.totScratch, off, n, h.shift)
 	done := at
 	for _, sp := range h.spanScratch {
 		service := s.cfg.RequestLatency +

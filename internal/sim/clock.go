@@ -66,6 +66,44 @@ func (c *Clock) AdvanceTo(t Time) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Fork/join sub-timelines
+//
+// Concurrency inside one simulated process — an aggregator issuing its
+// coalesced phase-2 runs at once, a split-collective flush overlapping
+// the next step's compute — is expressed with forked sub-timelines: a
+// fork captures the current time, the concurrent work is costed from
+// that common base (shared Resources still serialize contending
+// requests in virtual time), and a join folds the latest completion
+// back into the owning timeline. Because the work itself still executes
+// sequentially in host time, fork/join changes only the cost model;
+// determinism is untouched.
+//
+// Fork/Join below are the boxed form of the model. The allocation-free
+// hot paths (mpiio phase 2, the core epoch pipeline) express the same
+// pattern directly on one clock with Time values: fork := c.Now();
+// cost the branch; join = MaxTime(join, c.Now()); c.Rebase(fork); and
+// finally c.AdvanceTo(join) at the join barrier — Rebase exists for
+// exactly that idiom and for split-collective tokens.
+// ---------------------------------------------------------------------------
+
+// Fork returns a new sub-timeline clock positioned at c's current time.
+// The sub-timeline advances independently of c; fold it back with Join.
+func (c *Clock) Fork() *Clock { return &Clock{now: c.now} }
+
+// Join advances c to sub's time if later — the join barrier of a forked
+// sub-timeline.
+func (c *Clock) Join(sub *Clock) { c.AdvanceTo(sub.now) }
+
+// Rebase sets the clock to exactly t, moving backwards if necessary.
+// It exists for split-collective simulation only: the caller marks a
+// fork point (Now), runs an asynchronous phase whose charges advance
+// this clock, captures the phase's completion time, rebases back to the
+// fork point, and joins the completion later (AdvanceTo at the wait
+// call). Ordinary cost accounting must use Advance/AdvanceTo, which
+// never move time backwards.
+func (c *Clock) Rebase(t Time) { c.now = t }
+
 // Resource models a shared serial resource (an I/O server, a metadata
 // server, a shared link). Requests arriving while the resource is busy
 // queue behind it in virtual time. Resource is safe for concurrent use

@@ -35,6 +35,74 @@ func TestClockAdvanceTo(t *testing.T) {
 	}
 }
 
+func TestClockForkJoin(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Millisecond)
+	// Two sub-timelines forked at 10ms advance independently.
+	a, b := c.Fork(), c.Fork()
+	if a.Now() != c.Now() || b.Now() != c.Now() {
+		t.Fatalf("forks start at %v/%v, want %v", a.Now(), b.Now(), c.Now())
+	}
+	a.Advance(5 * time.Millisecond)
+	b.Advance(30 * time.Millisecond)
+	if c.Now() != Time(10*time.Millisecond) {
+		t.Fatal("advancing a fork moved the parent clock")
+	}
+	c.Join(a)
+	c.Join(b)
+	if got := c.Now(); got != Time(40*time.Millisecond) {
+		t.Fatalf("join left clock at %v, want 40ms (latest sub-timeline)", got)
+	}
+	// Joining an earlier sub-timeline is a no-op.
+	c.Join(a)
+	if got := c.Now(); got != Time(40*time.Millisecond) {
+		t.Fatalf("joining an earlier fork moved clock to %v", got)
+	}
+}
+
+func TestClockForkedResourceContention(t *testing.T) {
+	// Two sub-timelines forked at t=0 contend for one serial resource:
+	// the resource serializes them in virtual time, and the join sees
+	// the full queue drain — exactly what an aggregator's parallel
+	// phase-2 runs against one I/O server must cost.
+	c := NewClock()
+	var r Resource
+	a, b := c.Fork(), c.Fork()
+	a.AdvanceTo(r.Acquire(a.Now(), 10*time.Millisecond))
+	b.AdvanceTo(r.Acquire(b.Now(), 10*time.Millisecond))
+	c.Join(a)
+	c.Join(b)
+	if got := c.Now(); got != Time(20*time.Millisecond) {
+		t.Fatalf("contending forks joined at %v, want 20ms", got)
+	}
+}
+
+func TestClockRebase(t *testing.T) {
+	// The split-collective pattern: fork point, async phase charged on
+	// the clock, rebase back, join the completion at the wait call.
+	c := NewClock()
+	c.Advance(7 * time.Millisecond)
+	fork := c.Now()
+	c.Advance(25 * time.Millisecond) // the async phase's charges
+	done := c.Now()
+	c.Rebase(fork)
+	if c.Now() != fork {
+		t.Fatalf("rebase left clock at %v, want %v", c.Now(), fork)
+	}
+	c.Advance(10 * time.Millisecond) // overlapped compute
+	c.AdvanceTo(done)                // the wait: only the remainder is charged
+	if got := c.Now(); got != done {
+		t.Fatalf("wait joined at %v, want %v", got, done)
+	}
+	// If compute outruns the flush, the wait charges nothing.
+	c.Advance(100 * time.Millisecond)
+	before := c.Now()
+	c.AdvanceTo(done)
+	if c.Now() != before {
+		t.Fatal("wait moved the clock backwards past overlapped compute")
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	a := Time(time.Second)
 	b := a.Add(500 * time.Millisecond)

@@ -438,6 +438,119 @@ func (o *casObject) Truncate(n int64) error {
 // Durability
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+// GCStats reports what a garbage-collection sweep reclaimed.
+type GCStats struct {
+	ObjectsRemoved  int   // named objects dropped by the live filter
+	ChunksReclaimed int   // pool entries whose last reference went with them
+	BytesReclaimed  int64 // stored bytes of those chunks
+	OrphansRemoved  int   // on-disk chunk files no pool entry references
+}
+
+// CheckRefs verifies refcount consistency: every pool entry's reference
+// count must equal the number of object slots naming it, every
+// referenced chunk must be in the pool, and no entry may linger at zero
+// references. It is the invariant GC (and every Remove) preserves.
+func (c *CAS) CheckRefs() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	want := make(map[chunkKey]int64, len(c.pool))
+	for name, o := range c.objs {
+		for i, ch := range o.chunks {
+			if ch == nil {
+				continue
+			}
+			if c.pool[ch.key] != ch {
+				return fmt.Errorf("store: object %q slot %d references chunk %s missing from the pool", name, i, ch.key.hex())
+			}
+			want[ch.key]++
+		}
+	}
+	for key, ch := range c.pool {
+		if ch.refs != want[key] {
+			return fmt.Errorf("store: chunk %s has refcount %d, %d references exist", key.hex(), ch.refs, want[key])
+		}
+		if ch.refs <= 0 {
+			return fmt.Errorf("store: chunk %s lingers at refcount %d", key.hex(), ch.refs)
+		}
+	}
+	return nil
+}
+
+// GC sweeps the chunk pool: every object for which live reports false
+// is removed (releasing its chunk references, exactly as Remove would),
+// refcount consistency is verified, and — for disk-rooted pools — chunk
+// files on disk that no pool entry references (left by a crashed
+// process whose manifest update never landed) are deleted. Run bundles
+// drive it with the manifest's file list as the live set.
+func (c *CAS) GC(live func(name string) bool) (GCStats, error) {
+	var st GCStats
+	c.mu.Lock()
+	names := make([]string, 0, len(c.objs))
+	for n := range c.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if live != nil && live(n) {
+			continue
+		}
+		o := c.objs[n]
+		for _, ch := range o.chunks {
+			if ch != nil && ch.refs == 1 {
+				st.ChunksReclaimed++
+				st.BytesReclaimed += ch.stored
+			}
+			c.deref(ch)
+		}
+		o.chunks, o.size = nil, 0
+		delete(c.objs, n)
+		st.ObjectsRemoved++
+	}
+	c.mu.Unlock()
+	if err := c.CheckRefs(); err != nil {
+		return st, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.root == "" {
+		return st, nil
+	}
+	dirs, err := os.ReadDir(filepath.Join(c.root, "chunks"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("store: gc scanning chunk dir: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		sub := filepath.Join(c.root, "chunks", d.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			return st, fmt.Errorf("store: gc scanning %s: %w", sub, err)
+		}
+		for _, f := range files {
+			kb, err := hex.DecodeString(f.Name())
+			if err == nil && len(kb) == sha256.Size {
+				if _, ok := c.pool[chunkKey(kb)]; ok {
+					continue
+				}
+			}
+			if err := os.Remove(filepath.Join(sub, f.Name())); err != nil {
+				return st, fmt.Errorf("store: gc removing orphan chunk: %w", err)
+			}
+			st.OrphansRemoved++
+		}
+	}
+	return st, nil
+}
+
 const casManifestName = "objects.json"
 
 // casManifest is the persisted namespace: every object's chunk-key

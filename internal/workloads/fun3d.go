@@ -63,10 +63,13 @@ type FUN3D struct {
 // MshFileName is the staged mesh file's name, matching the paper.
 const MshFileName = "uns3d.msh"
 
-// NewFUN3D generates the mesh and its data arrays.
+// NewFUN3D generates the mesh and its data arrays. The mesh comes from
+// the streamed edge generator: FUN3D consumes edges and nodes, never
+// the tetrahedra, so paper-scale grids (nx=128, ~15M edges) skip the
+// tet array and the edge-dedup map entirely.
 func NewFUN3D(cfg FUN3DConfig) (*FUN3D, error) {
 	cfg.fill()
-	m, err := mesh.GenerateTet(cfg.NX, cfg.NY, cfg.NZ)
+	m, err := mesh.GenerateTetEdges(cfg.NX, cfg.NY, cfg.NZ)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +121,17 @@ func (f *FUN3D) PartVec(nparts int) ([]int32, error) {
 	if v, ok := f.partVecs[nparts]; ok {
 		return v, nil
 	}
-	g, err := partition.FromEdges(f.Mesh.NumNodes(), f.Mesh.Edge1, f.Mesh.Edge2)
+	// Stream the (already sorted, unique) edge arrays into the CSR
+	// builder: no dedup map, the partition-side memory peak at paper
+	// scale is the graph itself.
+	g, err := partition.FromEdgeStream(f.Mesh.NumNodes(), func(yield func(u, v int32) error) error {
+		for i := range f.Mesh.Edge1 {
+			if err := yield(f.Mesh.Edge1[i], f.Mesh.Edge2[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -397,12 +410,22 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 		readA := make([]float64, len(owned))
 		readB := make([]float64, len(blockMap))
 
-		// Each timestep is one deferred epoch per group: group A's four
-		// datasets flush as a single merged collective.
+		// Each timestep is one Manager-level cross-group epoch: group A's
+		// four datasets and group B's flux merge into a single rendezvous
+		// (one execution-table batch, the two files' collectives forked
+		// concurrently), and the flush is issued as a split-collective
+		// whose wait lands just before the next step — the paper's async
+		// history-write pattern generalized to the checkpoint stream.
 		p.Comm.Barrier()
 		t0 := p.Comm.Now()
+		var tok *sdm.StepToken
 		for ts := 0; ts < steps; ts++ {
-			if err := ga.BeginStep(int64(ts * 10)); err != nil {
+			if tok != nil {
+				if err := tok.Wait(); err != nil {
+					panic(err)
+				}
+			}
+			if err := s.BeginStep(int64(ts * 10)); err != nil {
 				panic(err)
 			}
 			for _, d := range dsA {
@@ -410,17 +433,23 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 					panic(err)
 				}
 			}
-			if err := ga.EndStep(); err != nil {
+			if err := flux.Put(bufB); err != nil {
 				panic(err)
 			}
-			if err := flux.PutAt(int64(ts*10), bufB); err != nil {
+			var err error
+			if tok, err = s.EndStepAsync(); err != nil {
+				panic(err)
+			}
+		}
+		if tok != nil {
+			if err := tok.Wait(); err != nil {
 				panic(err)
 			}
 		}
 		p.Comm.Barrier()
 		t1 := p.Comm.Now()
 		for ts := 0; ts < steps; ts++ {
-			if err := ga.BeginStep(int64(ts * 10)); err != nil {
+			if err := s.BeginStep(int64(ts * 10)); err != nil {
 				panic(err)
 			}
 			for _, d := range dsA {
@@ -428,10 +457,10 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 					panic(err)
 				}
 			}
-			if err := ga.EndStep(); err != nil {
+			if err := flux.Get(readB); err != nil {
 				panic(err)
 			}
-			if err := flux.GetAt(int64(ts*10), readB); err != nil {
+			if err := s.EndStep(); err != nil {
 				panic(err)
 			}
 		}

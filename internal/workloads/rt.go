@@ -180,6 +180,7 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 
 		p.Comm.Barrier()
 		t0 := p.Comm.Now()
+		var tok *sdm.StepToken
 		for ts := 0; ts < steps; ts++ {
 			tm := float64(ts) * 0.5
 			nodeFull := r.RT.NodeDataset(tm)
@@ -212,12 +213,33 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 					panic(err)
 				}
 			default:
-				if err := nodeDS.PutAt(int64(ts), nodeLocal); err != nil {
+				// One cross-group step per checkpoint: the node and
+				// triangle datasets (two files) flush in one rendezvous,
+				// issued async so the next checkpoint's data assembly
+				// overlaps the outstanding flush.
+				if tok != nil {
+					if err := tok.Wait(); err != nil {
+						panic(err)
+					}
+				}
+				if err := s.BeginStep(int64(ts)); err != nil {
 					panic(err)
 				}
-				if err := triDS.PutAt(int64(ts), triLocal); err != nil {
+				if err := nodeDS.Put(nodeLocal); err != nil {
 					panic(err)
 				}
+				if err := triDS.Put(triLocal); err != nil {
+					panic(err)
+				}
+				var err error
+				if tok, err = s.EndStepAsync(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if tok != nil {
+			if err := tok.Wait(); err != nil {
+				panic(err)
 			}
 		}
 		p.Comm.Barrier()

@@ -178,8 +178,10 @@ func TestFig7ShapeRT(t *testing.T) {
 func TestFig7ProcessScalingDegrades(t *testing.T) {
 	// The paper's second observation in Figure 7: with the data size
 	// fixed, going from 32 to 64 processes shrinks per-process buffers
-	// and bandwidth falls. At test scale we compare 4 vs 16 ranks.
-	r, err := NewRT(RTConfig{NX: 12, NY: 12, NZ: 12, Steps: 2})
+	// and bandwidth falls. At test scale we compare 4 vs 32 ranks on a
+	// mesh large enough that the per-process collective overheads are
+	// not hidden behind the step pipeline's overlapped metadata batch.
+	r, err := NewRT(RTConfig{NX: 20, NY: 20, NZ: 20, Steps: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ func TestFig7ProcessScalingDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := r.WriteBandwidth(newCluster(16), RTLevel23)
+	many, err := r.WriteBandwidth(newCluster(32), RTLevel23)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,21 @@ type RT = mesh.RT
 // cube from an nx x ny x nz grid (six tets per hex).
 func GenerateTet(nx, ny, nz int) (*Mesh, error) { return mesh.GenerateTet(nx, ny, nz) }
 
+// GenerateTetEdges builds the same mesh as GenerateTet minus the
+// tetrahedra, through the streamed closed-form edge stencil — the
+// paper-scale path for edge/node workloads (~15M edges at nx=128 with
+// no tet array and no dedup map).
+func GenerateTetEdges(nx, ny, nz int) (*Mesh, error) { return mesh.GenerateTetEdges(nx, ny, nz) }
+
+// StreamTetEdges generates GenerateTet's unique sorted edges in reused
+// blocks of at most blockEdges entries, in O(blockEdges) memory.
+func StreamTetEdges(nx, ny, nz, blockEdges int, yield func(edge1, edge2 []int32) error) error {
+	return mesh.StreamTetEdges(nx, ny, nz, blockEdges, yield)
+}
+
+// EdgeCount reports GenerateTet's unique edge count in closed form.
+func EdgeCount(nx, ny, nz int) int64 { return mesh.EdgeCount(nx, ny, nz) }
+
 // EncodeMsh serializes a mesh and its per-edge/per-node double arrays
 // into the uns3d.msh layout.
 func EncodeMsh(m *Mesh, edgeData, nodeData [][]float64) ([]byte, MshLayout, error) {

@@ -112,6 +112,17 @@ func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
 	return core.NewView(mapArr, t, globalSize)
 }
 
+// StepToken is the handle of an asynchronous (split-collective) step
+// flush, returned by Group.EndStepAsync and Manager.EndStepAsync: the
+// epoch's collectives have been issued on a forked virtual sub-timeline
+// and Wait joins the completion back into the rank's clock, charging
+// only whatever subsequent computation did not overlap — the paper's
+// asynchronous history-file write generalized to every dataset.
+// Manager.BeginStep/EndStep open cross-group steps that merge every
+// group's epoch into one rendezvous with a single execution-table
+// batch.
+type StepToken = core.StepToken
+
 // Element constrains the Go element types typed dataset handles store:
 // float64 (DOUBLE), int32 (INTEGER), int64 (LONG).
 type Element = core.Element
