@@ -60,7 +60,13 @@ func main() {
 		world.AttachStorage(cluster)
 
 		err = world.Run(func(p *sdm.Proc) {
-			s, err := p.Initialize("historydemo", sdm.Options{})
+			// Level-1 (file-per-timestep) output with a 4-deep step
+			// pipeline: each checkpoint lands in its own file, so up to 4
+			// asynchronous flushes stay in flight back-to-back.
+			s, err := p.Initialize("historydemo", sdm.Options{
+				Organization:      sdm.Level1,
+				StepPipelineDepth: 4,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -83,12 +89,16 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-			// Write the run's result checkpoint through the async
-			// split-collective step API: the flush is issued here, the
-			// application would keep computing, and Finalize joins
-			// whatever the computation did not overlap — the same
-			// pattern as SDM's asynchronous history-file write above,
-			// generalized to ordinary datasets.
+			// Stream the run's result checkpoints through the async
+			// split-collective step API: every timestep writes its own
+			// level-1 file, so the 4-deep pipeline keeps several flushes
+			// in flight at once — BeginStep opens the next epoch while
+			// earlier tokens are still outstanding, and EndStepAsync
+			// joins only what the depth bound (or a file conflict)
+			// requires. Finalize drains whatever is still in flight —
+			// the same pattern as SDM's asynchronous history-file write
+			// above, generalized to the whole checkpoint stream.
+			const checkpoints = 4
 			res := sdm.MakeDatalist("p")
 			res[0].GlobalSize = int64(m.NumNodes())
 			gr, err := s.SetAttributes(res)
@@ -103,17 +113,19 @@ func main() {
 				log.Fatal(err)
 			}
 			vals := make([]float64, len(ip.OwnedNodes))
-			for i, g := range ip.OwnedNodes {
-				vals[i] = float64(g)
-			}
-			if err := s.BeginStep(1); err != nil {
-				log.Fatal(err)
-			}
-			if err := dp.Put(vals); err != nil {
-				log.Fatal(err)
-			}
-			if _, err := s.EndStepAsync(); err != nil {
-				log.Fatal(err)
+			for ts := int64(1); ts <= checkpoints; ts++ {
+				for i, g := range ip.OwnedNodes {
+					vals[i] = float64(g) + float64(ts)
+				}
+				if err := s.BeginStep(ts); err != nil {
+					log.Fatal(err)
+				}
+				if err := dp.Put(vals); err != nil {
+					log.Fatal(err)
+				}
+				if _, err := s.EndStepAsync(); err != nil {
+					log.Fatal(err)
+				}
 			}
 			if p.Rank() == 0 {
 				src := "ring distribution"

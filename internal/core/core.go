@@ -107,12 +107,43 @@ func (l FileOrganization) String() string {
 	return fmt.Sprintf("level%d", int(l))
 }
 
+// WaitPolicy selects what a step flush (or a read resolving into a
+// pending file) does when it would touch a file that an outstanding
+// asynchronous flush still owns.
+type WaitPolicy int
+
+const (
+	// WaitConflicts (the default) implicitly Waits on just the
+	// conflicting tokens — not every outstanding one — before touching
+	// the file, so pipelined loops over a shared file serialize on the
+	// file's own dependency chain while flushes to disjoint files keep
+	// flowing. With StepPipelineDepth 1 this reproduces the synchronous
+	// EndStep schedule bit-identically.
+	WaitConflicts WaitPolicy = iota
+	// ErrorOnConflict preserves the historical behavior: a flush or
+	// read that would overlap an outstanding flush of the same file
+	// fails loudly and the caller must Wait explicitly.
+	ErrorOnConflict
+)
+
 // Options tunes an SDM instance.
 type Options struct {
 	// Organization selects the file layout (default Level3).
 	Organization FileOrganization
 	// Hints passes MPI-IO hints through to collective I/O.
 	Hints mpiio.Hints
+	// StepPipelineDepth bounds how many asynchronous step flushes
+	// (unwaited StepTokens) may be in flight at once across the
+	// manager. EndStepAsync drains the earliest-completing tokens down
+	// to the bound before issuing a new flush. Depth 1 (the default)
+	// keeps the classic one-outstanding-flush schedule; deeper
+	// pipelines let file-per-timestep layouts stream checkpoints
+	// back-to-back over disjoint files.
+	StepPipelineDepth int
+	// WaitPolicy selects implicit waiting versus loud failure when a
+	// flush would touch a file with an outstanding token (default
+	// WaitConflicts).
+	WaitPolicy WaitPolicy
 	// EdgeScanRate is the simulated rate (edges/second) at which a rank
 	// examines edges during index partitioning (default 4e6,
 	// an R10000-era processing rate). It determines the computation
@@ -145,6 +176,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.Organization == 0 {
 		o.Organization = Level3
+	}
+	if o.StepPipelineDepth <= 0 {
+		o.StepPipelineDepth = 1
 	}
 	if o.EdgeScanRate <= 0 {
 		o.EdgeScanRate = 4e6
@@ -186,14 +220,53 @@ type SDM struct {
 		open     bool
 		timestep int64
 	}
-	// pending maps file names to the asynchronous step flush still in
-	// flight over them; a second flush touching such a file fails loudly
-	// instead of interleaving with the outstanding one. tokens holds
-	// every unwaited token so Finalize can drain them. recScratch is the
-	// cross-group RecordWrites merge buffer.
+	// pending is the per-file dependency registry: it maps file names
+	// to the asynchronous step flush still in flight over them. Any
+	// number of tokens may be live as long as their target-file sets
+	// are disjoint; a flush (or read) that would touch a pending file
+	// either implicitly Waits on just the conflicting token or fails
+	// loudly, per Options.WaitPolicy. tokens holds every unwaited token
+	// (bounded by Options.StepPipelineDepth) so EndStepAsync and
+	// Finalize can drain them in completion order. recScratch is the
+	// cross-group RecordWrites merge buffer. arenaPool recycles flush
+	// staging arenas across epochs: each in-flight token owns the
+	// arenas its flush staged through and returns them at Wait, so an
+	// N-deep pipeline reaches a steady state of ~N arenas instead of
+	// allocating one per step.
 	pending    map[string]*StepToken
 	tokens     []*StepToken
+	tokenSeq   int64
 	recScratch []catalog.WriteRecord
+	arenaPool  [][]byte
+}
+
+// takeArena checks a staging arena of at least n bytes out of the
+// pool: the first pooled buffer large enough is reused; otherwise one
+// pooled buffer is replaced by a fresh allocation, keeping the pool
+// bounded by the pipeline depth.
+func (s *SDM) takeArena(n int64) []byte {
+	for i, buf := range s.arenaPool {
+		if int64(cap(buf)) >= n {
+			last := len(s.arenaPool) - 1
+			s.arenaPool[i] = s.arenaPool[last]
+			s.arenaPool[last] = nil
+			s.arenaPool = s.arenaPool[:last]
+			return buf[:n]
+		}
+	}
+	if last := len(s.arenaPool) - 1; last >= 0 {
+		s.arenaPool[last] = nil
+		s.arenaPool = s.arenaPool[:last]
+	}
+	return make([]byte, n)
+}
+
+// putArena returns a staging arena to the pool (Wait and Finalize call
+// it when a token's flush is joined).
+func (s *SDM) putArena(buf []byte) {
+	if cap(buf) > 0 {
+		s.arenaPool = append(s.arenaPool, buf)
+	}
 }
 
 // Initialize establishes the database connection, creates the six
@@ -318,15 +391,10 @@ func (s *SDM) Finalize() error {
 		s.env.Comm.Clock().AdvanceTo(done)
 	}
 	s.asyncDone = nil
-	var firstErr error
 	// Drain unwaited split-collective step tokens, so an application
 	// that issued EndStepAsync without a matching Wait still charges the
 	// flush before its files close.
-	for len(s.tokens) > 0 {
-		if err := s.tokens[0].Wait(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
+	firstErr := s.DrainSteps()
 	for _, g := range s.groups {
 		if err := g.closeFiles(); err != nil && firstErr == nil {
 			firstErr = err

@@ -50,15 +50,19 @@ type stepEpoch struct {
 	puts     []pendingPut
 	gets     []pendingGet
 
-	// Flush scratch, reused across epochs.
-	arena    []byte
-	placed   []placedOp
-	ops      []mpiio.BatchOp
-	recs     []catalog.WriteRecord
-	keys     []writeKey
-	resolved []catalog.WriteRecord
-	lookup   []catalog.WriteKey
-	fileOrd  []string
+	// Flush staging arenas, checked out of the manager's arena pool at
+	// staging time and owned by the step token until Wait returns them
+	// (so N in-flight flushes keep N live snapshots while the pool
+	// recycles joined ones), plus flush scratch reused across epochs.
+	arena     []byte
+	readArena []byte
+	placed    []placedOp
+	ops       []mpiio.BatchOp
+	recs      []catalog.WriteRecord
+	keys      []writeKey
+	resolved  []catalog.WriteRecord
+	lookup    []catalog.WriteKey
+	fileOrd   []string
 }
 
 // placedOp is a queued operation after placement: where it lands and
@@ -79,12 +83,13 @@ type placedOp struct {
 // datasets amortize one collective). Every rank must open and close the
 // same epochs with the same queued dataset sequence. An epoch is
 // per-group; opening a second epoch before EndStep is an error.
+// Asynchronous flushes from earlier epochs may still be outstanding:
+// the new epoch queues into a fresh (pooled) staging arena, and any
+// file-level conflict with an in-flight flush is resolved at flush
+// time per Options.WaitPolicy.
 func (g *Group) BeginStep(timestep int64) error {
 	if g.ep.open {
 		return fmt.Errorf("core: BeginStep(%d) with step %d already open", timestep, g.ep.timestep)
-	}
-	if g.pending != nil {
-		return fmt.Errorf("core: BeginStep(%d) with an outstanding async step token; Wait on it first", timestep)
 	}
 	g.openStep(timestep, false)
 	return nil
@@ -107,6 +112,7 @@ func (g *Group) StepOpen() bool { return g.ep.open }
 // when queueing fails partway through a convenience wrapper. Queued
 // entries are zeroed so their closures (and the caller slices they
 // capture) do not stay reachable through the reusable backing arrays.
+// Staging arenas not adopted by a token go back to the pool.
 func (g *Group) cancelStep() {
 	g.ep.open = false
 	g.ep.managed = false
@@ -114,6 +120,14 @@ func (g *Group) cancelStep() {
 	clear(g.ep.gets)
 	g.ep.puts = g.ep.puts[:0]
 	g.ep.gets = g.ep.gets[:0]
+	if g.ep.arena != nil {
+		g.s.putArena(g.ep.arena)
+		g.ep.arena = nil
+	}
+	if g.ep.readArena != nil {
+		g.s.putArena(g.ep.readArena)
+		g.ep.readArena = nil
+	}
 }
 
 // prepareOp validates a queue request: the epoch must be open, the
@@ -236,7 +250,7 @@ func (g *Group) opsForFile(of *openFile, placed []placedOp, file string) []mpiio
 
 // closeIfLevel1 closes and forgets the file under Level-1 organization
 // (one file per write), the same post-collective step the legacy paths
-// took.
+// took. The file's I/O scratch bundle returns to the group's pool.
 func (g *Group) closeIfLevel1(of *openFile, file string) error {
 	if g.s.opts.Organization != Level1 {
 		return nil
@@ -244,6 +258,8 @@ func (g *Group) closeIfLevel1(of *openFile, file string) error {
 	if err := of.f.Close(); err != nil {
 		return err
 	}
+	g.scratch.Put(of.sc)
+	of.sc = nil
 	delete(g.files, file)
 	return nil
 }
@@ -261,10 +277,11 @@ func (g *Group) stagePuts() {
 	for i := range puts {
 		total += puts[i].bytes
 	}
-	if cap(g.ep.arena) < int(total) {
-		g.ep.arena = make([]byte, total)
+	if g.ep.arena != nil {
+		g.s.putArena(g.ep.arena)
 	}
-	arena := g.ep.arena[:total]
+	g.ep.arena = g.s.takeArena(total)
+	arena := g.ep.arena
 	placed := g.ep.placed[:0]
 	recs := g.ep.recs[:0]
 	var cur int64
@@ -450,10 +467,11 @@ func (g *Group) lookupPlacements(keys []writeKey) ([]catalog.WriteRecord, error)
 }
 
 // resolveGets looks up where every queued get's slab lives (rank-local
-// cache, then one batched catalog query) and verifies none of the
-// resolved files has an asynchronous flush in flight from another
-// token (tok is the flush being issued; its own claims — a put and a
-// get of one file in the same epoch — are fine).
+// cache, then one batched catalog query) and resolves reads landing in
+// files with an asynchronous flush in flight from another token: the
+// conflicting token is implicitly waited (WaitConflicts) or reported
+// loudly (ErrorOnConflict). tok is the flush being issued; its own
+// claims — a put and a get of one file in the same epoch — are fine.
 func (g *Group) resolveGets(tok *StepToken) ([]catalog.WriteRecord, error) {
 	gets := g.ep.gets
 	ts := g.ep.timestep
@@ -467,8 +485,17 @@ func (g *Group) resolveGets(tok *StepToken) ([]catalog.WriteRecord, error) {
 		return nil, err
 	}
 	for i := range recs {
-		if other := g.s.pending[recs[i].FileName]; other != nil && other != tok {
-			return nil, fmt.Errorf("core: reading %q while an async step flush to it is outstanding; Wait on its token first", recs[i].FileName)
+		for {
+			other := g.s.pending[recs[i].FileName]
+			if other == nil || other == tok {
+				break
+			}
+			if g.s.opts.WaitPolicy == ErrorOnConflict {
+				return nil, fmt.Errorf("core: reading %q while an async step flush to it is outstanding; Wait on its token first", recs[i].FileName)
+			}
+			if err := other.Wait(); err != nil {
+				return nil, fmt.Errorf("core: implicit wait on the outstanding flush of %q: %w", recs[i].FileName, err)
+			}
 		}
 	}
 	return recs, nil
@@ -483,10 +510,11 @@ func (g *Group) stageGets(recs []catalog.WriteRecord) {
 	for i := range gets {
 		total += gets[i].bytes
 	}
-	if cap(g.readScratch) < int(total) {
-		g.readScratch = make([]byte, total)
+	if g.ep.readArena != nil {
+		g.s.putArena(g.ep.readArena)
 	}
-	arena := g.readScratch[:total]
+	g.ep.readArena = g.s.takeArena(total)
+	arena := g.ep.readArena
 	placed := g.ep.placed[:0]
 	var cur int64
 	for i := range gets {

@@ -33,18 +33,14 @@ type Group struct {
 	// the same engine.
 	ep stepEpoch
 
-	// pending is the group's outstanding asynchronous step token, if an
-	// EndStepAsync has not been waited on yet. BeginStep refuses to open
-	// a new epoch until the token is joined.
-	pending *StepToken
-
 	// Reusable per-rank staging buffers for the write/read hot path.
 	// A Group belongs to one rank goroutine; the collective I/O layer
 	// copies payloads out before returning, so reuse across operations
-	// is safe.
-	readScratch []byte
+	// is safe. Each open file checks its I/O scratch bundle out of the
+	// pool (returned at close), so per-file collectives from different
+	// in-flight epochs never share staging buffers.
 	convScratch []byte
-	ioScratch   mpiio.Scratch
+	scratch     mpiio.ScratchPool
 }
 
 type writeKey struct {
@@ -54,6 +50,7 @@ type writeKey struct {
 
 type openFile struct {
 	f       *mpiio.File
+	sc      *mpiio.Scratch // checked out of the group's pool until close
 	curView *View
 	curDisp int64
 	hasView bool
@@ -385,11 +382,13 @@ func (g *Group) open(name string) (*openFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Share one staging-buffer bundle across this rank's sequentially
-	// opened files, so level-1 open-per-access patterns keep their
-	// steady-state buffers.
-	f.UseScratch(&g.ioScratch)
-	of := &openFile{f: f}
+	// Check a staging-buffer bundle out of the group's pool for the
+	// file's lifetime: level-1 open-per-access patterns keep reusing one
+	// warmed-up bundle, while concurrently pipelined per-file flushes
+	// each hold their own.
+	sc := g.scratch.Get()
+	f.UseScratch(sc)
+	of := &openFile{f: f, sc: sc}
 	g.files[name] = of
 	return of, nil
 }
@@ -406,13 +405,16 @@ func (of *openFile) applyView(disp int64, v *View) {
 	of.hasView = true
 }
 
-// closeFiles closes all cached handles (Finalize).
+// closeFiles closes all cached handles (Finalize), returning their
+// scratch bundles to the pool.
 func (g *Group) closeFiles() error {
 	var firstErr error
 	for name, of := range g.files {
 		if err := of.f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		g.scratch.Put(of.sc)
+		of.sc = nil
 		delete(g.files, name)
 	}
 	return firstErr

@@ -6,7 +6,7 @@ import (
 	"sdm/internal/sim"
 )
 
-// Split-collective step epochs.
+// Split-collective step epochs with N-deep pipelining.
 //
 // EndStepAsync generalizes the paper's asynchronous history-file write
 // to every dataset: the epoch's flush — staging, the merged collectives,
@@ -18,6 +18,16 @@ import (
 // overlapped computation did not already cover. The work itself still
 // executes inside EndStepAsync in host time (the simulation stays
 // deterministic); only the cost model is split.
+//
+// Dependencies between flushes are tracked per FILE, not per epoch:
+// any number of tokens may be in flight as long as their target-file
+// sets are disjoint (Options.StepPipelineDepth bounds the count), so a
+// file-per-timestep layout streams checkpoints back-to-back. A flush
+// that would touch a pending file implicitly Waits on just the
+// conflicting tokens (Options.WaitPolicy WaitConflicts, the default)
+// or fails loudly (ErrorOnConflict). Joins happen in completion order
+// — the earliest-finishing flush releases its files and staging arenas
+// first — not issue order.
 //
 // Manager-level cross-group steps (SDM.BeginStep/EndStep) merge the
 // per-group epochs of every registered group into one rendezvous: the
@@ -32,13 +42,20 @@ import (
 // twice fails loudly. Get results decoded by an asynchronous flush must
 // not be consumed before Wait returns.
 type StepToken struct {
-	s      *SDM
-	groups []*Group // groups whose epochs this token flushed
-	files  []string // files claimed by the flush (writes)
-	arenas [][]byte // snapshotted staging arenas, returned at Wait
-	done   sim.Time // flush completion on the forked timeline
-	err    error    // flush error, surfaced by Wait
-	waited bool
+	s        *SDM
+	seq      int64    // issue order, breaking completion-time ties
+	timestep int64    // the epoch's timestep, for diagnostics
+	files    []string // files claimed by the flush (writes)
+	arenas   [][]byte // staging arenas owned by the in-flight flush
+	done     sim.Time // flush completion on the forked timeline
+	err      error    // flush error, surfaced by Wait
+	waited   bool
+}
+
+// newToken allocates a token for a flush of the given timestep.
+func (s *SDM) newToken(timestep int64) *StepToken {
+	s.tokenSeq++
+	return &StepToken{s: s, seq: s.tokenSeq, timestep: timestep}
 }
 
 // Wait joins the asynchronous flush: the rank's clock advances to the
@@ -51,22 +68,14 @@ func (t *StepToken) Wait() error {
 		return fmt.Errorf("core: Wait called twice on a step token")
 	}
 	t.waited = true
-	t.s.env.Comm.Clock().AdvanceTo(t.done)
+	// Bookkeeping first, unconditionally: the file claims, the token
+	// registration, and the arena ownership are all released before the
+	// flush error is surfaced, so a failed flush never leaves files
+	// claimed in the pending registry.
 	for _, f := range t.files {
 		if t.s.pending[f] == t {
 			delete(t.s.pending, f)
 		}
-	}
-	for i, g := range t.groups {
-		if g.pending == t {
-			g.pending = nil
-		}
-		// Return the snapshotted arena unless a newer epoch already grew
-		// its own.
-		if g.ep.arena == nil {
-			g.ep.arena = t.arenas[i]
-		}
-		t.arenas[i] = nil
 	}
 	for i, tok := range t.s.tokens {
 		if tok == t {
@@ -74,23 +83,105 @@ func (t *StepToken) Wait() error {
 			break
 		}
 	}
+	for i, a := range t.arenas {
+		t.s.putArena(a)
+		t.arenas[i] = nil
+	}
+	t.s.env.Comm.Clock().AdvanceTo(t.done)
 	return t.err
 }
 
 // Done reports whether Wait has been called.
 func (t *StepToken) Done() bool { return t.waited }
 
-// claimPutFiles verifies no queued put lands in a file with an
-// outstanding asynchronous flush and appends the epoch's distinct
-// target files to tok.files, claiming them in the manager's pending
-// registry. Claims are released at Wait.
+// Timestep reports the timestep of the epoch this token flushed.
+func (t *StepToken) Timestep() int64 { return t.timestep }
+
+// waitEarliest joins the outstanding token with the earliest completion
+// time (ties broken by issue order: s.tokens is kept in issue order, so
+// the first token at the earliest completion has the lowest seq).
+// Joining in completion order — not issue order — matters because a
+// join releases resources: the flushed files reopen for new epochs and
+// the staging arenas return to the pool at the virtual time their flush
+// actually finished.
+func (s *SDM) waitEarliest() error {
+	earliest := s.tokens[0].done
+	for _, tok := range s.tokens[1:] {
+		earliest = sim.MinTime(earliest, tok.done)
+	}
+	for _, tok := range s.tokens {
+		if tok.done == earliest {
+			return tok.Wait()
+		}
+	}
+	return nil // unreachable: earliest is one of the tokens' times
+}
+
+// drainToDepth joins outstanding flushes in completion order until at
+// most max remain, returning the first flush error encountered (the
+// drain itself always completes).
+func (s *SDM) drainToDepth(max int) error {
+	var firstErr error
+	for len(s.tokens) > max {
+		if err := s.waitEarliest(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DrainSteps waits every outstanding asynchronous step flush in
+// completion order and returns the first flush error. Applications
+// that pipeline without keeping tokens (relying on StepPipelineDepth)
+// call it at measurement barriers; Finalize calls it implicitly.
+// Local, like Wait.
+func (s *SDM) DrainSteps() error { return s.drainToDepth(0) }
+
+// admitFlush makes room in the pipeline for one more in-flight flush.
+// Under WaitConflicts the earliest-completing outstanding tokens are
+// implicitly joined down to StepPipelineDepth-1; under ErrorOnConflict
+// tokens are managed explicitly by the application (historical
+// semantics), so the depth bound does not drain anything.
+func (s *SDM) admitFlush() error {
+	if s.opts.WaitPolicy == ErrorOnConflict {
+		return nil
+	}
+	return s.drainToDepth(s.opts.StepPipelineDepth - 1)
+}
+
+// claimFile records tok as the in-flight flush owning file in the
+// per-file dependency registry. An outstanding conflicting token is
+// implicitly waited (WaitConflicts) or reported loudly
+// (ErrorOnConflict). Two groups writing one file within a single
+// cross-group step is always an error: the conflict is inside the
+// epoch itself, so there is no token to wait on.
+func (s *SDM) claimFile(file string, tok *StepToken) error {
+	for {
+		other := s.pending[file]
+		if other == nil {
+			s.pending[file] = tok
+			return nil
+		}
+		if other == tok {
+			return fmt.Errorf("core: cross-group step writes %q from two groups in one epoch", file)
+		}
+		if s.opts.WaitPolicy == ErrorOnConflict {
+			return fmt.Errorf("core: step flush would overlap the outstanding async flush of %q; Wait on its token first", file)
+		}
+		if err := other.Wait(); err != nil {
+			return fmt.Errorf("core: implicit wait on the outstanding flush of %q: %w", file, err)
+		}
+	}
+}
+
+// claimPutFiles appends the epoch's distinct target files to tok.files
+// and claims each in the manager's per-file registry, resolving
+// conflicts with outstanding flushes per the wait policy. Claims are
+// released at Wait (or by release on a failed EndStepAsync).
 func (g *Group) claimPutFiles(tok *StepToken) error {
 	start := len(tok.files)
 	for i := range g.ep.puts {
 		file := g.fileFor(g.attrs[g.ep.puts[i].di].Name, g.ep.timestep)
-		if other := g.s.pending[file]; other != nil && other != tok {
-			return fmt.Errorf("core: step flush would overlap the outstanding async flush of %q; Wait on its token first", file)
-		}
 		dup := false
 		for _, f := range tok.files[start:] {
 			if f == file {
@@ -103,26 +194,27 @@ func (g *Group) claimPutFiles(tok *StepToken) error {
 		}
 	}
 	for _, f := range tok.files[start:] {
-		if other := g.s.pending[f]; other != nil {
-			if other == tok {
-				return fmt.Errorf("core: cross-group step writes %q from two groups in one epoch", f)
-			}
-			return fmt.Errorf("core: step flush would overlap the outstanding async flush of %q; Wait on its token first", f)
+		if err := g.s.claimFile(f, tok); err != nil {
+			return err
 		}
-		g.s.pending[f] = tok
 	}
 	return nil
 }
 
-// adopt records that tok flushed g's epoch: the group is blocked from
-// opening a new epoch until Wait, and the staging arena moves into the
-// token (snapshot, not borrow) so a later epoch cannot scribble an
-// in-flight flush's buffers.
+// adopt moves the group's staging arenas into the token: an in-flight
+// flush owns the buffers its collectives were staged through until
+// Wait returns them to the manager's pool, so a later epoch stages
+// through a fresh (pooled) arena instead of scribbling over an
+// in-flight flush's memory.
 func (tok *StepToken) adopt(g *Group) {
-	tok.groups = append(tok.groups, g)
-	tok.arenas = append(tok.arenas, g.ep.arena)
-	g.ep.arena = nil
-	g.pending = tok
+	if g.ep.arena != nil {
+		tok.arenas = append(tok.arenas, g.ep.arena)
+		g.ep.arena = nil
+	}
+	if g.ep.readArena != nil {
+		tok.arenas = append(tok.arenas, g.ep.readArena)
+		g.ep.readArena = nil
+	}
 }
 
 // release undoes a token's claims when EndStepAsync fails before the
@@ -140,9 +232,13 @@ func (tok *StepToken) release() {
 // rank must call it, like EndStep), but the cost lands on a forked
 // sub-timeline and the caller's clock stays put, so subsequent
 // computation overlaps the flush in virtual time. The returned token's
-// Wait joins the completion and reports flush errors. The caller's Put
-// slices may be reused as soon as EndStepAsync returns (the arena
-// snapshot happened); Get results are valid only after Wait.
+// Wait joins the completion and reports flush errors; alternatively the
+// pipeline bounds itself — when Options.StepPipelineDepth flushes are
+// already in flight, the earliest-completing ones are joined here
+// before the new flush issues. The caller's Put slices may be reused as
+// soon as EndStepAsync returns (the arena snapshot happened); Get
+// results are valid only after Wait. A flush error surfaced by an
+// implicit join cancels the epoch and is returned here.
 func (g *Group) EndStepAsync() (*StepToken, error) {
 	if !g.ep.open {
 		return nil, fmt.Errorf("core: EndStepAsync without an open BeginStep epoch")
@@ -150,7 +246,21 @@ func (g *Group) EndStepAsync() (*StepToken, error) {
 	if g.ep.managed {
 		return nil, fmt.Errorf("core: group epoch is owned by a Manager-level step; close it with the Manager's EndStep")
 	}
-	tok := &StepToken{s: g.s}
+	if len(g.ep.puts) == 0 && len(g.ep.gets) == 0 {
+		// An empty epoch costs nothing: no flush to issue, no files to
+		// claim, and — critically — no reason to drain the pipeline, so
+		// outstanding flushes keep overlapping. The returned token is
+		// already complete; Wait is a no-op.
+		tok := g.s.newToken(g.ep.timestep)
+		tok.done = g.s.env.Comm.Clock().Now()
+		g.cancelStep()
+		return tok, nil
+	}
+	if err := g.s.admitFlush(); err != nil {
+		g.cancelStep()
+		return nil, err
+	}
+	tok := g.s.newToken(g.ep.timestep)
 	if err := g.claimPutFiles(tok); err != nil {
 		tok.release()
 		g.cancelStep()
@@ -181,7 +291,9 @@ func (g *Group) EndStepAsync() (*StepToken, error) {
 // Group.BeginStep. Dataset Puts and Gets queue into their own group's
 // epoch as usual; the Manager's EndStep (or EndStepAsync) then flushes
 // all groups in one rendezvous with a single execution-table batch.
-// Collective; every rank must open and close the same manager steps.
+// Asynchronous flushes from earlier steps may still be outstanding;
+// they are joined per file at flush time. Collective; every rank must
+// open and close the same manager steps.
 func (s *SDM) BeginStep(timestep int64) error {
 	if s.step.open {
 		return fmt.Errorf("core: Manager BeginStep(%d) with step %d already open", timestep, s.step.timestep)
@@ -189,9 +301,6 @@ func (s *SDM) BeginStep(timestep int64) error {
 	for _, g := range s.groups {
 		if g.ep.open {
 			return fmt.Errorf("core: Manager BeginStep(%d) with a group epoch (step %d) already open", timestep, g.ep.timestep)
-		}
-		if g.pending != nil {
-			return fmt.Errorf("core: Manager BeginStep(%d) with an outstanding async step token; Wait on it first", timestep)
 		}
 	}
 	for _, g := range s.groups {
@@ -215,6 +324,17 @@ func (s *SDM) EndStep() error {
 	return tok.Wait()
 }
 
+// cancelManagedStep drops every group epoch owned by the open manager
+// step and closes the step, for EndStepAsync failure paths.
+func (s *SDM) cancelManagedStep() {
+	for _, g := range s.groups {
+		if g.ep.managed {
+			g.cancelStep()
+		}
+	}
+	s.step.open = false
+}
+
 // EndStepAsync closes the Manager-level step and issues the merged
 // flush as a split-collective. The pipeline is the point: each group's
 // staging runs on the main timeline (it is CPU work), every touched
@@ -223,23 +343,37 @@ func (s *SDM) EndStep() error {
 // collectives — and the whole step's execution-table rows are recorded
 // in ONE rank-0 RecordWrites batch at the join. Gets flush after all
 // puts are recorded, their per-file collectives forked the same way.
+// Earlier steps' flushes stay in flight when their files are disjoint;
+// conflicting ones are joined per the wait policy, and the pipeline
+// depth bound drains the earliest completions first.
 func (s *SDM) EndStepAsync() (*StepToken, error) {
 	if !s.step.open {
 		return nil, fmt.Errorf("core: Manager EndStep without an open BeginStep step")
 	}
-	tok := &StepToken{s: s}
+	// An empty step never drains the pipeline (there is nothing to
+	// conflict with); it still runs the rendezvous below, since a
+	// Manager step is collective regardless of what was queued.
+	empty := true
+	for _, g := range s.groups {
+		if g.ep.managed && (len(g.ep.puts) > 0 || len(g.ep.gets) > 0) {
+			empty = false
+			break
+		}
+	}
+	if !empty {
+		if err := s.admitFlush(); err != nil {
+			s.cancelManagedStep()
+			return nil, err
+		}
+	}
+	tok := s.newToken(s.step.timestep)
 	for _, g := range s.groups {
 		if !g.ep.open || !g.ep.managed {
 			continue
 		}
 		if err := g.claimPutFiles(tok); err != nil {
 			tok.release()
-			for _, g := range s.groups {
-				if g.ep.managed {
-					g.cancelStep()
-				}
-			}
-			s.step.open = false
+			s.cancelManagedStep()
 			return nil, err
 		}
 	}

@@ -101,6 +101,41 @@ type Scratch struct{ s ioScratch }
 // collective operations, the MPI norm, are safe).
 func (f *File) UseScratch(sc *Scratch) { f.scratch = &sc.s }
 
+// ScratchPool is a rank-local free list of Scratch bundles for callers
+// that keep several files' collectives in flight at once (an N-deep
+// step pipeline): each open file checks one bundle out and returns it
+// at close, so concurrent per-file collectives from different epochs
+// never share staging buffers, while sequential open/close patterns
+// (the paper's level 1) still reuse one warmed-up bundle. A pool
+// belongs to one rank goroutine; it is not safe for concurrent use.
+type ScratchPool struct{ free []*Scratch }
+
+// Get checks a Scratch out of the pool, allocating a fresh one when
+// the pool is empty.
+func (p *ScratchPool) Get() *Scratch {
+	if n := len(p.free); n > 0 {
+		sc := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return sc
+	}
+	return &Scratch{}
+}
+
+// Put returns a Scratch to the pool. Safe per the ioScratch reuse
+// protocol: a pooled bundle is only touched again inside a collective
+// operation, whose leading rendezvous guarantees every rank holding a
+// reference into the old buffers has finished with them.
+func (p *ScratchPool) Put(sc *Scratch) {
+	if sc != nil {
+		p.free = append(p.free, sc)
+	}
+}
+
+// Size reports how many bundles are pooled (checked in), for tests
+// asserting steady-state reuse.
+func (p *ScratchPool) Size() int { return len(p.free) }
+
 // Open opens name collectively: every rank calls Open and receives its
 // own handle. The initial view is contiguous bytes from offset zero.
 func Open(c *mpi.Comm, sys *pfs.System, name string, mode pfs.Mode, hints Hints) (*File, error) {

@@ -39,6 +39,20 @@ func MaxTime(a, b Time) Time {
 	return b
 }
 
+// MinTime returns the earlier of a and b. Join barriers over several
+// forked sub-timelines use it to drain completions in completion order
+// (earliest done first) rather than issue order: AdvanceTo makes the
+// final clock position order-independent, but resources freed by a
+// join (pooled arenas, released file claims) must become available at
+// the time their flush actually finished, not at the time it happened
+// to be issued.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Clock tracks the virtual time of a single simulated process. A Clock
 // is not safe for concurrent use; each rank owns exactly one.
 type Clock struct {

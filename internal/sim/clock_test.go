@@ -115,6 +115,12 @@ func TestTimeArithmetic(t *testing.T) {
 	if MaxTime(a, b) != b || MaxTime(b, a) != b {
 		t.Fatal("MaxTime did not pick the later time")
 	}
+	if MinTime(a, b) != a || MinTime(b, a) != a {
+		t.Fatal("MinTime did not pick the earlier time")
+	}
+	if MinTime(a, a) != a || MaxTime(b, b) != b {
+		t.Fatal("Min/MaxTime not idempotent on equal times")
+	}
 }
 
 func TestResourceSerializes(t *testing.T) {

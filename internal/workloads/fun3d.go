@@ -324,6 +324,7 @@ type Fig6Stats struct {
 	FileViews  int64
 	WriteReqs  int64
 	WriteSteps int
+	Depth      int // step-pipeline depth the run used
 }
 
 // WriteReadBandwidth reproduces Figure 6's experiment: after
@@ -338,19 +339,47 @@ func (f *FUN3D) WriteReadBandwidth(cl *sdm.Cluster, level sdm.FileOrganization, 
 // WriteReadBandwidthHints is WriteReadBandwidth with explicit MPI-IO
 // hints, the knob the collective-vs-independent ablation turns.
 func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganization, steps int, hints sdm.Hints) (*Fig6Stats, error) {
+	return f.fig6Run(cl, level, steps, hints, 1, true)
+}
+
+// PipelineWriteBandwidth streams `steps` file-per-timestep checkpoints
+// back-to-back with up to `depth` asynchronous step flushes in flight
+// (Options.StepPipelineDepth over the level-1 layout): consecutive
+// steps write disjoint files, so per-file dependency tracking lets the
+// next checkpoint's collectives overlap the previous ones' I/O in
+// virtual time. Depth 1 reproduces the classic one-outstanding-flush
+// schedule; the sdmbench `pipeline` experiment sweeps the depth.
+func (f *FUN3D) PipelineWriteBandwidth(cl *sdm.Cluster, steps, depth int) (*Fig6Stats, error) {
+	return f.fig6Run(cl, sdm.Level1, steps, sdm.Hints{}, depth, false)
+}
+
+// fig6Run is the shared body beneath the Figure-6 bandwidth runs and
+// the pipeline experiment: write `steps` cross-group checkpoints under
+// the given organization and pipeline depth, then optionally read
+// everything back.
+func (f *FUN3D) fig6Run(cl *sdm.Cluster, level sdm.FileOrganization, steps int, hints sdm.Hints, depth int, readBack bool) (*Fig6Stats, error) {
+	return f.fig6RunMode(cl, level, steps, hints, depth, readBack, false)
+}
+
+// fig6RunMode additionally selects fully synchronous step closes
+// (EndStep instead of the pipelined EndStepAsync), the reference the
+// depth-1 differential test pins the pipeline against.
+func (f *FUN3D) fig6RunMode(cl *sdm.Cluster, level sdm.FileOrganization, steps int, hints sdm.Hints, depth int, readBack, syncEnd bool) (*Fig6Stats, error) {
 	partVec, err := f.PartVec(cl.Procs())
 	if err != nil {
 		return nil, err
 	}
 	nNodes := int64(f.Mesh.NumNodes())
 	bigN := 5 * nNodes
-	stats := &Fig6Stats{Level: level, WriteSteps: steps}
+	stats := &Fig6Stats{Level: level, WriteSteps: steps, Depth: depth}
 	var mu sync.Mutex
 	statsBefore := cl.FS.Stats()
 	filesBefore := len(cl.FS.List())
 
 	err = cl.Run(func(p *sdm.Proc) {
-		s, err := p.Initialize("fun3d", sdm.Options{Organization: level, Hints: hints})
+		s, err := p.Initialize("fun3d", sdm.Options{
+			Organization: level, Hints: hints, StepPipelineDepth: depth,
+		})
 		if err != nil {
 			panic(err)
 		}
@@ -413,18 +442,16 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 		// Each timestep is one Manager-level cross-group epoch: group A's
 		// four datasets and group B's flux merge into a single rendezvous
 		// (one execution-table batch, the two files' collectives forked
-		// concurrently), and the flush is issued as a split-collective
-		// whose wait lands just before the next step — the paper's async
-		// history-write pattern generalized to the checkpoint stream.
+		// concurrently), and the flush is issued as a split-collective.
+		// Tokens are managed by the pipeline itself: EndStepAsync keeps
+		// up to StepPipelineDepth flushes in flight, implicitly joining
+		// the earliest completions (and any same-file conflict) — at
+		// depth 1 this reproduces the classic wait-before-next-step
+		// schedule bit-identically, while file-per-timestep layouts
+		// stream checkpoints back-to-back at depth >= 2.
 		p.Comm.Barrier()
 		t0 := p.Comm.Now()
-		var tok *sdm.StepToken
 		for ts := 0; ts < steps; ts++ {
-			if tok != nil {
-				if err := tok.Wait(); err != nil {
-					panic(err)
-				}
-			}
 			if err := s.BeginStep(int64(ts * 10)); err != nil {
 				panic(err)
 			}
@@ -436,32 +463,35 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 			if err := flux.Put(bufB); err != nil {
 				panic(err)
 			}
-			var err error
-			if tok, err = s.EndStepAsync(); err != nil {
+			if syncEnd {
+				if err := s.EndStep(); err != nil {
+					panic(err)
+				}
+			} else if _, err := s.EndStepAsync(); err != nil {
 				panic(err)
 			}
 		}
-		if tok != nil {
-			if err := tok.Wait(); err != nil {
-				panic(err)
-			}
+		if err := s.DrainSteps(); err != nil {
+			panic(err)
 		}
 		p.Comm.Barrier()
 		t1 := p.Comm.Now()
-		for ts := 0; ts < steps; ts++ {
-			if err := s.BeginStep(int64(ts * 10)); err != nil {
-				panic(err)
-			}
-			for _, d := range dsA {
-				if err := d.Get(readA); err != nil {
+		if readBack {
+			for ts := 0; ts < steps; ts++ {
+				if err := s.BeginStep(int64(ts * 10)); err != nil {
 					panic(err)
 				}
-			}
-			if err := flux.Get(readB); err != nil {
-				panic(err)
-			}
-			if err := s.EndStep(); err != nil {
-				panic(err)
+				for _, d := range dsA {
+					if err := d.Get(readA); err != nil {
+						panic(err)
+					}
+				}
+				if err := flux.Get(readB); err != nil {
+					panic(err)
+				}
+				if err := s.EndStep(); err != nil {
+					panic(err)
+				}
 			}
 		}
 		p.Comm.Barrier()
@@ -474,7 +504,9 @@ func (f *FUN3D) WriteReadBandwidthHints(cl *sdm.Cluster, level sdm.FileOrganizat
 			mu.Lock()
 			stats.TotalMB = totalBytes / 1e6
 			stats.WriteMBps = totalBytes / 1e6 / writeSec
-			stats.ReadMBps = totalBytes / 1e6 / readSec
+			if readBack {
+				stats.ReadMBps = totalBytes / 1e6 / readSec
+			}
 			mu.Unlock()
 		}
 	})

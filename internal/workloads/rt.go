@@ -180,7 +180,6 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 
 		p.Comm.Barrier()
 		t0 := p.Comm.Now()
-		var tok *sdm.StepToken
 		for ts := 0; ts < steps; ts++ {
 			tm := float64(ts) * 0.5
 			nodeFull := r.RT.NodeDataset(tm)
@@ -216,12 +215,10 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 				// One cross-group step per checkpoint: the node and
 				// triangle datasets (two files) flush in one rendezvous,
 				// issued async so the next checkpoint's data assembly
-				// overlaps the outstanding flush.
-				if tok != nil {
-					if err := tok.Wait(); err != nil {
-						panic(err)
-					}
-				}
+				// overlaps the outstanding flush. The pipeline manages
+				// the tokens: EndStepAsync joins the previous flush
+				// implicitly (depth 1), so checkpoints stream without
+				// explicit token plumbing.
 				if err := s.BeginStep(int64(ts)); err != nil {
 					panic(err)
 				}
@@ -231,14 +228,13 @@ func (r *RTWorkload) WriteBandwidth(cl *sdm.Cluster, mode RTMode) (*RTStats, err
 				if err := triDS.Put(triLocal); err != nil {
 					panic(err)
 				}
-				var err error
-				if tok, err = s.EndStepAsync(); err != nil {
+				if _, err := s.EndStepAsync(); err != nil {
 					panic(err)
 				}
 			}
 		}
-		if tok != nil {
-			if err := tok.Wait(); err != nil {
+		if mode != RTOriginal {
+			if err := s.DrainSteps(); err != nil {
 				panic(err)
 			}
 		}

@@ -145,6 +145,98 @@ func TestFig6ShapeLevels(t *testing.T) {
 	}
 }
 
+// TestFig6PipelinedDepth1BitIdenticalToSync is the workload-level
+// differential pin: across fig6's levels 1–3, the pipelined loop at
+// depth 1 (implicit joins, DrainSteps tail) must be bit-identical to
+// fully synchronous EndStep closes — per-rank virtual clocks, pfs
+// stats, file bytes, and database query counts.
+func TestFig6PipelinedDepth1BitIdenticalToSync(t *testing.T) {
+	f := smallFUN3D(t)
+	const procs, steps = 8, 3
+	for _, level := range []sdm.FileOrganization{sdm.Level1, sdm.Level2, sdm.Level3} {
+		t.Run(level.String(), func(t *testing.T) {
+			run := func(syncEnd bool) (*sdm.Cluster, *Fig6Stats) {
+				cl := newCluster(procs)
+				if err := f.Stage(cl); err != nil {
+					t.Fatal(err)
+				}
+				st, err := f.fig6RunMode(cl, level, steps, sdm.Hints{}, 1, true, syncEnd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl, st
+			}
+			refCl, refSt := run(true)
+			pipCl, pipSt := run(false)
+			if refSt.WriteMBps != pipSt.WriteMBps || refSt.ReadMBps != pipSt.ReadMBps {
+				t.Fatalf("bandwidths differ: sync %.6f/%.6f, pipelined %.6f/%.6f MB/s",
+					refSt.WriteMBps, refSt.ReadMBps, pipSt.WriteMBps, pipSt.ReadMBps)
+			}
+			for r := 0; r < procs; r++ {
+				if a, b := refCl.World.Comm(r).Now(), pipCl.World.Comm(r).Now(); a != b {
+					t.Fatalf("rank %d virtual clock differs: sync %v, pipelined %v", r, a, b)
+				}
+			}
+			if a, b := refCl.FS.Stats(), pipCl.FS.Stats(); a != b {
+				t.Fatalf("pfs stats differ:\nsync      %+v\npipelined %+v", a, b)
+			}
+			if a, b := refCl.DB.QueryCount(), pipCl.DB.QueryCount(); a != b {
+				t.Fatalf("db query counts differ: sync %d, pipelined %d", a, b)
+			}
+			refFiles, pipFiles := refCl.ListFiles(), pipCl.ListFiles()
+			if len(refFiles) != len(pipFiles) {
+				t.Fatalf("file counts differ: %d vs %d", len(refFiles), len(pipFiles))
+			}
+			for i, name := range refFiles {
+				if pipFiles[i] != name {
+					t.Fatalf("file sets differ at %d: %q vs %q", i, name, pipFiles[i])
+				}
+				a, err := refCl.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := pipCl.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("file %q bytes differ", name)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDepthBeatsDepth1 pins the bench claim at workload scale:
+// on the file-per-timestep layout, depth 2 and 4 must raise simulated
+// write bandwidth over depth 1 by a clear margin (the BENCH_5
+// acceptance bar is 15%).
+func TestPipelineDepthBeatsDepth1(t *testing.T) {
+	f := smallFUN3D(t)
+	const procs, steps = 8, 6
+	bw := func(depth int) float64 {
+		cl := newCluster(procs)
+		if err := f.Stage(cl); err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.PipelineWriteBandwidth(cl, steps, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Depth != depth || st.Level != sdm.Level1 {
+			t.Fatalf("pipeline run misconfigured: %+v", st)
+		}
+		return st.WriteMBps
+	}
+	d1, d2, d4 := bw(1), bw(2), bw(4)
+	if d2 < d1*1.15 {
+		t.Fatalf("depth 2 write %.1f MB/s not >= 15%% over depth 1 %.1f MB/s", d2, d1)
+	}
+	if d4 < d2 {
+		t.Fatalf("depth 4 write %.1f MB/s below depth 2 %.1f MB/s", d4, d2)
+	}
+}
+
 func TestFig7ShapeRT(t *testing.T) {
 	r, err := NewRT(RTConfig{NX: 12, NY: 12, NZ: 12, Steps: 2})
 	if err != nil {

@@ -80,6 +80,20 @@ type (
 	// Hints passes MPI-IO tuning knobs (aggregator count, collective
 	// buffer size, collective on/off) through Options.
 	Hints = mpiio.Hints
+	// WaitPolicy selects how a step flush behaves when it would touch a
+	// file an outstanding asynchronous flush still owns (see Options).
+	WaitPolicy = core.WaitPolicy
+)
+
+// Wait policies for Options.WaitPolicy.
+const (
+	// WaitConflicts (default) implicitly joins just the conflicting
+	// step tokens, so pipelined checkpoint loops need no explicit token
+	// plumbing.
+	WaitConflicts = core.WaitConflicts
+	// ErrorOnConflict fails loudly on any overlap; tokens are managed
+	// explicitly by the application.
+	ErrorOnConflict = core.ErrorOnConflict
 )
 
 // Element types.
@@ -121,6 +135,13 @@ func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
 // Manager.BeginStep/EndStep open cross-group steps that merge every
 // group's epoch into one rendezvous with a single execution-table
 // batch.
+//
+// Flush dependencies are tracked per file: up to
+// Options.StepPipelineDepth tokens stay in flight as long as their
+// target-file sets are disjoint, conflicts implicitly join just the
+// conflicting token (Options.WaitPolicy), and Manager.DrainSteps (or
+// Finalize) joins whatever is still outstanding in completion order —
+// so checkpoint loops can pipeline without holding tokens at all.
 type StepToken = core.StepToken
 
 // Element constrains the Go element types typed dataset handles store:
