@@ -1,10 +1,16 @@
 package sdm
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"sdm/internal/catalog"
@@ -27,10 +33,29 @@ import (
 //
 //	<dir>/MANIFEST.json   format, backend kind, file inventory
 //	<dir>/catalog.db      metadb snapshot (the MySQL stand-in's dump)
+//	<dir>/wal.log         write-ahead log; present only mid-save or
+//	                      after a crash, consumed by recovery
 //	<dir>/data/...        file bytes, under a store backend:
 //	                      "dir" = one host file per simulated file;
 //	                      "cas" = SHA-256-chunked content-addressed
 //	                      pool with dedup and optional compression
+//
+// Saves are crash-consistent: SaveBundle appends intent records (the
+// planned file set, staging names, content hashes, the catalog
+// snapshot) to wal.log and fsyncs them before mutating any data, then
+// stages every object under a scratch name, and only after a sealed
+// commit record is durable promotes the staged objects onto their
+// final names. OpenBundle (and sdmfsck) replays or rolls back the log,
+// so a process killed at any byte offset of a save leaves either the
+// old bundle or the new one — never a hybrid.
+
+// RetryPolicy re-exports store.RetryPolicy: bounded, idempotence-aware
+// retries for bundle backends (see BundleOptions.Retry).
+type RetryPolicy = store.RetryPolicy
+
+// FaultConfig re-exports store.FaultConfig: deterministic seeded fault
+// injection for bundle backends (see BundleOptions.Faults).
+type FaultConfig = store.FaultConfig
 
 // BundleOptions tunes how a bundle stores file bytes.
 type BundleOptions struct {
@@ -42,16 +67,50 @@ type BundleOptions struct {
 	Compress bool
 	// ChunkSize overrides the cas chunk granularity (default 64 KiB).
 	ChunkSize int64
+	// Retry, when non-nil, wraps the bundle's backend in a store.Retry
+	// decorator so transient backend faults (store.ErrUnavailable) are
+	// masked by bounded backoff instead of failing the save or open.
+	Retry *RetryPolicy
+	// Faults, when non-nil, wraps the backend in a store.Faulty fault
+	// injector beneath the retry layer — the test/bench hook for
+	// driving the save/open path through torn writes, partial reads,
+	// and transient unavailability.
+	Faults *FaultConfig
+	// DisableWAL saves directly, without the write-ahead log (the
+	// pre-WAL behavior): faster, but a crash mid-save can corrupt the
+	// bundle. Only for benchmarking the WAL's overhead on ephemeral
+	// directories.
+	DisableWAL bool
+
+	// crashFn, set by crash-matrix tests, is called at every WAL
+	// boundary of the save; a non-nil return aborts the save on the
+	// spot, simulating a process killed at that boundary.
+	crashFn func(point string) error
+}
+
+// crash fires the test crash hook at a named WAL boundary.
+func (o *BundleOptions) crash(point string) error {
+	if o.crashFn == nil {
+		return nil
+	}
+	return o.crashFn(point)
 }
 
 const (
 	bundleManifestName = "MANIFEST.json"
 	bundleCatalogName  = "catalog.db"
 	bundleDataDir      = "data"
+	bundleWALName      = "wal.log"
+	// bundleStagePrefix namespaces staged objects inside the backend
+	// during a save. Simulated file names never start with it (they
+	// come from the pfs namespace; the prefix is reserved).
+	bundleStagePrefix = ".wal~"
+	// bundleCatalogStage is the catalog snapshot's host staging file.
+	bundleCatalogStage = "catalog.db.wal"
 )
 
-// bundleManifest is the bundle's self-description, written last so a
-// complete manifest marks a complete bundle.
+// bundleManifest is the bundle's self-description; its atomic rename
+// into place is the last step of a save's apply phase.
 type bundleManifest struct {
 	Format    int          `json:"format"`
 	CreatedAt string       `json:"created_at"`
@@ -66,30 +125,140 @@ type bundleFile struct {
 	Size int64  `json:"size"`
 }
 
-// bundleBackend constructs the byte store for a bundle directory.
-func bundleBackend(dir, kind string, compress bool, chunkSize int64) (store.Backend, error) {
-	dataDir := filepath.Join(dir, bundleDataDir)
-	switch kind {
-	case "dir":
-		return store.NewDir(dataDir)
-	case "cas":
-		return store.OpenCAS(dataDir, store.CASOptions{ChunkSize: chunkSize, Compress: compress})
+// ---------------------------------------------------------------------------
+// Per-directory serialization
+// ---------------------------------------------------------------------------
+
+// Bundle mutations (save, GC, recovery, fsck) on one directory must
+// not interleave: a GC computing its live set from the manifest while
+// a save is staging fresh objects would reclaim the save's data. One
+// mutex per cleaned absolute path serializes them, so the manifest
+// snapshot and the live-set computation happen under the same lock as
+// any racing save.
+var (
+	bundleLocksMu sync.Mutex
+	bundleLocks   = map[string]*sync.Mutex{}
+)
+
+func bundleLock(dir string) *sync.Mutex {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
 	}
-	return nil, fmt.Errorf("sdm: unknown bundle backend %q (want \"dir\" or \"cas\")", kind)
+	key = filepath.Clean(key)
+	bundleLocksMu.Lock()
+	defer bundleLocksMu.Unlock()
+	mu := bundleLocks[key]
+	if mu == nil {
+		mu = &sync.Mutex{}
+		bundleLocks[key] = mu
+	}
+	return mu
 }
 
-// saveBundle copies the cluster's catalog and file bytes into dir.
+// bundleBackend constructs the byte store for a bundle directory,
+// wrapped in the requested fault-injection and retry decorators
+// (injection sits beneath retry, so retries mask injected faults).
+func bundleBackend(dir, kind string, compress bool, chunkSize int64, faults *FaultConfig, retry *RetryPolicy) (store.Backend, error) {
+	dataDir := filepath.Join(dir, bundleDataDir)
+	var b store.Backend
+	var err error
+	switch kind {
+	case "dir":
+		// Atomic writes: host-dir objects are staged in temp files and
+		// promoted by fsync + rename at Sync, so host-dir bundles are
+		// torn-write safe even outside the WAL path.
+		b, err = store.NewDirOpts(dataDir, store.DirOptions{AtomicWrites: true})
+	case "cas":
+		b, err = store.OpenCAS(dataDir, store.CASOptions{ChunkSize: chunkSize, Compress: compress})
+	default:
+		return nil, fmt.Errorf("sdm: unknown bundle backend %q (want \"dir\" or \"cas\")", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if faults != nil {
+		b = store.NewFaulty(b, *faults)
+	}
+	if retry != nil {
+		b = store.WithRetry(b, *retry)
+	}
+	return b, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renamed entries inside it are durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func sha256hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+// saveBundle copies the cluster's catalog and file bytes into dir,
+// crash-consistently unless opts.DisableWAL.
 func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if opts.Backend == "" {
 		opts.Backend = "dir"
 	}
+	mu := bundleLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("sdm: creating bundle dir: %w", err)
 	}
-	b, err := bundleBackend(dir, opts.Backend, opts.Compress, opts.ChunkSize)
+	// Finish or roll back a predecessor's interrupted save before
+	// touching anything.
+	if err := recoverBundleLocked(dir, nil); err != nil {
+		return fmt.Errorf("sdm: recovering interrupted save: %w", err)
+	}
+	b, err := bundleBackend(dir, opts.Backend, opts.Compress, opts.ChunkSize, opts.Faults, opts.Retry)
 	if err != nil {
 		return err
 	}
+
+	// Snapshot the cluster: file bytes and the catalog dump, hashed so
+	// the WAL's intent records pin content, not just names.
+	//
+	// List through the backend directly so namespace errors surface
+	// (pfs.List's no-error signature would silently read as an empty
+	// cluster — and the stale-object sweep must never run on a
+	// spuriously empty listing).
+	names, err := cl.FS.Backend().List()
+	if err != nil {
+		return fmt.Errorf("sdm: listing cluster files: %w", err)
+	}
+	plan := make([]bundlePlanEntry, 0, len(names))
 	m := bundleManifest{
 		Format:    1,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
@@ -97,36 +266,149 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 		Compress:  opts.Compress,
 		ChunkSize: opts.ChunkSize,
 	}
-	// List through the backend directly so namespace errors surface
-	// (pfs.List's no-error signature would silently read as an empty
-	// cluster — and the stale-object sweep below must never run on a
-	// spuriously empty listing).
-	names, err := cl.FS.Backend().List()
-	if err != nil {
-		return fmt.Errorf("sdm: listing cluster files: %w", err)
-	}
-	want := make(map[string]bool)
 	for _, name := range names {
 		data, err := cl.FS.ReadFile(name)
 		if err != nil {
 			return fmt.Errorf("sdm: reading %q for bundle: %w", name, err)
 		}
-		// Replace any object a previous save left, so re-saving into
-		// one directory is incremental (cas reuses unchanged chunks).
-		if _, err := b.Stat(name); err == nil {
-			if err := b.Remove(name); err != nil {
-				return fmt.Errorf("sdm: replacing %q in bundle: %w", name, err)
+		plan = append(plan, bundlePlanEntry{name: name, data: data})
+		m.Files = append(m.Files, bundleFile{Name: name, Size: int64(len(data))})
+	}
+	var catBuf bytes.Buffer
+	if err := cl.DB.Save(&catBuf); err != nil {
+		return fmt.Errorf("sdm: saving bundle catalog: %w", err)
+	}
+	manifestJSON, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	manifestJSON = append(manifestJSON, '\n')
+
+	if opts.DisableWAL {
+		return saveDirect(dir, b, plan, catBuf.Bytes(), manifestJSON)
+	}
+
+	// Intent phase: every record describing the new bundle is durable
+	// in the log before a single data byte moves.
+	w, err := store.CreateWAL(filepath.Join(dir, bundleWALName))
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := w.Append(store.WALBegin, store.WALBeginRecord{
+		Format: 1, Backend: opts.Backend, Compress: opts.Compress, ChunkSize: opts.ChunkSize,
+	}); err != nil {
+		return err
+	}
+	if err := opts.crash("wal-begin"); err != nil {
+		return err
+	}
+	puts := make([]store.WALPutRecord, len(plan))
+	for i, e := range plan {
+		puts[i] = store.WALPutRecord{
+			Name:   e.name,
+			Stage:  bundleStagePrefix + e.name,
+			Size:   int64(len(e.data)),
+			SHA256: sha256hex(e.data),
+		}
+		if err := w.Append(store.WALPut, puts[i]); err != nil {
+			return err
+		}
+		if err := opts.crash("wal-put:" + e.name); err != nil {
+			return err
+		}
+	}
+	if err := w.Append(store.WALCatalog, store.WALCatalogRecord{
+		Stage: bundleCatalogStage, SHA256: sha256hex(catBuf.Bytes()),
+	}); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := opts.crash("wal-intents-synced"); err != nil {
+		return err
+	}
+
+	// Staging phase: all data lands under scratch names; the old
+	// bundle's objects are never touched.
+	for i, e := range plan {
+		if _, err := b.Stat(puts[i].Stage); err == nil {
+			if err := b.Remove(puts[i].Stage); err != nil {
+				return fmt.Errorf("sdm: clearing stale stage %q: %w", puts[i].Stage, err)
 			}
 		}
-		obj, err := b.Create(name)
+		obj, err := b.Create(puts[i].Stage)
 		if err != nil {
-			return fmt.Errorf("sdm: storing %q in bundle: %w", name, err)
+			return fmt.Errorf("sdm: staging %q in bundle: %w", e.name, err)
 		}
-		if _, err := obj.WriteAt(data, 0); err != nil {
-			return fmt.Errorf("sdm: storing %q in bundle: %w", name, err)
+		if len(e.data) > 0 {
+			if _, err := obj.WriteAt(e.data, 0); err != nil {
+				return fmt.Errorf("sdm: staging %q in bundle: %w", e.name, err)
+			}
 		}
-		want[name] = true
-		m.Files = append(m.Files, bundleFile{Name: name, Size: int64(len(data))})
+		if err := opts.crash("stage:" + e.name); err != nil {
+			return err
+		}
+	}
+	if err := writeFileSync(filepath.Join(dir, bundleCatalogStage), catBuf.Bytes()); err != nil {
+		return fmt.Errorf("sdm: staging bundle catalog: %w", err)
+	}
+	if err := opts.crash("stage-catalog"); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("sdm: syncing staged bundle data: %w", err)
+	}
+	if err := opts.crash("data-synced"); err != nil {
+		return err
+	}
+
+	// Commit point: once the sealed record is durable, recovery rolls
+	// this save forward; before it, recovery rolls it back.
+	if err := w.Append(store.WALCommit, store.WALCommitRecord{Manifest: manifestJSON}); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := opts.crash("wal-committed"); err != nil {
+		return err
+	}
+	if err := applyWAL(dir, b, puts, bundleCatalogStage, manifestJSON, opts.crashFn); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// bundlePlanEntry is one file of a save's snapshot.
+type bundlePlanEntry struct {
+	name string
+	data []byte
+}
+
+// saveDirect is the WAL-less save (opts.DisableWAL): the pre-WAL
+// behavior kept for benchmarking the durability tax.
+func saveDirect(dir string, b store.Backend, plan []bundlePlanEntry, catBytes, manifestJSON []byte) error {
+	want := make(map[string]bool, len(plan))
+	for _, e := range plan {
+		// Replace any object a previous save left, so re-saving into
+		// one directory is incremental (cas reuses unchanged chunks).
+		if _, err := b.Stat(e.name); err == nil {
+			if err := b.Remove(e.name); err != nil {
+				return fmt.Errorf("sdm: replacing %q in bundle: %w", e.name, err)
+			}
+		}
+		obj, err := b.Create(e.name)
+		if err != nil {
+			return fmt.Errorf("sdm: storing %q in bundle: %w", e.name, err)
+		}
+		if len(e.data) > 0 {
+			if _, err := obj.WriteAt(e.data, 0); err != nil {
+				return fmt.Errorf("sdm: storing %q in bundle: %w", e.name, err)
+			}
+		}
+		want[e.name] = true
 	}
 	// Drop objects from a previous save that no longer exist.
 	existing, err := b.List()
@@ -141,27 +423,234 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if err := b.Sync(); err != nil {
 		return fmt.Errorf("sdm: syncing bundle data: %w", err)
 	}
-	cf, err := os.Create(filepath.Join(dir, bundleCatalogName))
-	if err != nil {
-		return err
-	}
-	if err := cl.DB.Save(cf); err != nil {
-		cf.Close()
-		return fmt.Errorf("sdm: saving bundle catalog: %w", err)
-	}
-	if err := cf.Close(); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(&m, "", " ")
-	if err != nil {
+	if err := os.WriteFile(filepath.Join(dir, bundleCatalogName), catBytes, 0o644); err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, bundleManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(tmp, manifestJSON, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, bundleManifestName))
 }
+
+// ---------------------------------------------------------------------------
+// Apply / recovery
+// ---------------------------------------------------------------------------
+
+// applyWAL is the roll-forward half of the protocol, run by the save
+// itself after its commit record and re-run verbatim by recovery after
+// a crash. Every step is idempotent: staged objects still present are
+// promoted by rename; already-promoted objects are verified in place;
+// sweeps ignore what is already gone.
+func applyWAL(dir string, b store.Backend, puts []store.WALPutRecord, catStage string, manifestJSON []byte, crashFn func(string) error) error {
+	crash := func(point string) error {
+		if crashFn == nil {
+			return nil
+		}
+		return crashFn(point)
+	}
+	want := make(map[string]bool, len(puts))
+	for _, p := range puts {
+		want[p.Name] = true
+		if _, err := b.Stat(p.Stage); err == nil {
+			if err := b.Rename(p.Stage, p.Name); err != nil {
+				return fmt.Errorf("sdm: promoting %q: %w", p.Name, err)
+			}
+		} else {
+			// Promoted by an earlier apply pass; verify it landed whole.
+			sz, err := b.Stat(p.Name)
+			if err != nil {
+				return fmt.Errorf("sdm: bundle apply: %q neither staged nor promoted: %w", p.Name, err)
+			}
+			if sz != p.Size {
+				return fmt.Errorf("sdm: bundle apply: %q has size %d, wal intent says %d", p.Name, sz, p.Size)
+			}
+		}
+		if err := crash("apply-rename:" + p.Name); err != nil {
+			return err
+		}
+	}
+	// Sweep objects the new manifest does not name (and any stray
+	// staged leftovers).
+	existing, err := b.List()
+	if err != nil {
+		return fmt.Errorf("sdm: listing bundle contents: %w", err)
+	}
+	for _, name := range existing {
+		if !want[name] {
+			if err := b.Remove(name); err != nil && !errors.Is(err, store.ErrNotExist) {
+				return fmt.Errorf("sdm: sweeping stale %q: %w", name, err)
+			}
+		}
+	}
+	if err := crash("apply-sweep"); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("sdm: syncing bundle data: %w", err)
+	}
+	if err := crash("apply-data-synced"); err != nil {
+		return err
+	}
+	// Promote the catalog snapshot, then the manifest — the bundle's
+	// commit into the namespace of ordinary readers.
+	catPath := filepath.Join(dir, bundleCatalogName)
+	stagePath := filepath.Join(dir, catStage)
+	if _, err := os.Stat(stagePath); err == nil {
+		if err := os.Rename(stagePath, catPath); err != nil {
+			return err
+		}
+	} else if _, err := os.Stat(catPath); err != nil {
+		return fmt.Errorf("sdm: bundle apply: catalog neither staged nor promoted: %w", err)
+	}
+	if err := crash("apply-catalog"); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, bundleManifestName+".tmp")
+	if err := writeFileSync(tmp, manifestJSON); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, bundleManifestName)); err != nil {
+		return err
+	}
+	if err := crash("apply-manifest"); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return os.Remove(filepath.Join(dir, bundleWALName))
+}
+
+// rollbackWAL undoes an uncommitted save: staged objects and the
+// staged catalog are deleted; the old bundle was never touched.
+func rollbackWAL(dir string, haveBegin bool, begin store.WALBeginRecord, catStage string) error {
+	kind, compress, chunkSize := begin.Backend, begin.Compress, begin.ChunkSize
+	if !haveBegin {
+		// A log torn before its begin record survived names no backend,
+		// but the save may still have staged objects (the log could have
+		// been torn by corruption, not just an early kill). Learn the
+		// backend from the previous manifest, or failing that from the
+		// data dir's shape — a cas root carries objects.json.
+		if raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName)); err == nil {
+			var m bundleManifest
+			if json.Unmarshal(raw, &m) == nil && m.Backend != "" {
+				kind, compress, chunkSize = m.Backend, m.Compress, m.ChunkSize
+			}
+		}
+		if kind == "" {
+			if _, err := os.Stat(filepath.Join(dir, bundleDataDir, "objects.json")); err == nil {
+				kind = "cas"
+			} else {
+				kind = "dir"
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, bundleDataDir)); err == nil {
+		b, err := bundleBackend(dir, kind, compress, chunkSize, nil, nil)
+		if err != nil {
+			return err
+		}
+		names, err := b.List()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if strings.HasPrefix(name, bundleStagePrefix) {
+				if err := b.Remove(name); err != nil && !errors.Is(err, store.ErrNotExist) {
+					return err
+				}
+			}
+		}
+		if err := b.Sync(); err != nil {
+			return err
+		}
+	}
+	if catStage != "" {
+		if err := os.Remove(filepath.Join(dir, catStage)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return os.Remove(filepath.Join(dir, bundleWALName))
+}
+
+// recoverBundleLocked replays or rolls back an interrupted save.
+// Callers hold the bundle lock. rep, when non-nil, records what
+// happened for fsck reporting.
+func recoverBundleLocked(dir string, rep *FsckReport) error {
+	walPath := filepath.Join(dir, bundleWALName)
+	if _, err := os.Stat(walPath); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	recs, sealed, err := store.ReadWAL(walPath)
+	if err != nil {
+		return err
+	}
+	var begin store.WALBeginRecord
+	haveBegin := false
+	var puts []store.WALPutRecord
+	catStage := bundleCatalogStage
+	var manifestJSON []byte
+	for _, r := range recs {
+		switch r.Type {
+		case store.WALBegin:
+			if err := r.Decode(&begin); err != nil {
+				return err
+			}
+			haveBegin = true
+		case store.WALPut:
+			var p store.WALPutRecord
+			if err := r.Decode(&p); err != nil {
+				return err
+			}
+			puts = append(puts, p)
+		case store.WALCatalog:
+			var c store.WALCatalogRecord
+			if err := r.Decode(&c); err != nil {
+				return err
+			}
+			catStage = c.Stage
+		case store.WALCommit:
+			var c store.WALCommitRecord
+			if err := r.Decode(&c); err != nil {
+				return err
+			}
+			manifestJSON = c.Manifest
+		}
+	}
+	if !sealed || manifestJSON == nil {
+		if rep != nil {
+			rep.WALAction = "rolled-back"
+		}
+		return rollbackWAL(dir, haveBegin, begin, catStage)
+	}
+	if rep != nil {
+		rep.WALAction = "rolled-forward"
+	}
+	b, err := bundleBackend(dir, begin.Backend, begin.Compress, begin.ChunkSize, nil, nil)
+	if err != nil {
+		return err
+	}
+	return applyWAL(dir, b, puts, catStage, manifestJSON, nil)
+}
+
+// RecoverBundle finishes or rolls back an interrupted SaveBundle in
+// dir: a save that reached its WAL commit point is rolled forward to
+// the new bundle, anything earlier is rolled back to the old one.
+// OpenBundle runs it implicitly; sdmfsck runs it under -repair.
+func RecoverBundle(dir string) error {
+	mu := bundleLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	return recoverBundleLocked(dir, nil)
+}
+
+// ---------------------------------------------------------------------------
+// GC
+// ---------------------------------------------------------------------------
 
 // GCBundle garbage-collects a saved bundle's storage, driven by its
 // manifest: objects the manifest does not name are removed, and for
@@ -169,9 +658,18 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 // verified and on-disk chunk files no live object references (left by
 // an interrupted save) are reclaimed. The bundle's durable state is
 // re-synced afterwards, so a following OpenBundle sees exactly the
-// manifest's files.
+// manifest's files. GC holds the bundle lock for its whole run: the
+// manifest snapshot and the live-set computation are atomic against a
+// racing SaveBundle, so a save's freshly staged objects can never be
+// swept.
 func GCBundle(dir string) (store.GCStats, error) {
 	var st store.GCStats
+	mu := bundleLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := recoverBundleLocked(dir, nil); err != nil {
+		return st, fmt.Errorf("sdm: recovering before gc: %w", err)
+	}
 	raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName))
 	if err != nil {
 		return st, fmt.Errorf("sdm: opening bundle for gc: %w", err)
@@ -184,7 +682,7 @@ func GCBundle(dir string) (store.GCStats, error) {
 	for _, f := range m.Files {
 		live[f.Name] = true
 	}
-	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize)
+	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, nil, nil)
 	if err != nil {
 		return st, err
 	}
@@ -213,8 +711,20 @@ func GCBundle(dir string) (store.GCStats, error) {
 	return st, nil
 }
 
-// openBundle assembles a cluster on a saved bundle's storage.
-func openBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
+// ---------------------------------------------------------------------------
+// Open
+// ---------------------------------------------------------------------------
+
+// openBundle assembles a cluster on a saved bundle's storage, after
+// replaying or rolling back any interrupted save.
+func openBundle(dir string, cfg ClusterConfig, opts BundleOptions) (*Cluster, error) {
+	mu := bundleLock(dir)
+	mu.Lock()
+	if err := recoverBundleLocked(dir, nil); err != nil {
+		mu.Unlock()
+		return nil, fmt.Errorf("sdm: recovering bundle: %w", err)
+	}
+	mu.Unlock()
 	raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("sdm: opening bundle: %w", err)
@@ -226,7 +736,7 @@ func openBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
 	if m.Format != 1 {
 		return nil, fmt.Errorf("sdm: unsupported bundle format %d", m.Format)
 	}
-	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize)
+	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, opts.Faults, opts.Retry)
 	if err != nil {
 		return nil, err
 	}

@@ -186,12 +186,24 @@ func (cl *Cluster) SaveBundleOpts(dir string, opts BundleOptions) error {
 }
 
 // OpenBundle assembles a fresh cluster (new ranks, idle I/O servers)
-// on top of a saved bundle: the metadata catalog is loaded from the
-// bundle's snapshot and the file system serves the bundle's bytes
-// through its storage backend. Options.AttachRun plus Manager.OpenGroup
-// then reopen an earlier run's datasets for reading or appending.
+// on top of a saved bundle: any interrupted save is first rolled
+// forward or back through the write-ahead log, then the metadata
+// catalog is loaded from the bundle's snapshot and the file system
+// serves the bundle's bytes through its storage backend.
+// Options.AttachRun plus Manager.OpenGroup then reopen an earlier
+// run's datasets for reading or appending.
 func OpenBundle(dir string, cfg ClusterConfig) (*Cluster, error) {
-	return openBundle(dir, cfg)
+	return openBundle(dir, cfg, BundleOptions{})
+}
+
+// OpenBundleOpts is OpenBundle with storage-stack decorators: a
+// non-nil opts.Retry wraps the bundle's backend in store.Retry so
+// transient faults are masked on the read path, and opts.Faults
+// injects faults beneath it (tests). The bundle's own format fields
+// (Backend, Compress, ChunkSize) are taken from the saved manifest and
+// ignored here.
+func OpenBundleOpts(dir string, cfg ClusterConfig, opts BundleOptions) (*Cluster, error) {
+	return openBundle(dir, cfg, opts)
 }
 
 // AttachStorage shares another cluster's file system and metadata

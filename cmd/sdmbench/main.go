@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations] [-nx 32]
+//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle] [-nx 32]
 //	         [-rtnx 40] [-procs 64] [-steps 2] [-rtsteps 5] [-pipesteps 8]
 //	         [-json BENCH.json] [-bundle DIR]
 //
@@ -102,7 +102,7 @@ func (bl *benchLog) write(path string) error {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, or all")
+	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, or all")
 	nx := flag.Int("nx", 32, "FUN3D mesh cells per dimension (paper: ~18M edges; 32 => ~245k)")
 	rtnx := flag.Int("rtnx", 40, "RT mesh cells per dimension")
 	procs := flag.Int("procs", 64, "process count for fig5/fig6")
@@ -135,12 +135,15 @@ func main() {
 		runPipeline(*nx, *procs, *pipesteps, bl)
 	case "ablations":
 		runAblations(*nx, *procs, bl)
+	case "bundle":
+		runBundleBench(*nx, *procs, *steps, bl)
 	case "all":
 		runFig5(*nx, *procs, bl)
 		runFig6(*nx, *procs, *steps, bl)
 		runFig7(*rtnx, *rtsteps, bl)
 		runPipeline(*nx, *procs, *pipesteps, bl)
 		runAblations(*nx, *procs, bl)
+		runBundleBench(*nx, *procs, *steps, bl)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -570,4 +573,103 @@ func runAblations(nx, procs int, bl *benchLog) {
 	}
 	w.Flush()
 	fmt.Printf("expected: with expensive opens, level3's advantage over level1 widens sharply\n")
+}
+
+// runBundleBench prices crash consistency: the same fig6-populated
+// cluster is saved as a run bundle with the write-ahead log on (the
+// default, crash-consistent path) and off (the raw pre-WAL path), for
+// both storage backends. The save is host work, not simulated work, so
+// the cost is reported as wall time; the overhead column is the WAL's
+// durability tax.
+func runBundleBench(nx, procs, steps int, bl *benchLog) {
+	fmt.Printf("\n=== Bundle: crash-consistent save cost (WAL on vs off) ===\n")
+	f := newFUN3D(nx)
+	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+	lastCluster = cl
+	if err := f.Stage(cl); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteReadBandwidth(cl, sdm.Level3, steps); err != nil {
+		log.Fatal(err)
+	}
+	var totalMB float64
+	for _, name := range cl.ListFiles() {
+		data, err := cl.ReadFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalMB += float64(len(data)) / 1e6
+	}
+	fmt.Printf("cluster holds %d files, %.1f MB; %d save reps each, best kept\n",
+		len(cl.ListFiles()), totalMB, bundleBenchReps)
+
+	tmp, err := os.MkdirTemp("", "sdmbench-bundle-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	w := table()
+	fmt.Fprintf(w, "backend\tWAL\tsave (ms)\tbundle (MB)\toverhead\n")
+	for _, backend := range []string{"dir", "cas"} {
+		times := map[bool]time.Duration{}
+		for _, wal := range []bool{false, true} {
+			var best time.Duration
+			var allocs uint64
+			var sizeMB float64
+			for rep := 0; rep < bundleBenchReps; rep++ {
+				dir := filepath.Join(tmp, fmt.Sprintf("%s-wal%v-%d", backend, wal, rep))
+				wall, a, err := measure(func() error {
+					return cl.SaveBundleOpts(dir, sdm.BundleOptions{Backend: backend, DisableWAL: !wal})
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if rep == 0 || wall < best {
+					best, allocs = wall, a
+				}
+				sizeMB = dirSizeMB(dir)
+			}
+			times[wal] = best
+			caseName := backend + "-nowal"
+			metrics := map[string]float64{"bundle-MB": sizeMB}
+			if wal {
+				caseName = backend + "-wal"
+				metrics["wal-overhead-pct"] = (float64(best)/float64(times[false]) - 1) * 100
+			}
+			bl.add(benchRecord{
+				Experiment: "bundle", Case: caseName, Workload: "fun3d",
+				Config: map[string]any{"nx": nx, "procs": procs, "steps": steps,
+					"backend": backend, "wal": wal},
+				SimMetrics: metrics,
+				WallNs:     best.Nanoseconds(), AllocsPerOp: allocs,
+			})
+			overhead := "-"
+			if wal {
+				overhead = fmt.Sprintf("%+.1f%%", metrics["wal-overhead-pct"])
+			}
+			fmt.Fprintf(w, "%s\t%v\t%.1f\t%.1f\t%s\n",
+				backend, wal, float64(best.Nanoseconds())/1e6, sizeMB, overhead)
+		}
+	}
+	w.Flush()
+	fmt.Printf("expected: the WAL costs extra fsyncs and a staging pass, not extra data copies —\n" +
+		"overhead tracks the host's sync latency (noisy on shared machines), not data volume;\n" +
+		"bundle sizes must match with and without the WAL\n")
+}
+
+// bundleBenchReps is how many times each bundle save is repeated (the
+// fastest rep is recorded, de-noising host timing).
+const bundleBenchReps = 3
+
+// dirSizeMB totals the on-disk bytes under dir.
+func dirSizeMB(dir string) float64 {
+	var total int64
+	_ = filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return float64(total) / 1e6
 }

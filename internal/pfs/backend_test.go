@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sdm/internal/sim"
 	"sdm/internal/store"
@@ -24,11 +25,29 @@ func TestCostIdenticalAcrossBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A fault-injected backend behind retries must cost the same too:
+	// injection and masking happen in host time, never virtual time, so
+	// sim metrics stay bit-identical to the clean run.
+	faulty := store.NewFaulty(store.NewMem(), store.FaultConfig{
+		Seed:        31,
+		Transient:   0.1,
+		TornWrite:   0.2,
+		PartialRead: 0.2,
+	})
 	backends := map[string]store.Backend{
 		"mem": store.NewMem(),
 		"dir": diskDir,
 		"cas": diskCAS,
+		"faulty-retry": store.WithRetry(faulty, store.RetryPolicy{
+			MaxAttempts: 25,
+			Sleep:       func(time.Duration) {},
+		}),
 	}
+	t.Cleanup(func() {
+		if !t.Failed() && faulty.Stats().Transient == 0 {
+			t.Error("faulty-retry backend saw zero injected faults — cost identity was not exercised")
+		}
+	})
 
 	type outcome struct {
 		now   sim.Time

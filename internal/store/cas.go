@@ -188,6 +188,30 @@ func (c *CAS) Remove(name string) error {
 	return nil
 }
 
+// Rename moves an object to a new name, replacing any existing
+// destination (whose chunk references are released, as Remove would).
+func (c *CAS) Rename(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[oldName]
+	if !ok {
+		return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
+	}
+	if oldName == newName {
+		return nil
+	}
+	if old, ok := c.objs[newName]; ok {
+		for _, ch := range old.chunks {
+			c.deref(ch)
+		}
+		old.chunks, old.size = nil, 0
+	}
+	delete(c.objs, oldName)
+	o.name = newName
+	c.objs[newName] = o
+	return nil
+}
+
 // List returns all object names in lexical order.
 func (c *CAS) List() ([]string, error) {
 	c.mu.Lock()
@@ -549,6 +573,45 @@ func (c *CAS) GC(live func(name string) bool) (GCStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// OrphanChunkFiles counts on-disk chunk files no pool entry references
+// (left by an interrupted save) without removing them — GC's sweep as
+// a dry run, for fsck's verify mode. Memory-only pools report zero.
+func (c *CAS) OrphanChunkFiles() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.root == "" {
+		return 0, nil
+	}
+	orphans := 0
+	dirs, err := os.ReadDir(filepath.Join(c.root, "chunks"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("store: scanning chunk dir: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		sub := filepath.Join(c.root, "chunks", d.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			return orphans, fmt.Errorf("store: scanning %s: %w", sub, err)
+		}
+		for _, f := range files {
+			kb, err := hex.DecodeString(f.Name())
+			if err == nil && len(kb) == sha256.Size {
+				if _, ok := c.pool[chunkKey(kb)]; ok {
+					continue
+				}
+			}
+			orphans++
+		}
+	}
+	return orphans, nil
 }
 
 const casManifestName = "objects.json"

@@ -12,10 +12,17 @@ import (
 
 // backendsUnderTest builds one of every backend flavor, including a
 // cas with a deliberately small chunk size so op sequences cross chunk
-// boundaries, and a disk-rooted compressed cas.
+// boundaries, a disk-rooted compressed cas, an atomic-writes dir, and
+// fault-injected flavors of each family behind a retry layer — the
+// conformance suite demands those behave byte- and error-identically
+// to the clean backends.
 func backendsUnderTest(t *testing.T) map[string]Backend {
 	t.Helper()
 	diskDir, err := NewDir(filepath.Join(t.TempDir(), "dir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomicDir, err := NewDirOpts(filepath.Join(t.TempDir(), "adir"), DirOptions{AtomicWrites: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,12 +30,49 @@ func backendsUnderTest(t *testing.T) map[string]Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Backend{
+	m := map[string]Backend{
 		"mem":          NewMem(),
 		"dir":          diskDir,
+		"dir-atomic":   atomicDir,
 		"cas-mem":      NewCAS(CASOptions{ChunkSize: 512}),
 		"cas-disk-zip": diskCAS,
 	}
+
+	// The op sequences and the injection PRNGs are both seeded, so the
+	// number of injected faults per test is deterministic — the cleanup
+	// assertion below cannot flake, only catch a vacuous configuration.
+	var injected []*Faulty
+	addFaulty := func(name string, inner Backend, seed int64) {
+		f := NewFaulty(inner, FaultConfig{
+			Seed:        seed,
+			Transient:   0.05,
+			TornWrite:   0.1,
+			PartialRead: 0.1,
+			Ops:         allOps(),
+		})
+		injected = append(injected, f)
+		m[name+"-faulty-retry"] = WithRetry(f, RetryPolicy{MaxAttempts: 25, NamespaceOps: true, Sleep: noSleep})
+	}
+	addFaulty("mem", NewMem(), 11)
+	faultyDir, err := NewDir(filepath.Join(t.TempDir(), "fdir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addFaulty("dir", faultyDir, 12)
+	addFaulty("cas-mem", NewCAS(CASOptions{ChunkSize: 512}), 13)
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		var total int64
+		for _, f := range injected {
+			total += f.Stats().Transient
+		}
+		if total == 0 {
+			t.Error("fault-injected flavors saw zero injected faults — conformance coverage is vacuous")
+		}
+	})
+	return m
 }
 
 // TestConformanceScripted runs one fixed op sequence — extending

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -20,33 +21,97 @@ import (
 // is bounded by the number of distinct files ever touched — fine at
 // simulation scale; a descriptor cache would be needed before
 // pointing this at bundles with tens of thousands of files).
+//
+// With DirOptions.AtomicWrites, newly created objects accumulate in a
+// host temp file and are promoted to their real file name by fsync +
+// os.Rename when Sync runs, so a crash mid-save leaves either the old
+// file or the new one — never a torn hybrid. Bundle saves run in this
+// mode; the live pfs path keeps the plain in-place mode (its objects
+// are mutated incrementally over a run, not written once).
 type Dir struct {
-	mu   sync.Mutex
-	root string
+	mu      sync.Mutex
+	root    string
+	atomic  bool
+	pending map[string]*dirObject // created but not yet promoted (atomic mode)
+}
+
+// DirOptions tunes a host-directory backend.
+type DirOptions struct {
+	// AtomicWrites stages every Create in a temp file promoted to its
+	// final name by Sync (fsync + rename), making single-shot writers
+	// like the bundle save path torn-write safe.
+	AtomicWrites bool
 }
 
 // NewDir opens (creating if needed) a directory-backed store rooted at
 // root. Existing files in the directory become the initial namespace.
 func NewDir(root string) (*Dir, error) {
+	return NewDirOpts(root, DirOptions{})
+}
+
+// NewDirOpts is NewDir with explicit options.
+func NewDirOpts(root string, opts DirOptions) (*Dir, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating dir root: %w", err)
 	}
-	return &Dir{root: root}, nil
+	d := &Dir{root: root, atomic: opts.AtomicWrites}
+	if d.atomic {
+		d.pending = make(map[string]*dirObject)
+		// Sweep temp files a crashed predecessor left behind; they were
+		// never promoted, so they belong to no object.
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), dirTempPrefix) {
+				_ = os.Remove(filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	return d, nil
 }
 
 // Kind reports "dir".
 func (d *Dir) Kind() string { return "dir" }
+
+// dirTempPrefix marks unpromoted staging files in atomic mode. It
+// contains a character PathEscape always escapes in object names, so
+// no escaped object name can collide with a temp file.
+const dirTempPrefix = "%tmp%"
 
 // hostPath maps an object name to its file path under the root.
 func (d *Dir) hostPath(name string) string {
 	return filepath.Join(d.root, url.PathEscape(name))
 }
 
-// Create makes an empty object, failing if one exists.
+// tempPath maps an object name to its staging file path.
+func (d *Dir) tempPath(name string) string {
+	return filepath.Join(d.root, dirTempPrefix+url.PathEscape(name))
+}
+
+// Create makes an empty object, failing if one exists. In atomic mode
+// the bytes land in a temp file until the next Sync promotes them.
 func (d *Dir) Create(name string) (Object, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	f, err := os.OpenFile(d.hostPath(name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	path := d.hostPath(name)
+	if d.atomic {
+		if _, ok := d.pending[name]; ok {
+			return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+		}
+		if _, err := os.Stat(path); err == nil {
+			return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+		}
+		f, err := os.OpenFile(d.tempPath(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		o := &dirObject{f: f, final: path}
+		d.pending[name] = o
+		return o, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		if os.IsExist(err) {
 			return nil, fmt.Errorf("create %q: %w", name, ErrExist)
@@ -60,6 +125,9 @@ func (d *Dir) Create(name string) (Object, error) {
 func (d *Dir) Open(name string) (Object, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if o, ok := d.pending[name]; ok {
+		return o, nil
+	}
 	f, err := os.OpenFile(d.hostPath(name), os.O_RDWR, 0o644)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -77,6 +145,12 @@ func (d *Dir) Open(name string) (Object, error) {
 
 // Stat reports an object's size.
 func (d *Dir) Stat(name string) (int64, error) {
+	d.mu.Lock()
+	if o, ok := d.pending[name]; ok {
+		d.mu.Unlock()
+		return o.size, nil
+	}
+	d.mu.Unlock()
 	info, err := os.Stat(d.hostPath(name))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -92,9 +166,38 @@ func (d *Dir) Stat(name string) (int64, error) {
 func (d *Dir) Remove(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if _, ok := d.pending[name]; ok {
+		delete(d.pending, name)
+		return os.Remove(d.tempPath(name))
+	}
 	if err := os.Remove(d.hostPath(name)); err != nil {
 		if os.IsNotExist(err) {
 			return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+		}
+		return err
+	}
+	return nil
+}
+
+// Rename atomically moves an object to a new name (os.Rename, which
+// replaces any existing destination). A pending object is retargeted:
+// its temp file stays put and the next Sync promotes it to the new
+// final path.
+func (d *Dir) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if o, ok := d.pending[oldName]; ok {
+		if err := os.Rename(d.tempPath(oldName), d.tempPath(newName)); err != nil {
+			return err
+		}
+		o.final = d.hostPath(newName)
+		delete(d.pending, oldName)
+		d.pending[newName] = o
+		return nil
+	}
+	if err := os.Rename(d.hostPath(oldName), d.hostPath(newName)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
 		}
 		return err
 	}
@@ -107,9 +210,14 @@ func (d *Dir) List() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, 0, len(entries))
+	d.mu.Lock()
+	names := make([]string, 0, len(entries)+len(d.pending))
+	for n := range d.pending {
+		names = append(names, n)
+	}
+	d.mu.Unlock()
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() || strings.HasPrefix(e.Name(), dirTempPrefix) {
 			continue
 		}
 		name, err := url.PathUnescape(e.Name())
@@ -123,14 +231,46 @@ func (d *Dir) List() ([]string, error) {
 	return names, nil
 }
 
-// Sync is a no-op: writes go straight to the host file system.
-func (d *Dir) Sync() error { return nil }
+// Sync promotes pending objects in atomic mode: each temp file is
+// fsynced, renamed onto its final path, and the root directory entry
+// is fsynced, so promoted files survive a crash whole. In plain mode
+// writes go straight to the host file system and Sync is a no-op.
+func (d *Dir) Sync() error {
+	if !d.atomic {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pending) == 0 {
+		return nil
+	}
+	for name, o := range d.pending {
+		if err := o.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing %q: %w", name, err)
+		}
+		if err := os.Rename(d.tempPath(name), o.final); err != nil {
+			return fmt.Errorf("store: promoting %q: %w", name, err)
+		}
+		delete(d.pending, name)
+	}
+	// fsync the directory so the renames' entries are durable.
+	df, err := os.Open(d.root)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // dirObject wraps one *os.File. Size is tracked in memory (the pfs
 // layer serializes mutation) so the hot path avoids a stat per call.
 type dirObject struct {
-	f    *os.File
-	size int64
+	f     *os.File
+	size  int64
+	final string // promotion target while pending (atomic mode)
 }
 
 func (o *dirObject) Size() int64 { return o.size }

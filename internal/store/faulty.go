@@ -1,0 +1,295 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Op classifies backend operations for fault eligibility and retry
+// policy.
+type Op uint8
+
+// Backend and object operations.
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpStat
+	OpRemove
+	OpRename
+	OpList
+	OpSync
+	OpRead
+	OpWrite
+	OpTruncate
+	numOps
+)
+
+var opNames = [numOps]string{"create", "open", "stat", "remove", "rename", "list", "sync", "read", "write", "truncate"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// idempotentOps are safe to re-issue blindly: re-running them cannot
+// change the outcome (WriteAt rewrites the same bytes at the same
+// offset; reads, stats, syncs, truncates are naturally idempotent).
+// Create/Remove/Rename are namespace mutations whose retry needs
+// knowledge of where the failure hit — see RetryPolicy.NamespaceOps.
+var idempotentOps = map[Op]bool{
+	OpOpen: true, OpStat: true, OpList: true, OpSync: true,
+	OpRead: true, OpWrite: true, OpTruncate: true,
+}
+
+// FaultConfig scripts a Faulty decorator. All injection is driven by
+// one seeded PRNG consumed in op order, so a fixed op sequence sees a
+// reproducible fault sequence.
+type FaultConfig struct {
+	// Seed seeds the injection PRNG (0 is a valid, fixed seed).
+	Seed int64
+	// Transient is the per-op probability of failing with
+	// ErrUnavailable *before* the op runs (the op does not happen, so
+	// a retry is always safe).
+	Transient float64
+	// TornWrite is the per-WriteAt probability that only a prefix of
+	// the buffer is written before the op fails with ErrUnavailable —
+	// a torn write. The write partially happened; WriteAt idempotence
+	// makes a full retry safe.
+	TornWrite float64
+	// PartialRead is the per-ReadAt probability that only a prefix of
+	// the buffer is filled before the op fails with ErrUnavailable.
+	PartialRead float64
+	// CrashAtOp kills the backend at the Nth operation (1-based, 0 =
+	// never): that op and every later one fail with ErrCrashed. A
+	// WriteAt at the crash op tears: a random prefix lands first, like
+	// a process killed mid-write.
+	CrashAtOp int64
+	// Ops restricts which operations are eligible for Transient
+	// injection. Nil means the idempotent set (open, stat, list, sync,
+	// read, write, truncate), which a default Retry fully masks.
+	Ops map[Op]bool
+}
+
+// FaultStats counts what a Faulty injected.
+type FaultStats struct {
+	Ops       int64 // operations observed (injected or not)
+	Transient int64 // ErrUnavailable injections (incl. torn/partial)
+	Torn      int64 // torn writes
+	Partial   int64 // partial reads
+	Crashed   bool  // the crash op was reached
+}
+
+// Faulty decorates a Backend with deterministic, seeded fault
+// injection: transient ErrUnavailable failures, torn writes, partial
+// reads, and a crash-at-op-N kill switch after which every operation
+// fails with ErrCrashed. It is the storage layer's adversary — the
+// conformance suite and the bundle crash tests drive saves through it
+// and assert that Retry plus the WAL mask or recover every injected
+// fault.
+type Faulty struct {
+	inner Backend
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaulty wraps a backend in a fault injector.
+func NewFaulty(b Backend, cfg FaultConfig) *Faulty {
+	return &Faulty{inner: b, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots injection counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Inner returns the wrapped backend.
+func (f *Faulty) Inner() Backend { return f.inner }
+
+// eligible reports whether op may receive Transient injection.
+func (f *Faulty) eligible(op Op) bool {
+	if f.cfg.Ops != nil {
+		return f.cfg.Ops[op]
+	}
+	return idempotentOps[op]
+}
+
+// injection outcomes, decided under f.mu before the op runs.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vUnavailable
+	vTorn // write/read: act on a prefix of length tornLen, then fail
+	vCrashed
+	vCrashTear // crash op on a write: tear, then dead forever
+)
+
+// decide consumes PRNG state for one op and returns its fate.
+func (f *Faulty) decide(op Op) (verdict, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Ops++
+	if f.cfg.CrashAtOp > 0 && f.stats.Ops >= f.cfg.CrashAtOp {
+		if f.stats.Ops == f.cfg.CrashAtOp {
+			f.stats.Crashed = true
+			if op == OpWrite {
+				return vCrashTear, f.rng.Float64()
+			}
+		}
+		return vCrashed, 0
+	}
+	frac := f.rng.Float64() // prefix fraction for torn/partial, burned regardless
+	switch op {
+	case OpWrite:
+		if f.cfg.TornWrite > 0 && f.rng.Float64() < f.cfg.TornWrite {
+			f.stats.Transient++
+			f.stats.Torn++
+			return vTorn, frac
+		}
+	case OpRead:
+		if f.cfg.PartialRead > 0 && f.rng.Float64() < f.cfg.PartialRead {
+			f.stats.Transient++
+			f.stats.Partial++
+			return vTorn, frac
+		}
+	}
+	if f.cfg.Transient > 0 && f.eligible(op) && f.rng.Float64() < f.cfg.Transient {
+		f.stats.Transient++
+		return vUnavailable, 0
+	}
+	return vOK, 0
+}
+
+// fail builds the op's injected error.
+func fail(op Op, v verdict) error {
+	if v == vCrashed || v == vCrashTear {
+		return fmt.Errorf("%s: %w", op, ErrCrashed)
+	}
+	return fmt.Errorf("%s: %w", op, ErrUnavailable)
+}
+
+// Kind reports the wrapped backend's kind (bundles reopen with the
+// clean flavor; injection is a test-time wrapper, not a format).
+func (f *Faulty) Kind() string { return f.inner.Kind() }
+
+// Create makes an empty object (failures injected before the op runs).
+func (f *Faulty) Create(name string) (Object, error) {
+	if v, _ := f.decide(OpCreate); v != vOK {
+		return nil, fail(OpCreate, v)
+	}
+	o, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyObject{f: f, inner: o}, nil
+}
+
+// Open returns an existing object wrapped in the injector.
+func (f *Faulty) Open(name string) (Object, error) {
+	if v, _ := f.decide(OpOpen); v != vOK {
+		return nil, fail(OpOpen, v)
+	}
+	o, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyObject{f: f, inner: o}, nil
+}
+
+// Stat reports an object's size.
+func (f *Faulty) Stat(name string) (int64, error) {
+	if v, _ := f.decide(OpStat); v != vOK {
+		return 0, fail(OpStat, v)
+	}
+	return f.inner.Stat(name)
+}
+
+// Remove deletes an object (failures injected before the op runs).
+func (f *Faulty) Remove(name string) error {
+	if v, _ := f.decide(OpRemove); v != vOK {
+		return fail(OpRemove, v)
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename moves an object (failures injected before the op runs).
+func (f *Faulty) Rename(oldName, newName string) error {
+	if v, _ := f.decide(OpRename); v != vOK {
+		return fail(OpRename, v)
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+// List returns all object names.
+func (f *Faulty) List() ([]string, error) {
+	if v, _ := f.decide(OpList); v != vOK {
+		return nil, fail(OpList, v)
+	}
+	return f.inner.List()
+}
+
+// Sync flushes the wrapped backend.
+func (f *Faulty) Sync() error {
+	if v, _ := f.decide(OpSync); v != vOK {
+		return fail(OpSync, v)
+	}
+	return f.inner.Sync()
+}
+
+// faultyObject threads object I/O through the shared injector.
+type faultyObject struct {
+	f     *Faulty
+	inner Object
+}
+
+// Size is metadata already in memory; never injected.
+func (o *faultyObject) Size() int64 { return o.inner.Size() }
+
+func (o *faultyObject) WriteAt(p []byte, off int64) (int, error) {
+	v, frac := o.f.decide(OpWrite)
+	switch v {
+	case vUnavailable, vCrashed:
+		return 0, fail(OpWrite, v)
+	case vTorn, vCrashTear:
+		n := int(frac * float64(len(p)))
+		if n > 0 {
+			if wn, err := o.inner.WriteAt(p[:n], off); err != nil {
+				return wn, err
+			}
+		}
+		return n, fail(OpWrite, v)
+	}
+	return o.inner.WriteAt(p, off)
+}
+
+func (o *faultyObject) ReadAt(p []byte, off int64) (int, error) {
+	v, frac := o.f.decide(OpRead)
+	switch v {
+	case vUnavailable, vCrashed:
+		return 0, fail(OpRead, v)
+	case vTorn, vCrashTear:
+		n := int(frac * float64(len(p)))
+		if n > 0 {
+			if rn, err := o.inner.ReadAt(p[:n], off); err != nil && rn < n {
+				return rn, err
+			}
+		}
+		return n, fail(OpRead, v)
+	}
+	return o.inner.ReadAt(p, off)
+}
+
+func (o *faultyObject) Truncate(n int64) error {
+	if v, _ := o.f.decide(OpTruncate); v != vOK {
+		return fail(OpTruncate, v)
+	}
+	return o.inner.Truncate(n)
+}

@@ -72,6 +72,21 @@ func (m *Mem) Remove(name string) error {
 	return nil
 }
 
+// Rename moves an object to a new name, replacing any existing
+// destination. Handles on a replaced destination keep their data
+// (unlink semantics), like Remove.
+func (m *Mem) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objs[oldName]
+	if !ok {
+		return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
+	}
+	delete(m.objs, oldName)
+	m.objs[newName] = o
+	return nil
+}
+
 // List returns all object names in lexical order.
 func (m *Mem) List() ([]string, error) {
 	m.mu.RLock()

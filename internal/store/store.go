@@ -33,7 +33,20 @@ import "errors"
 var (
 	ErrNotExist = errors.New("store: object does not exist")
 	ErrExist    = errors.New("store: object already exists")
+	// ErrUnavailable marks a transient backend failure: the operation
+	// did not (fully) happen but may succeed if retried. Injected by
+	// Faulty, masked by Retry.
+	ErrUnavailable = errors.New("store: backend temporarily unavailable")
+	// ErrCrashed marks a permanently dead backend (Faulty's
+	// crash-at-op-N): no operation will ever succeed again. Retry fails
+	// fast on it rather than burning its attempt budget.
+	ErrCrashed = errors.New("store: backend crashed")
 )
+
+// IsTransient reports whether err is worth retrying: a transient
+// backend failure rather than a semantic error (ErrNotExist/ErrExist)
+// or a dead backend (ErrCrashed).
+func IsTransient(err error) bool { return errors.Is(err, ErrUnavailable) }
 
 // Object is one named byte array inside a Backend. Semantics follow
 // the simulated PFS's needs (and os.File where they overlap):
@@ -72,6 +85,13 @@ type Backend interface {
 	// Whether already-open Objects survive removal is backend-specific;
 	// Mem guarantees POSIX-like unlink semantics.
 	Remove(name string) error
+	// Rename atomically moves an object to a new name, replacing any
+	// object already at the destination (os.Rename semantics). It is
+	// the commit primitive of the bundle write-ahead log: staged
+	// objects are promoted to their final names by rename, never by
+	// rewriting bytes in place. Returns ErrNotExist if oldName is
+	// absent.
+	Rename(oldName, newName string) error
 	// List returns all object names in lexical order.
 	List() ([]string, error)
 	// Sync flushes durable state (chunk files, manifests) for backends

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestWAL appends one record of every type and returns the path.
+func writeTestWAL(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALBegin, WALBeginRecord{Format: 1, Backend: "cas", Compress: true, ChunkSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	puts := []WALPutRecord{
+		{Name: "a", Stage: ".wal~a", Size: 100, SHA256: "aa"},
+		{Name: "dir/b", Stage: ".wal~dir/b", Size: 0, SHA256: "bb"},
+	}
+	for _, p := range puts {
+		if err := w.Append(WALPut, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Append(WALCatalog, WALCatalogRecord{Stage: "catalog.db.wal", SHA256: "cc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALCommit, WALCommitRecord{Manifest: []byte(`{"format":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWALRoundTrip: records written come back typed, in order, sealed.
+func TestWALRoundTrip(t *testing.T) {
+	path := writeTestWAL(t)
+	recs, sealed, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sealed {
+		t.Fatal("log with commit record not sealed")
+	}
+	wantTypes := []byte{WALBegin, WALPut, WALPut, WALCatalog, WALCommit}
+	if len(recs) != len(wantTypes) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantTypes))
+	}
+	for i, r := range recs {
+		if r.Type != wantTypes[i] {
+			t.Fatalf("record %d type %d, want %d", i, r.Type, wantTypes[i])
+		}
+	}
+	var begin WALBeginRecord
+	if err := recs[0].Decode(&begin); err != nil {
+		t.Fatal(err)
+	}
+	if begin.Backend != "cas" || !begin.Compress || begin.ChunkSize != 512 {
+		t.Fatalf("begin = %+v", begin)
+	}
+	var p WALPutRecord
+	if err := recs[2].Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "dir/b" || p.Stage != ".wal~dir/b" {
+		t.Fatalf("put = %+v", p)
+	}
+	var c WALCommitRecord
+	if err := recs[4].Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if string(c.Manifest) != `{"format":1}` {
+		t.Fatalf("manifest = %s", c.Manifest)
+	}
+}
+
+// TestWALMissing: a nonexistent log reads as empty and unsealed.
+func TestWALMissing(t *testing.T) {
+	recs, sealed, err := ReadWAL(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || recs != nil || sealed {
+		t.Fatalf("missing log = (%v, %v, %v)", recs, sealed, err)
+	}
+}
+
+// TestWALTornTailMatrix truncates a sealed log at EVERY byte offset
+// and demands the parse never errors, never misparses — each prefix
+// yields a whole-record prefix of the original, and is sealed only at
+// full length (the commit record is the log's last).
+func TestWALTornTailMatrix(t *testing.T) {
+	path := writeTestWAL(t)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeRecs, sealed, err := ReadWAL(path)
+	if err != nil || !sealed {
+		t.Fatalf("full log = (%d recs, %v, %v)", len(wholeRecs), sealed, err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.log")
+	for n := 0; n <= len(full); n++ {
+		if err := os.WriteFile(cut, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, sealed, err := ReadWAL(cut)
+		if err != nil {
+			t.Fatalf("truncated at %d: parse error %v", n, err)
+		}
+		if sealed != (n == len(full)) {
+			t.Fatalf("truncated at %d: sealed=%v", n, sealed)
+		}
+		if len(recs) > len(wholeRecs) {
+			t.Fatalf("truncated at %d: %d records from a %d-record log", n, len(recs), len(wholeRecs))
+		}
+		for i, r := range recs {
+			if r.Type != wholeRecs[i].Type || string(r.Payload) != string(wholeRecs[i].Payload) {
+				t.Fatalf("truncated at %d: record %d diverges", n, i)
+			}
+		}
+	}
+}
+
+// TestWALCorruptRecordStopsParse: flipping a byte inside a record
+// makes the CRC fail and the parse stop trusting the log there —
+// records before the flip survive, the flipped one and everything
+// after are dropped, and the log reads unsealed when the commit is
+// the casualty.
+func TestWALCorruptRecordStopsParse(t *testing.T) {
+	path := writeTestWAL(t)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last record (the commit's payload region).
+	mut := append([]byte(nil), full...)
+	mut[len(mut)-6] ^= 0xff
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, sealed, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed {
+		t.Fatal("log with corrupt commit record still sealed")
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records before the corruption, want 4", len(recs))
+	}
+}
