@@ -16,6 +16,7 @@ import (
 	"sdm/internal/catalog"
 	"sdm/internal/metadb"
 	"sdm/internal/mpi"
+	"sdm/internal/obs"
 	"sdm/internal/pfs"
 	"sdm/internal/store"
 )
@@ -81,6 +82,12 @@ type BundleOptions struct {
 	// bundle. Only for benchmarking the WAL's overhead on ephemeral
 	// directories.
 	DisableWAL bool
+	// Metrics, when non-nil, counts the bundle's store-backend
+	// operations (namespace ops, errors, data-plane bytes) and WAL
+	// records into the registry under "bundle.*". On open, the metered
+	// backend stays installed beneath the cluster's file system, so the
+	// run's backend traffic keeps counting.
+	Metrics *obs.Registry
 
 	// crashFn, set by crash-matrix tests, is called at every WAL
 	// boundary of the save; a non-nil return aborts the save on the
@@ -246,6 +253,7 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if err != nil {
 		return err
 	}
+	b = meterBackend(b, opts.Metrics)
 
 	// Snapshot the cluster: file bytes and the catalog dump, hashed so
 	// the WAL's intent records pin content, not just names.
@@ -377,6 +385,11 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	}
 	if err := applyWAL(dir, b, puts, bundleCatalogStage, manifestJSON, opts.crashFn); err != nil {
 		return err
+	}
+	if r := opts.Metrics; r != nil {
+		// begin + one put per file + catalog + commit.
+		r.Counter("bundle.wal.records").Add(int64(len(puts)) + 3)
+		r.Counter("bundle.saves").Add(1)
 	}
 	return w.Close()
 }
@@ -739,6 +752,10 @@ func openBundle(dir string, cfg ClusterConfig, opts BundleOptions) (*Cluster, er
 	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, opts.Faults, opts.Retry)
 	if err != nil {
 		return nil, err
+	}
+	b = meterBackend(b, opts.Metrics)
+	if r := opts.Metrics; r != nil {
+		r.Counter("bundle.opens").Add(1)
 	}
 	cfg.fill()
 	db := metadb.New()

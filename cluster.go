@@ -8,6 +8,7 @@ import (
 	"sdm/internal/core"
 	"sdm/internal/metadb"
 	"sdm/internal/mpi"
+	"sdm/internal/obs"
 	"sdm/internal/pfs"
 	"sdm/internal/sim"
 )
@@ -68,6 +69,9 @@ type Cluster struct {
 	FS      *pfs.System
 	DB      *metadb.DB
 	Catalog *catalog.Catalog
+
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewCluster builds a cluster from the config.
@@ -88,6 +92,37 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // Procs reports the rank count.
 func (cl *Cluster) Procs() int { return cl.cfg.Procs }
 
+// SetTracer installs a virtual-time span tracer across the cluster's
+// substrates (PFS server busy windows, catalog calls) and every
+// Manager subsequently created through Proc.Initialize. The tracer
+// only observes clock values — it never advances them — so a traced
+// run's simulated metrics are bit-identical to an untraced one. Call
+// before Run; pass nil to disable.
+func (cl *Cluster) SetTracer(t *obs.Tracer) {
+	cl.tracer = t
+	cl.FS.SetTracer(t)
+	cl.Catalog.SetTracer(t)
+}
+
+// Tracer reports the installed tracer (nil when tracing is off).
+func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
+// SetMetrics registers the substrates' statistics (pfs, catalog,
+// metadb) as snapshot sources of r and threads the registry into every
+// Manager subsequently created through Proc.Initialize. Call before
+// Run; pass nil to disable.
+func (cl *Cluster) SetMetrics(r *obs.Registry) {
+	cl.metrics = r
+	if r == nil {
+		return
+	}
+	cl.FS.RegisterMetrics(r)
+	cl.Catalog.RegisterMetrics(r)
+}
+
+// Metrics reports the installed registry (nil when collection is off).
+func (cl *Cluster) Metrics() *obs.Registry { return cl.metrics }
+
 // Proc is one rank's context inside Cluster.Run.
 type Proc struct {
 	Comm    *mpi.Comm
@@ -95,7 +130,15 @@ type Proc struct {
 }
 
 // Initialize creates this rank's Manager (the paper's SDM_initialize).
+// The cluster's tracer and metrics registry (SetTracer/SetMetrics) are
+// threaded into the Manager unless opts overrides them.
 func (p *Proc) Initialize(app string, opts Options) (*Manager, error) {
+	if opts.Trace == nil {
+		opts.Trace = p.cluster.tracer
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = p.cluster.metrics
+	}
 	return core.Initialize(Env{Comm: p.Comm, FS: p.cluster.FS, Catalog: p.cluster.Catalog}, app, opts)
 }
 
@@ -216,4 +259,14 @@ func (cl *Cluster) AttachStorage(from *Cluster) {
 	cl.DB = from.DB
 	cl.Catalog = from.Catalog
 	cl.FS.ResetSchedules()
+	// Re-wire observability onto the adopted substrates (sources replace
+	// by name, so nothing double-reports).
+	if cl.tracer != nil {
+		cl.FS.SetTracer(cl.tracer)
+		cl.Catalog.SetTracer(cl.tracer)
+	}
+	if cl.metrics != nil {
+		cl.FS.RegisterMetrics(cl.metrics)
+		cl.Catalog.RegisterMetrics(cl.metrics)
+	}
 }

@@ -12,13 +12,18 @@
 //
 // Usage:
 //
-//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle] [-nx 32]
+//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle|trace] [-nx 32]
 //	         [-rtnx 40] [-procs 64] [-steps 2] [-rtsteps 5] [-pipesteps 8]
-//	         [-json BENCH.json] [-bundle DIR]
+//	         [-json BENCH.json] [-bundle DIR] [-trace out.json]
 //
 // With -bundle, the last experiment's cluster (files plus metadata
 // catalog) is saved as a run bundle under DIR, inspectable afterwards
-// with sdmcat/sdmls and reopenable with sdm.OpenBundle.
+// with sdmcat/sdmls and reopenable with sdm.OpenBundle. With -trace,
+// every experiment cluster records virtual-time spans and the last
+// one's trace is written as Chrome trace-event JSON (Perfetto; analyze
+// with sdmtrace). The trace experiment prices tracing itself: the same
+// pipelined workload with spans off and on, pinning the simulated
+// metrics bit-identical either way.
 package main
 
 import (
@@ -64,6 +69,29 @@ type benchLog struct {
 // can persist a bench run's artifacts for later inspection.
 var lastCluster *sdm.Cluster
 
+// tracePath, when set by -trace, enables span tracing on every
+// experiment cluster; the last cluster's trace is written there as
+// Chrome trace-event JSON at exit (load in Perfetto, or analyze with
+// sdmtrace). lastTracer is that cluster's tracer.
+var (
+	tracePath  string
+	lastTracer *sdm.Tracer
+)
+
+// newCluster builds an experiment cluster, remembers it for -bundle,
+// and — when -trace is active — installs a fresh tracer and metrics
+// registry so the written trace covers exactly the last experiment.
+func newCluster(cfg sdm.ClusterConfig) *sdm.Cluster {
+	cl := sdm.NewCluster(cfg)
+	lastCluster = cl
+	if tracePath != "" {
+		lastTracer = sdm.NewTracer()
+		cl.SetTracer(lastTracer)
+		cl.SetMetrics(sdm.NewRegistry())
+	}
+	return cl
+}
+
 // measure runs fn, returning its wall time and allocation count.
 func measure(fn func() error) (time.Duration, uint64, error) {
 	var before, after runtime.MemStats
@@ -102,7 +130,7 @@ func (bl *benchLog) write(path string) error {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, or all")
+	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, trace, or all")
 	nx := flag.Int("nx", 32, "FUN3D mesh cells per dimension (paper: ~18M edges; 32 => ~245k)")
 	rtnx := flag.Int("rtnx", 40, "RT mesh cells per dimension")
 	procs := flag.Int("procs", 64, "process count for fig5/fig6")
@@ -111,7 +139,9 @@ func main() {
 	pipesteps := flag.Int("pipesteps", 8, "checkpoints streamed by the pipeline experiment")
 	jsonPath := flag.String("json", "", "append machine-readable results to this JSON file")
 	bundlePath := flag.String("bundle", "", "save the last experiment's cluster as a run bundle here")
+	trace := flag.String("trace", "", "record the last experiment's virtual-time spans as Chrome trace JSON here")
 	flag.Parse()
+	tracePath = *trace
 
 	var bl *benchLog
 	if *jsonPath != "" {
@@ -137,6 +167,8 @@ func main() {
 		runAblations(*nx, *procs, bl)
 	case "bundle":
 		runBundleBench(*nx, *procs, *steps, bl)
+	case "trace":
+		runTraceOverhead(*nx, *procs, *pipesteps, bl)
 	case "all":
 		runFig5(*nx, *procs, bl)
 		runFig6(*nx, *procs, *steps, bl)
@@ -144,8 +176,20 @@ func main() {
 		runPipeline(*nx, *procs, *pipesteps, bl)
 		runAblations(*nx, *procs, bl)
 		runBundleBench(*nx, *procs, *steps, bl)
+		runTraceOverhead(*nx, *procs, *pipesteps, bl)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
+	}
+
+	if tracePath != "" {
+		if lastTracer == nil {
+			log.Fatal("-trace: no experiment cluster was traced")
+		}
+		if err := lastTracer.WriteChromeFile(tracePath); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %d spans to %s (load in Perfetto, or run sdmtrace over it)\n",
+			lastTracer.SpanCount(), tracePath)
 	}
 
 	if bl != nil {
@@ -172,7 +216,9 @@ func main() {
 // summary, so a perf regression is visible in a PR's text output
 // rather than only as raw JSON churn. Bandwidth metrics (MB/s) count
 // as improved when they rise, time metrics (…-s, …-s/op) when they
-// fall; other metrics (sizes) are skipped.
+// fall; other metrics (sizes) are skipped. Metrics with no counterpart
+// in the previous file are reported as newly added, not silently
+// dropped.
 func printDelta(path string, fresh []benchRecord) {
 	prevPath := latestOtherBench(path)
 	if prevPath == "" {
@@ -193,13 +239,18 @@ func printDelta(path string, fresh []benchRecord) {
 		}
 	}
 	var compared, improved, regressed int
+	var added []string
 	worst, worstKey := 0.0, ""
 	headline := ""
 	for _, r := range fresh {
 		for m, v := range r.SimMetrics {
 			key := r.Experiment + "/" + r.Case + "/" + m
 			pv, ok := prev[key]
-			if !ok || pv == 0 {
+			if !ok {
+				added = append(added, key)
+				continue
+			}
+			if pv == 0 {
 				continue
 			}
 			higherBetter := strings.Contains(m, "MB/s")
@@ -225,13 +276,25 @@ func printDelta(path string, fresh []benchRecord) {
 			}
 		}
 	}
-	if compared == 0 {
+	if compared == 0 && len(added) == 0 {
 		return
 	}
 	line := fmt.Sprintf("delta vs %s: %s%d metrics compared, %d improved, %d regressed >1%%",
 		filepath.Base(prevPath), headline, compared, improved, regressed)
 	if worstKey != "" {
 		line += fmt.Sprintf(" (worst %s %.1f%%)", worstKey, worst*100)
+	}
+	if len(added) > 0 {
+		sort.Strings(added)
+		show := added
+		if len(show) > 3 {
+			show = show[:3]
+		}
+		line += fmt.Sprintf("; %d newly added (%s", len(added), strings.Join(show, ", "))
+		if len(added) > len(show) {
+			line += ", …"
+		}
+		line += ")"
 	}
 	fmt.Println(line)
 }
@@ -284,8 +347,7 @@ func runFig5(nx, procs int, bl *benchLog) {
 	cfg := map[string]any{"nx": nx, "procs": procs,
 		"nodes": f.Mesh.NumNodes(), "edges": f.Mesh.NumEdges()}
 
-	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-	lastCluster = cl
+	cl := newCluster(sdm.Origin2000Config(procs))
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
@@ -328,8 +390,7 @@ func runFig5(nx, procs int, bl *benchLog) {
 
 func fig6Case(f *workloads.FUN3D, level sdm.FileOrganization, procs, steps int,
 	hints sdm.Hints, experiment, name string, bl *benchLog) *workloads.Fig6Stats {
-	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-	lastCluster = cl
+	cl := newCluster(sdm.Origin2000Config(procs))
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
@@ -386,8 +447,7 @@ func runFig7(rtnx, rtsteps int, bl *benchLog) {
 	fmt.Fprintf(w, "mode\tprocs\ttotal (MB)\twrite (s)\tbandwidth (MB/s)\n")
 	for _, mode := range []workloads.RTMode{workloads.RTOriginal, workloads.RTLevel1, workloads.RTLevel23} {
 		for _, procs := range []int{32, 64} {
-			cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-			lastCluster = cl
+			cl := newCluster(sdm.Origin2000Config(procs))
 			var st *workloads.RTStats
 			wall, allocs, err := measure(func() error {
 				var err error
@@ -425,8 +485,7 @@ func runPipeline(nx, procs, steps int, bl *benchLog) {
 	fmt.Fprintf(w, "depth\twrite (MB/s)\tfiles\n")
 	var base float64
 	for _, depth := range []int{1, 2, 4} {
-		cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-		lastCluster = cl
+		cl := newCluster(sdm.Origin2000Config(procs))
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
@@ -482,8 +541,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 	w = table()
 	fmt.Fprintf(w, "configuration\timport (s)\tindex distri. (s)\n")
 	{
-		cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-		lastCluster = cl
+		cl := newCluster(sdm.Origin2000Config(procs))
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
@@ -507,8 +565,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 	for _, servers := range []int{1, 2, 5, 10, 20} {
 		cfg := sdm.Origin2000Config(procs)
 		cfg.Storage.NumServers = servers
-		cl := sdm.NewCluster(cfg)
-		lastCluster = cl
+		cl := newCluster(cfg)
 		if err := f.Stage(cl); err != nil {
 			log.Fatal(err)
 		}
@@ -552,8 +609,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 		expCfg := sdm.Origin2000Config(procs)
 		expCfg.Storage.OpenCost *= 100
 		expCfg.Storage.ViewCost *= 100
-		cl2 := sdm.NewCluster(expCfg)
-		lastCluster = cl2
+		cl2 := newCluster(expCfg)
 		if err := f.Stage(cl2); err != nil {
 			log.Fatal(err)
 		}
@@ -584,8 +640,7 @@ func runAblations(nx, procs int, bl *benchLog) {
 func runBundleBench(nx, procs, steps int, bl *benchLog) {
 	fmt.Printf("\n=== Bundle: crash-consistent save cost (WAL on vs off) ===\n")
 	f := newFUN3D(nx)
-	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
-	lastCluster = cl
+	cl := newCluster(sdm.Origin2000Config(procs))
 	if err := f.Stage(cl); err != nil {
 		log.Fatal(err)
 	}
@@ -661,6 +716,90 @@ func runBundleBench(nx, procs, steps int, bl *benchLog) {
 // bundleBenchReps is how many times each bundle save is repeated (the
 // fastest rep is recorded, de-noising host timing).
 const bundleBenchReps = 3
+
+// runTraceOverhead prices observability itself: the same depth-4
+// pipelined checkpoint workload runs with tracing off and on. The
+// simulated metrics must be bit-identical either way — the tracer only
+// observes clock values, never advances them — so tracing's entire
+// cost is host wall time and allocations, recorded as an overhead
+// percentage in the results file.
+func runTraceOverhead(nx, procs, steps int, bl *benchLog) {
+	fmt.Printf("\n=== Trace: observability overhead (spans off vs on) ===\n")
+	f := newFUN3D(nx)
+	const reps, depth = 3, 4
+	fmt.Printf("level1 pipelined writes, depth %d, %d checkpoints, %d processes; %d reps each, best kept\n",
+		depth, steps, procs, reps)
+
+	run := func(traced bool) (time.Duration, uint64, float64, int) {
+		var best time.Duration
+		var allocs uint64
+		var mbps float64
+		spans := 0
+		for rep := 0; rep < reps; rep++ {
+			cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+			lastCluster = cl
+			var tr *sdm.Tracer
+			if traced {
+				tr = sdm.NewTracer()
+				cl.SetTracer(tr)
+				cl.SetMetrics(sdm.NewRegistry())
+			}
+			if err := f.Stage(cl); err != nil {
+				log.Fatal(err)
+			}
+			var st *workloads.Fig6Stats
+			wall, a, err := measure(func() error {
+				var err error
+				st, err = f.PipelineWriteBandwidth(cl, steps, depth)
+				return err
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep == 0 || wall < best {
+				best, allocs = wall, a
+			}
+			if rep == 0 {
+				mbps = st.WriteMBps
+			} else if st.WriteMBps != mbps {
+				log.Fatalf("trace overhead: nondeterministic sim metric across reps (%v vs %v)", st.WriteMBps, mbps)
+			}
+			spans = tr.SpanCount() // nil-safe: 0 when untraced
+		}
+		return best, allocs, mbps, spans
+	}
+
+	offBest, offAllocs, offMBps, _ := run(false)
+	onBest, onAllocs, onMBps, spans := run(true)
+	if onMBps != offMBps {
+		log.Fatalf("tracing perturbed the simulation: %v MB/s traced vs %v untraced", onMBps, offMBps)
+	}
+	overhead := (float64(onBest)/float64(offBest) - 1) * 100
+
+	w := table()
+	fmt.Fprintf(w, "tracing\twrite (MB/s)\twall (ms)\tallocs\tspans\n")
+	fmt.Fprintf(w, "off\t%.1f\t%.1f\t%d\t-\n", offMBps, float64(offBest.Nanoseconds())/1e6, offAllocs)
+	fmt.Fprintf(w, "on\t%.1f\t%.1f\t%d\t%d\n", onMBps, float64(onBest.Nanoseconds())/1e6, onAllocs, spans)
+	w.Flush()
+	fmt.Printf("tracing overhead %+.1f%% wall time; simulated metrics bit-identical (%.3f MB/s both ways)\n",
+		overhead, onMBps)
+
+	cfg := map[string]any{"nx": nx, "procs": procs, "steps": steps, "depth": depth}
+	bl.add(benchRecord{
+		Experiment: "trace-overhead", Case: "off", Workload: "fun3d", Config: cfg,
+		SimMetrics: map[string]float64{"sim-write-MB/s": offMBps},
+		WallNs:     offBest.Nanoseconds(), AllocsPerOp: offAllocs,
+	})
+	bl.add(benchRecord{
+		Experiment: "trace-overhead", Case: "on", Workload: "fun3d", Config: cfg,
+		SimMetrics: map[string]float64{
+			"sim-write-MB/s":     onMBps,
+			"trace-overhead-pct": overhead,
+			"trace-spans":        float64(spans),
+		},
+		WallNs: onBest.Nanoseconds(), AllocsPerOp: onAllocs,
+	})
+}
 
 // dirSizeMB totals the on-disk bytes under dir.
 func dirSizeMB(dir string) float64 {

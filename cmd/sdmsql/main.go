@@ -2,8 +2,10 @@
 // database (the MySQL stand-in). Statements may span multiple lines
 // and are terminated by ';' (a final unterminated statement executes
 // at EOF, so piped one-liners still work); results print after each
-// complete statement. With -db it operates on a saved catalog
-// snapshot and persists changes back with \w.
+// complete statement. EXPLAIN SELECT … prints the query plan (which
+// index serves the query and why, with a rows-scanned estimate)
+// instead of rows. With -db it operates on a saved catalog snapshot
+// and persists changes back with \w.
 //
 // Meta commands (on their own line): \t lists tables, \d <table>
 // shows columns, \w writes the database back to the -db file,
@@ -142,7 +144,7 @@ func splitStatements(src string) (stmts []string, rest string) {
 
 func execute(db *metadb.DB, stmt string) {
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
-	if strings.HasPrefix(upper, "SELECT") {
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
 		rows, err := db.Query(stmt)
 		if err != nil {
 			fmt.Println("error:", err)

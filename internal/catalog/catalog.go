@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sdm/internal/metadb"
+	"sdm/internal/obs"
 	"sdm/internal/sim"
 )
 
@@ -27,6 +28,15 @@ const AccessCost = sim.Duration(2 * time.Millisecond)
 type Catalog struct {
 	db   *metadb.DB
 	cost sim.Duration
+
+	// Observability (nil when off). The tracer gets one span per
+	// charged catalog call on the obs.PidCatalog track; the counters
+	// feed a metrics registry. None of it touches the clock beyond the
+	// unchanged cost Advance.
+	tracer     *obs.Tracer
+	calls      *obs.Counter
+	recordRows *obs.Counter
+	lookupKeys *obs.Counter
 }
 
 // New wraps db. EnsureSchema must be called before the accessors.
@@ -41,10 +51,43 @@ func (c *Catalog) DB() *metadb.DB { return c.db }
 // cost charging entirely).
 func (c *Catalog) SetAccessCost(d sim.Duration) { c.cost = d }
 
+// SetTracer attaches (or with nil, detaches) a span tracer; every
+// charged catalog call becomes a span on the catalog track.
+func (c *Catalog) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	if t != nil {
+		t.NameProcess(obs.PidCatalog, "catalog")
+	}
+}
+
+// RegisterMetrics registers the catalog's call counters and the
+// underlying database's query statistics with a metrics registry.
+func (c *Catalog) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.calls = r.Counter("catalog.calls")
+	c.recordRows = r.Counter("catalog.record-rows")
+	c.lookupKeys = r.Counter("catalog.lookup-keys")
+	c.db.RegisterMetrics(r)
+}
+
 // charge bills one query to clock, if a clock is supplied.
 func (c *Catalog) charge(clock *sim.Clock) {
-	if clock != nil {
-		clock.Advance(c.cost)
+	c.chargeOp(clock, "query")
+}
+
+// chargeOp is charge with a span label for the calls worth seeing by
+// name in a trace (the epoch-batched RecordWrites/LookupWrites).
+func (c *Catalog) chargeOp(clock *sim.Clock, op string) {
+	c.calls.Add(1)
+	if clock == nil {
+		return
+	}
+	start := clock.Now()
+	clock.Advance(c.cost)
+	if c.tracer != nil {
+		c.tracer.Emit(obs.PidCatalog, "catalog", op, start, clock.Now())
 	}
 }
 
@@ -292,7 +335,8 @@ func (c *Catalog) RecordWrites(clock *sim.Clock, recs []WriteRecord) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	c.charge(clock)
+	c.chargeOp(clock, "RecordWrites")
+	c.recordRows.Add(int64(len(recs)))
 	var sb strings.Builder
 	sb.WriteString(`INSERT INTO execution_table VALUES `)
 	args := make([]any, 0, len(recs)*5)
@@ -322,7 +366,8 @@ func (c *Catalog) LookupWrites(clock *sim.Clock, runid int64, keys []WriteKey) (
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	c.charge(clock)
+	c.chargeOp(clock, "LookupWrites")
+	c.lookupKeys.Add(int64(len(keys)))
 	out := make([]*WriteRecord, len(keys))
 	for i, k := range keys {
 		row, err := c.db.QueryRow(

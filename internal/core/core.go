@@ -35,6 +35,7 @@ import (
 	"sdm/internal/catalog"
 	"sdm/internal/mpi"
 	"sdm/internal/mpiio"
+	"sdm/internal/obs"
 	"sdm/internal/pfs"
 	"sdm/internal/sim"
 )
@@ -171,6 +172,17 @@ type Options struct {
 	// Stamp is the wall-clock time recorded in run_table (defaults to
 	// a fixed date for reproducibility).
 	Stamp time.Time
+	// Trace, when non-nil, records virtual-time spans for the rank's
+	// step pipeline (staging, per-file collective flushes, catalog
+	// batches) alongside whatever the substrates emit. The tracer only
+	// observes clock values — it never advances them — so enabling it
+	// leaves every simulated metric bit-identical. Nil disables tracing
+	// at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, registers the manager's counters (steps,
+	// flushed files, staged bytes) with the registry. Nil disables
+	// collection.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -238,7 +250,18 @@ type SDM struct {
 	tokenSeq   int64
 	recScratch []catalog.WriteRecord
 	arenaPool  [][]byte
+
+	// tracer and the manager-level counters. All stay nil when
+	// observability is off; obs methods no-op on nil receivers, so the
+	// hot paths need no second flag.
+	tracer       *obs.Tracer
+	stepCount    *obs.Counter
+	flushedFiles *obs.Counter
+	stagedBytes  *obs.Counter
 }
+
+// pid is this rank's trace track.
+func (s *SDM) pid() int { return obs.PidRank(s.env.Comm.Rank()) }
 
 // takeArena checks a staging arena of at least n bytes out of the
 // pool: the first pooled buffer large enough is reused; otherwise one
@@ -280,6 +303,15 @@ func Initialize(env Env, app string, opts Options) (*SDM, error) {
 		return nil, fmt.Errorf("core: Env requires Catalog unless Options.DisableDB")
 	}
 	s := &SDM{env: env, app: app, opts: opts, pending: make(map[string]*StepToken)}
+	s.tracer = opts.Trace
+	if s.tracer != nil {
+		s.tracer.NameProcess(s.pid(), fmt.Sprintf("rank %d", env.Comm.Rank()))
+	}
+	if r := opts.Metrics; r != nil {
+		s.stepCount = r.Counter("core.steps")
+		s.flushedFiles = r.Counter("core.flushed-files")
+		s.stagedBytes = r.Counter("core.staged-bytes")
+	}
 	if opts.DisableDB {
 		if opts.AttachRun > 0 {
 			return nil, fmt.Errorf("core: Options.AttachRun requires the metadata catalog")

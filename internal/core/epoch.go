@@ -5,6 +5,7 @@ import (
 
 	"sdm/internal/catalog"
 	"sdm/internal/mpiio"
+	"sdm/internal/obs"
 	"sdm/internal/sim"
 )
 
@@ -273,10 +274,13 @@ func (g *Group) closeIfLevel1(of *openFile, file string) error {
 func (g *Group) stagePuts() {
 	puts := g.ep.puts
 	ts := g.ep.timestep
+	clock := g.s.env.Comm.Clock()
+	sh := g.s.tracer.Begin(g.s.pid(), "core", "stage", clock.Now())
 	var total int64
 	for i := range puts {
 		total += puts[i].bytes
 	}
+	g.s.stagedBytes.Add(total)
 	if g.ep.arena != nil {
 		g.s.putArena(g.ep.arena)
 	}
@@ -308,6 +312,10 @@ func (g *Group) stagePuts() {
 	}
 	g.ep.placed = placed
 	g.ep.recs = recs
+	sh.End(clock.Now(),
+		obs.KV{Key: "step", Val: fmt.Sprint(ts)},
+		obs.KV{Key: "puts", Val: fmt.Sprint(len(puts))},
+		obs.KV{Key: "bytes", Val: fmt.Sprint(total)})
 }
 
 // issuePutFlushes issues one merged collective write per touched file,
@@ -349,6 +357,12 @@ func (g *Group) issuePutFlushes() (sim.Time, error) {
 			flushErr = err
 			break
 		}
+		if tr := g.s.tracer; tr != nil {
+			tr.Emit(g.s.pid(), "core", "flush:write", fork, clock.Now(),
+				obs.KV{Key: "file", Val: file},
+				obs.KV{Key: "step", Val: fmt.Sprint(g.ep.timestep)})
+		}
+		g.s.flushedFiles.Add(1)
 		join = sim.MaxTime(join, clock.Now())
 		clock.Rebase(fork)
 		flushed++
@@ -565,6 +579,11 @@ func (g *Group) issueGetFlushes() (sim.Time, error) {
 		}
 		if err := g.closeIfLevel1(of, file); err != nil {
 			return sim.MaxTime(join, clock.Now()), err
+		}
+		if tr := g.s.tracer; tr != nil {
+			tr.Emit(g.s.pid(), "core", "flush:read", fork, clock.Now(),
+				obs.KV{Key: "file", Val: file},
+				obs.KV{Key: "step", Val: fmt.Sprint(g.ep.timestep)})
 		}
 		join = sim.MaxTime(join, clock.Now())
 		clock.Rebase(fork)

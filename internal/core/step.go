@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sdm/internal/obs"
 	"sdm/internal/sim"
 )
 
@@ -87,7 +88,15 @@ func (t *StepToken) Wait() error {
 		t.s.putArena(a)
 		t.arenas[i] = nil
 	}
-	t.s.env.Comm.Clock().AdvanceTo(t.done)
+	clock := t.s.env.Comm.Clock()
+	now := clock.Now()
+	clock.AdvanceTo(t.done)
+	// The stall a join actually cost this rank — zero when the
+	// overlapped computation already covered the flush.
+	if tr := t.s.tracer; tr != nil && t.done > now {
+		tr.Emit(t.s.pid(), "core", "wait", now, t.done,
+			obs.KV{Key: "step", Val: fmt.Sprint(t.timestep)})
+	}
 	return t.err
 }
 
@@ -279,6 +288,12 @@ func (g *Group) EndStepAsync() (*StepToken, error) {
 	g.cancelStep() // release queued closures and the caller slices they capture
 	clock.Rebase(fork)
 	g.s.tokens = append(g.s.tokens, tok)
+	g.s.stepCount.Add(1)
+	if tr := g.s.tracer; tr != nil {
+		tr.Emit(g.s.pid(), "core", "step", fork, tok.done,
+			obs.KV{Key: "step", Val: fmt.Sprint(tok.timestep)},
+			obs.KV{Key: "seq", Val: fmt.Sprint(tok.seq)})
+	}
 	return tok, nil
 }
 
@@ -458,5 +473,11 @@ func (s *SDM) EndStepAsync() (*StepToken, error) {
 	}
 	clock.Rebase(fork)
 	s.tokens = append(s.tokens, tok)
+	s.stepCount.Add(1)
+	if tr := s.tracer; tr != nil {
+		tr.Emit(s.pid(), "core", "step", fork, tok.done,
+			obs.KV{Key: "step", Val: fmt.Sprint(tok.timestep)},
+			obs.KV{Key: "seq", Val: fmt.Sprint(tok.seq)})
+	}
 	return tok, nil
 }

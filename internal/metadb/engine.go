@@ -21,6 +21,13 @@ type DB struct {
 	rowsScanned atomic.Int64 // candidate rows examined by WHERE evaluation
 	indexHits   atomic.Int64 // statements answered from an index (equality or range)
 	orderSkips  atomic.Int64 // ORDER BYs served from index order, skipping the sort
+
+	// Per-plan-kind counts: how WHERE candidates were obtained. The
+	// EXPLAIN report and the execution path share one plan selector, so
+	// these can never disagree with what EXPLAIN prints.
+	planEqCount    atomic.Int64
+	planRangeCount atomic.Int64
+	planScanCount  atomic.Int64
 }
 
 type cachedStmt struct {
@@ -275,6 +282,13 @@ func (db *DB) IndexHits() int64 { return db.indexHits.Load() }
 // an index's value order instead of sorting the result rows.
 func (db *DB) OrderSkips() int64 { return db.orderSkips.Load() }
 
+// PlanCounts reports how many statements obtained candidates from an
+// equality index probe, an index range window, and a full table scan,
+// respectively.
+func (db *DB) PlanCounts() (eq, rng, scan int64) {
+	return db.planEqCount.Load(), db.planRangeCount.Load(), db.planScanCount.Load()
+}
+
 // Rows is a query result: column labels plus row data.
 type Rows struct {
 	Columns []string
@@ -350,24 +364,65 @@ func (db *DB) Exec(src string, args ...any) (int, error) {
 	return 0, fmt.Errorf("metadb: unhandled statement type %T", stmt)
 }
 
-// Query runs a SELECT and returns its rows.
+// Query runs a SELECT (or EXPLAIN SELECT, whose rows are the chosen
+// access plan) and returns its rows.
 func (db *DB) Query(src string, args ...any) (*Rows, error) {
 	stmt, nparams, err := db.prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(selectStmt)
-	if !ok {
-		return nil, fmt.Errorf("metadb: Query requires a SELECT statement")
-	}
 	params, err := convertArgs(nparams, args)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.queryCount.Add(1)
-	return db.execSelect(sel, params)
+	switch s := stmt.(type) {
+	case selectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		db.queryCount.Add(1)
+		return db.execSelect(s, params)
+	case explainStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execExplain(s, params)
+	}
+	return nil, fmt.Errorf("metadb: Query requires a SELECT statement")
+}
+
+// Explain reports the access plan a SELECT would use, without running
+// it: the plan line, followed by an estimated-rows line. Equivalent to
+// Query("EXPLAIN "+src, ...).
+func (db *DB) Explain(src string, args ...any) (*Rows, error) {
+	return db.Query("EXPLAIN "+src, args...)
+}
+
+// execExplain resolves the wrapped SELECT's plan against the current
+// indexes and data. It shares planFor/runPlan with execution, so the
+// printed plan cannot diverge from the executed one; the estimate is
+// the candidate count the plan yields right now (the re-evaluation of
+// the full predicate may keep fewer rows).
+func (db *DB) execExplain(s explainStmt, params []Value) (*Rows, error) {
+	t, ok := db.tables[normalizeIdent(s.sel.table)]
+	if !ok {
+		return nil, fmt.Errorf("metadb: no such table %q", s.sel.table)
+	}
+	plan := t.planFor(s.sel.where, params)
+	cands, _ := t.runPlan(plan)
+	lines := []string{
+		plan.String(),
+		fmt.Sprintf("estimate: scan %d of %d row(s)", len(cands), len(t.order)),
+	}
+	if len(s.sel.orderBy) == 1 {
+		if idx, ok := t.indexes[normalizeIdent(s.sel.orderBy[0].col)]; ok && idx.single() {
+			lines = append(lines, fmt.Sprintf("order by %s served from index %s (no sort)",
+				s.sel.orderBy[0].col, idx.name))
+		}
+	}
+	rows := &Rows{Columns: []string{"plan"}}
+	for _, l := range lines {
+		rows.Data = append(rows.Data, []Value{Text(l)})
+	}
+	return rows, nil
 }
 
 // QueryRow runs a SELECT expected to produce at most one row; it
@@ -768,20 +823,61 @@ func collectBounds(where expr, bounds []colBound) []colBound {
 	return bounds
 }
 
-// candidateIDs returns the row ids to scan for a WHERE clause. The
-// index whose columns are all bound by equality conjuncts — the widest
-// such index, so a composite (runid, dataset, timestep) index beats the
+// planKind classifies how a statement obtains its candidate rows.
+type planKind int
+
+const (
+	planScan  planKind = iota // full table scan
+	planEq                    // equality probe into an index's hash bucket
+	planRange                 // range window over a single-column index
+)
+
+// queryPlan is the chosen access path for one WHERE clause: which
+// index (if any), why, and the probe parameters. The execution path
+// (runPlan) and the EXPLAIN report are both driven by this one value,
+// so the plan printed is by construction the plan executed.
+type queryPlan struct {
+	kind   planKind
+	idx    *index // nil for planScan
+	reason string
+
+	eqVals       []Value // planEq probe tuple, in idx.cols order
+	lo, hi       *Value  // planRange window
+	loInc, hiInc bool
+}
+
+// String renders the plan as the EXPLAIN line.
+func (p queryPlan) String() string {
+	switch p.kind {
+	case planEq:
+		return fmt.Sprintf("equality probe on index %s (%s): %s",
+			p.idx.name, strings.Join(p.idx.cols, ", "), p.reason)
+	case planRange:
+		return fmt.Sprintf("range scan on index %s (%s): %s",
+			p.idx.name, strings.Join(p.idx.cols, ", "), p.reason)
+	default:
+		return "full table scan: " + p.reason
+	}
+}
+
+// planFor chooses the access path for a WHERE clause. The index whose
+// columns are all bound by equality conjuncts — the widest such index,
+// so a composite (runid, dataset, timestep) index beats the
 // single-column one when the probe binds all three — answers from its
 // hash bucket; otherwise `<`, `<=`, `>`, `>=` conjuncts on an indexed
 // column (including BETWEEN-shaped `lo <= col AND col <= hi` pairs)
 // answer from a single-column index's ordered buckets. Only with no
-// indexable conjunct does the full table scan remain. The returned
-// candidates may over-approximate; matchingIDs re-evaluates the
+// indexable conjunct does the full table scan remain. The candidates a
+// plan yields may over-approximate; matchingIDs re-evaluates the
 // complete predicate.
-func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
+func (t *table) planFor(where expr, params []Value) queryPlan {
 	bounds := collectBounds(where, nil)
 	if len(bounds) == 0 {
-		return t.order, false
+		reason := "no WHERE clause"
+		if where != nil {
+			reason = "no indexable conjunct in WHERE"
+		}
+		return queryPlan{kind: planScan, reason: reason}
 	}
 	ctx := &evalCtx{params: params}
 	// Prefer an exact equality lookup: gather the equality-bound
@@ -827,7 +923,9 @@ func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
 			for i, c := range best.cols {
 				vals[i] = eqCols[c]
 			}
-			return best.lookupEq(vals), true
+			reason := fmt.Sprintf("%d equality conjunct(s) cover all %d index column(s)",
+				len(eqCols), len(best.cols))
+			return queryPlan{kind: planEq, idx: best, reason: reason, eqVals: vals}
 		}
 	}
 	// Otherwise intersect the range conjuncts per indexed column and
@@ -883,9 +981,56 @@ func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
 		}
 	}
 	if best == nil {
+		return queryPlan{kind: planScan, reason: "range conjuncts bind no indexed column"}
+	}
+	return queryPlan{
+		kind: planRange, idx: best.idx,
+		reason: windowReason(best.idx.cols[0], best.lo, best.loInc, best.hi, best.hiInc),
+		lo:     best.lo, hi: best.hi, loInc: best.loInc, hiInc: best.hiInc,
+	}
+}
+
+// windowReason describes a range window, e.g. "10 <= timestep < 20".
+func windowReason(col string, lo *Value, loInc bool, hi *Value, hiInc bool) string {
+	var sb strings.Builder
+	if lo != nil {
+		sb.WriteString(lo.String())
+		if loInc {
+			sb.WriteString(" <= ")
+		} else {
+			sb.WriteString(" < ")
+		}
+	}
+	sb.WriteString(col)
+	if hi != nil {
+		if hiInc {
+			sb.WriteString(" <= ")
+		} else {
+			sb.WriteString(" < ")
+		}
+		sb.WriteString(hi.String())
+	}
+	return sb.String()
+}
+
+// runPlan yields a plan's candidate row ids; the boolean reports
+// whether they came from an index.
+func (t *table) runPlan(p queryPlan) ([]int64, bool) {
+	switch p.kind {
+	case planEq:
+		return p.idx.lookupEq(p.eqVals), true
+	case planRange:
+		return p.idx.lookupRange(p.lo, p.loInc, p.hi, p.hiInc), true
+	default:
 		return t.order, false
 	}
-	return best.idx.lookupRange(best.lo, best.loInc, best.hi, best.hiInc), true
+}
+
+// candidateIDs returns the row ids to scan for a WHERE clause — the
+// plan selection (planFor) plus its execution (runPlan).
+func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
+	p := t.planFor(where, params)
+	return t.runPlan(p)
 }
 
 func isConstExpr(e expr) bool {
@@ -904,7 +1049,16 @@ func isConstExpr(e expr) bool {
 // insertion order, and accounts the rows examined so callers can
 // verify scans were avoided.
 func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error) {
-	cands, fromIndex := t.candidateIDs(where, params)
+	plan := t.planFor(where, params)
+	cands, fromIndex := t.runPlan(plan)
+	switch plan.kind {
+	case planEq:
+		db.planEqCount.Add(1)
+	case planRange:
+		db.planRangeCount.Add(1)
+	default:
+		db.planScanCount.Add(1)
+	}
 	db.rowsScanned.Add(int64(len(cands)))
 	if fromIndex {
 		db.indexHits.Add(1)

@@ -40,7 +40,7 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"SELECT": true, "FROM": true, "WHERE": true,
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"UPDATE": true, "SET": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "EXPLAIN": true,
 	"AND": true, "OR": true, "IS": true, "NULL": true,
 	"INTEGER": true, "INT": true, "REAL": true, "DOUBLE": true,
 	"TEXT": true, "VARCHAR": true, "BLOB": true,

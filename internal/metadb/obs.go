@@ -1,0 +1,23 @@
+package metadb
+
+import "sdm/internal/obs"
+
+// RegisterMetrics exposes the database's query statistics — including
+// the per-plan-kind counts behind EXPLAIN — as a snapshot source of a
+// metrics registry, behind the existing accessors with no hot-path
+// changes.
+func (db *DB) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterSource("metadb", func(put func(key string, val int64)) {
+		put("queries", db.QueryCount())
+		put("rows-scanned", db.RowsScanned())
+		put("index-hits", db.IndexHits())
+		put("order-skips", db.OrderSkips())
+		eq, rng, scan := db.PlanCounts()
+		put("plan-eq", eq)
+		put("plan-range", rng)
+		put("plan-scan", scan)
+	})
+}

@@ -77,6 +77,12 @@ type deleteStmt struct {
 	where expr
 }
 
+// explainStmt wraps a SELECT whose access plan — not its rows — is the
+// result (EXPLAIN SELECT ...).
+type explainStmt struct {
+	sel selectStmt
+}
+
 func (createTableStmt) stmtNode() {}
 func (createIndexStmt) stmtNode() {}
 func (dropTableStmt) stmtNode()   {}
@@ -84,6 +90,7 @@ func (insertStmt) stmtNode()      {}
 func (selectStmt) stmtNode()      {}
 func (updateStmt) stmtNode()      {}
 func (deleteStmt) stmtNode()      {}
+func (explainStmt) stmtNode()     {}
 
 // Expressions.
 
@@ -209,8 +216,22 @@ func (p *parser) parseStatement() (statement, error) {
 		return p.parseUpdate()
 	case "DELETE":
 		return p.parseDelete()
+	case "EXPLAIN":
+		return p.parseExplain()
 	}
 	return nil, fmt.Errorf("metadb: unsupported statement %s", t)
+}
+
+func (p *parser) parseExplain() (statement, error) {
+	p.next() // EXPLAIN
+	if p.peek().kind != tokKeyword || p.peek().text != "SELECT" {
+		return nil, fmt.Errorf("metadb: EXPLAIN supports only SELECT, found %s", p.peek())
+	}
+	inner, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return explainStmt{sel: inner.(selectStmt)}, nil
 }
 
 func (p *parser) parseIfNotExists() (bool, error) {

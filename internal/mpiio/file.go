@@ -1,9 +1,11 @@
 package mpiio
 
 import (
+	"fmt"
 	"io"
 
 	"sdm/internal/mpi"
+	"sdm/internal/obs"
 	"sdm/internal/pfs"
 	"sdm/internal/sim"
 )
@@ -635,6 +637,8 @@ func (f *File) WriteAtAllOps(ops []BatchOp) error {
 		f.comm.Barrier()
 		return firstErr
 	}
+	tr := f.h.Tracer()
+	p1 := f.comm.Clock().Now()
 	flat := f.flattenOps(ops)
 	lo, _, domain, nAgg := f.collectiveRange(flat)
 	if nAgg == 0 {
@@ -642,6 +646,10 @@ func (f *File) WriteAtAllOps(ops []BatchOp) error {
 	}
 	parcels := f.routeSegments(flat, lo, domain, nAgg)
 	incoming := f.exchangeParcels(parcels, true)
+	if tr != nil {
+		tr.Emit(obs.PidRank(f.comm.Rank()), "mpiio", "phase1:write", p1, f.comm.Clock().Now(),
+			obs.KV{Key: "file", Val: f.h.Name()})
+	}
 
 	// Phase 2: aggregate and issue vectored contiguous writes. Every
 	// run is issued on its own sub-timeline forked at the phase-2 start
@@ -674,6 +682,11 @@ func (f *File) WriteAtAllOps(ops []BatchOp) error {
 			at, err := f.chunkedWriteAt(buf, run.start, at)
 			if err != nil {
 				return err
+			}
+			if tr != nil {
+				tr.Emit(obs.PidRank(f.comm.Rank()), "mpiio", "phase2:write-run", fork, at,
+					obs.KV{Key: "bytes", Val: fmt.Sprint(run.end - run.start)},
+					obs.KV{Key: "sieved", Val: fmt.Sprint(run.holes)})
 			}
 			join = sim.MaxTime(join, at)
 		}
@@ -745,6 +758,8 @@ func (f *File) ReadAtAllOps(ops []BatchOp) error {
 		f.comm.Barrier()
 		return firstErr
 	}
+	tr := f.h.Tracer()
+	p1 := f.comm.Clock().Now()
 	flat := f.flattenOps(ops)
 	lo, _, domain, nAgg := f.collectiveRange(flat)
 	if nAgg == 0 {
@@ -752,6 +767,10 @@ func (f *File) ReadAtAllOps(ops []BatchOp) error {
 	}
 	parcels := f.routeSegments(flat, lo, domain, nAgg)
 	incoming := f.exchangeParcels(parcels, false)
+	if tr != nil {
+		tr.Emit(obs.PidRank(f.comm.Rank()), "mpiio", "phase1:read", p1, f.comm.Clock().Now(),
+			obs.KV{Key: "file", Val: f.h.Name()})
+	}
 
 	// Phase 2: aggregators read their domains as spanning runs (data
 	// sieving through small holes) and split the data per requester.
@@ -801,6 +820,10 @@ func (f *File) ReadAtAllOps(ops []BatchOp) error {
 			done, err := f.chunkedReadAt(buf, run.start, fork)
 			if err != nil {
 				return err
+			}
+			if tr != nil {
+				tr.Emit(obs.PidRank(f.comm.Rank()), "mpiio", "phase2:read-run", fork, done,
+					obs.KV{Key: "bytes", Val: fmt.Sprint(run.end - run.start)})
 			}
 			join = sim.MaxTime(join, done)
 			for _, a := range all[run.lo:run.hi] {

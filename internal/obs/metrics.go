@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sdm/internal/sim"
+)
+
+// Counter is a monotonically increasing metric with an atomic hot
+// path. A nil Counter (from a nil Registry) is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric. A nil Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value reports the last value set.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates virtual-time durations into log2(ns) buckets:
+// bucket i counts observations with 2^(i-1) ns <= d < 2^i ns (bucket 0
+// counts d == 0). A nil Histogram is a no-op.
+type Histogram struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total ns
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[bits.Len64(uint64(n))&63].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total observed virtual time.
+func (h *Histogram) Sum() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0..1) from the log2 buckets,
+// returning the upper bound of the bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			if i == 0 {
+				return 1
+			}
+			return sim.Duration(int64(1) << (i - 1) * 2)
+		}
+	}
+	return sim.Duration(h.sum.Load())
+}
+
+// Registry holds named counters, gauges, and histograms, plus snapshot
+// sources: closures that pull existing subsystem stats (pfs atomic
+// stats, metadb query counters, MPI traffic) into a metrics snapshot
+// behind their current accessors, with zero hot-path changes in those
+// subsystems. A nil Registry is the no-op default: Counter/Gauge/
+// Histogram return nil, whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sources  []source
+}
+
+type source struct {
+	name string
+	fn   func(put func(key string, val int64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterSource registers a snapshot closure invoked on every
+// Snapshot/Dump. The closure reports values via put, each key
+// prefixed with the source name. Registering a name again replaces the
+// earlier source, so re-wiring after Cluster.AttachStorage swaps a
+// substrate cleanly instead of double-reporting.
+func (r *Registry) RegisterSource(name string, fn func(put func(key string, val int64))) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for i := range r.sources {
+		if r.sources[i].name == name {
+			r.sources[i].fn = fn
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.sources = append(r.sources, source{name, fn})
+	r.mu.Unlock()
+}
+
+// Snapshot merges counters, gauges, histogram summaries, and all
+// registered sources into one flat map.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	sources := append([]source(nil), r.sources...)
+	r.mu.Unlock()
+
+	out := make(map[string]int64)
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		out[k+".count"] = h.Count()
+		out[k+".sum-ns"] = int64(h.Sum())
+		out[k+".p50-ns"] = int64(h.Quantile(0.5))
+		out[k+".p99-ns"] = int64(h.Quantile(0.99))
+	}
+	for _, s := range sources {
+		s.fn(func(key string, val int64) {
+			out[s.name+"."+key] = val
+		})
+	}
+	return out
+}
+
+// Dump writes the snapshot as sorted "key value" lines.
+func (r *Registry) Dump(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%-48s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

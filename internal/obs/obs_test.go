@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdm/internal/sim"
+)
+
+// A nil tracer and nil registry must be usable everywhere — the no-op
+// default when observability is off.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.NameProcess(1, "x")
+	tr.NameThread(1, 0, "x")
+	tr.Emit(1, "c", "n", 0, 10)
+	tr.EmitOn(1, 2, "c", "n", 0, 10)
+	h := tr.Begin(1, "c", "n", 0)
+	h.End(5)
+	if tr.OpenCount() != 0 || tr.SpanCount() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	tr.Reset()
+	ct := tr.ChromeTrace()
+	if len(ct.TraceEvents) != 0 {
+		t.Fatal("nil tracer exported events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil summary = %q", buf.String())
+	}
+
+	var r *Registry
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(4)
+	r.Histogram("c").Observe(5)
+	r.RegisterSource("s", func(put func(string, int64)) { put("k", 1) })
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot non-nil")
+	}
+}
+
+func TestBeginEndOpenCount(t *testing.T) {
+	tr := NewTracer()
+	h1 := tr.Begin(1, "c", "outer", 0)
+	h2 := tr.Begin(1, "c", "inner", 10)
+	if got := tr.OpenCount(); got != 2 {
+		t.Fatalf("open = %d, want 2", got)
+	}
+	h2.End(20)
+	h1.End(100)
+	if got := tr.OpenCount(); got != 0 {
+		t.Fatalf("open after End = %d, want 0", got)
+	}
+	if got := tr.SpanCount(); got != 2 {
+		t.Fatalf("spans = %d, want 2", got)
+	}
+	// End before start clamps rather than producing a negative span.
+	h3 := tr.Begin(1, "c", "clamped", 50)
+	h3.End(40)
+	sp := tr.Spans()[2]
+	if sp.Start != 50 || sp.End != 50 {
+		t.Fatalf("clamped span = [%d,%d], want [50,50]", sp.Start, sp.End)
+	}
+}
+
+// Layout must place partially overlapping siblings on separate lanes
+// and keep true nesting on one lane, so every exported lane is a
+// proper nesting (the invariant Analyze's self-time relies on).
+func TestLayoutNesting(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(1, "c", "parent", 0, 100)
+	tr.Emit(1, "c", "child", 10, 40)    // nests inside parent: same lane
+	tr.Emit(1, "c", "overlap", 50, 150) // partial overlap: new lane
+	tr.Emit(1, "c", "later", 200, 210)  // after everything: back on lane 0
+
+	ct := tr.ChromeTrace()
+	lanes := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.Name] = ev.Tid
+		}
+	}
+	if lanes["parent"] != 0 || lanes["child"] != 0 || lanes["later"] != 0 {
+		t.Fatalf("nesting spans not on lane 0: %v", lanes)
+	}
+	if lanes["overlap"] == 0 {
+		t.Fatalf("partially overlapping span shares lane 0: %v", lanes)
+	}
+	assertProperNesting(t, ct)
+}
+
+// assertProperNesting checks that within every (pid, tid) lane, any two
+// spans either nest or are disjoint.
+func assertProperNesting(t *testing.T, ct *ChromeTrace) {
+	t.Helper()
+	type lane struct{ pid, tid int }
+	byLane := map[lane][]ChromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			byLane[lane{ev.Pid, ev.Tid}] = append(byLane[lane{ev.Pid, ev.Tid}], ev)
+		}
+	}
+	for k, evs := range byLane {
+		for i := range evs {
+			for j := i + 1; j < len(evs); j++ {
+				a, b := evs[i], evs[j]
+				aEnd, bEnd := a.Ts+a.Dur, b.Ts+b.Dur
+				disjoint := aEnd <= b.Ts || bEnd <= a.Ts
+				nested := (a.Ts <= b.Ts && bEnd <= aEnd) || (b.Ts <= a.Ts && aEnd <= bEnd)
+				if !disjoint && !nested {
+					t.Fatalf("lane %v: %q [%v,%v) and %q [%v,%v) partially overlap",
+						k, a.Name, a.Ts, aEnd, b.Name, b.Ts, bEnd)
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitLanesPassThrough(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(PidServers, "pfs servers")
+	tr.NameThread(PidServers, 3, "server 3")
+	tr.EmitOn(PidServers, 3, "pfs", "serve", 5, 15)
+	ct := tr.ChromeTrace()
+	var found bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "serve" {
+			found = true
+			if ev.Pid != PidServers || ev.Tid != 3 {
+				t.Fatalf("explicit lane moved: pid=%d tid=%d", ev.Pid, ev.Tid)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("explicit-lane span missing from export")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(PidRank(0), "rank 0")
+	tr.Emit(PidRank(0), "core", "step", 0, 1000, KV{Key: "step", Val: "1"})
+	tr.Emit(PidRank(0), "core", "flush:write", 100, 600, KV{Key: "file", Val: "f"})
+	tr.EmitOn(PidServers, 0, "pfs", "serve", 200, 400)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateChrome(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 3 {
+		t.Fatalf("round-trip spans = %d, want 3", spans)
+	}
+	// Bare-array form must parse too.
+	got2, err := ReadChrome(strings.NewReader(`[{"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChrome(got2); err != nil || n != 1 {
+		t.Fatalf("bare array: spans=%d err=%v", n, err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   ChromeEvent
+	}{
+		{"unknown phase", ChromeEvent{Name: "x", Ph: "B", Pid: 1}},
+		{"nameless complete", ChromeEvent{Ph: "X", Pid: 1}},
+		{"negative ts", ChromeEvent{Name: "x", Ph: "X", Ts: -1, Pid: 1}},
+		{"unknown metadata", ChromeEvent{Name: "bogus", Ph: "M", Pid: 1}},
+		{"nameless metadata", ChromeEvent{Name: "process_name", Ph: "M", Pid: 1}},
+	}
+	for _, tc := range cases {
+		tr := &ChromeTrace{TraceEvents: []ChromeEvent{tc.ev}}
+		if _, err := ValidateChrome(tr); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+// Self time is duration minus same-lane children: a 100µs parent with a
+// 40µs child has 60µs self.
+func TestAnalyzeSelfTime(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(1, "c", "parent", 0, 100_000) // ns → 100µs
+	tr.Emit(1, "c", "child", 10_000, 50_000)
+	a := Analyze(tr.ChromeTrace())
+	self := map[string]SelfTime{}
+	for _, st := range a.SelfTimes {
+		self[st.Name] = st
+	}
+	if got := self["parent"].Self; got.Microseconds() != 60 {
+		t.Fatalf("parent self = %v, want 60µs", got)
+	}
+	if got := self["child"].Self; got.Microseconds() != 40 {
+		t.Fatalf("child self = %v, want 40µs", got)
+	}
+	if got := self["parent"].Total; got.Microseconds() != 100 {
+		t.Fatalf("parent total = %v, want 100µs", got)
+	}
+}
+
+func TestAnalyzeServerUse(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(PidServers, 0, "server 0")
+	tr.Emit(1, "core", "step", 0, 100_000) // defines the trace span
+	tr.EmitOn(PidServers, 0, "pfs", "serve", 0, 25_000)
+	tr.EmitOn(PidServers, 0, "pfs", "serve", 50_000, 75_000)
+	a := Analyze(tr.ChromeTrace())
+	if len(a.Servers) != 1 {
+		t.Fatalf("servers = %d, want 1", len(a.Servers))
+	}
+	s := a.Servers[0]
+	if s.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", s.Requests)
+	}
+	if got := s.Busyness(); got < 0.49 || got > 0.51 {
+		t.Fatalf("busyness = %v, want 0.5", got)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteReport(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "idle") {
+		t.Fatalf("report missing idle fractions:\n%s", buf.String())
+	}
+}
+
+func TestStepSummary(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(1, "core", "step", 0, 10_000, KV{Key: "step", Val: "1"})
+	tr.Emit(1, "core", "flush:write", 0, 5_000, KV{Key: "step", Val: "1"})
+	tr.Emit(1, "core", "step", 10_000, 30_000, KV{Key: "step", Val: "2"})
+	s := StepSummary(tr.ChromeTrace())
+	if !strings.Contains(s, "step 1") || !strings.Contains(s, "step 2") {
+		t.Fatalf("step summary missing steps:\n%s", s)
+	}
+	if StepSummary(NewTracer().ChromeTrace()) != "" {
+		t.Fatal("empty trace produced a step summary")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+
+	h := r.Histogram("z")
+	for i := 0; i < 100; i++ {
+		h.Observe(sim.Duration(1000)) // all in one bucket
+	}
+	if h.Count() != 100 || h.Sum() != 100_000 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	// 1000 ns sits in bucket 10 (512 <= 1000 < 1024); the quantile
+	// reports the bucket's upper bound.
+	if q := h.Quantile(0.5); q != 1024 {
+		t.Fatalf("p50 = %d, want 1024", q)
+	}
+	if q := h.Quantile(0.99); q != 1024 {
+		t.Fatalf("p99 = %d, want 1024", q)
+	}
+	h.Observe(-5) // clamps to 0, bucket 0
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty hist p50 = %d", q)
+	}
+}
+
+func TestRegistrySnapshotAndSources(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.steps").Add(4)
+	r.Gauge("depth").Set(2)
+	r.Histogram("svc").Observe(1000)
+	r.RegisterSource("pfs", func(put func(string, int64)) { put("opens", 9) })
+
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"core.steps": 4,
+		"depth":      2,
+		"svc.count":  1,
+		"pfs.opens":  9,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+
+	// Re-registering a source name replaces it — re-wiring after
+	// AttachStorage must not double-report.
+	r.RegisterSource("pfs", func(put func(string, int64)) { put("opens", 11) })
+	snap = r.Snapshot()
+	if snap["pfs.opens"] != 11 {
+		t.Fatalf("replaced source reports %d, want 11", snap["pfs.opens"])
+	}
+
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !sortedLines(lines) {
+		t.Fatalf("dump not sorted:\n%s", buf.String())
+	}
+}
+
+func sortedLines(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(1, "p")
+	tr.Emit(1, "c", "n", 0, 1)
+	tr.Begin(1, "c", "open", 0) // deliberately left open
+	tr.Reset()
+	if tr.SpanCount() != 0 || tr.OpenCount() != 0 {
+		t.Fatal("reset left state behind")
+	}
+}

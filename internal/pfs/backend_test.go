@@ -90,7 +90,7 @@ func TestCostIdenticalAcrossBackends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		results[name] = outcome{now: clock.Now(), stats: sys.Stats(), data: full}
+		results[name] = outcome{now: clock.Now(), stats: sys.StatsSnapshot(), data: full}
 	}
 	ref := results["mem"]
 	for name, got := range results {

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdm/internal/obs"
 	"sdm/internal/sim"
 	"sdm/internal/store"
 )
@@ -132,6 +133,14 @@ type System struct {
 	servers []*sim.Resource
 
 	stats atomicStats
+
+	// Observability (nil when off — the no-op default). tracer records
+	// each server's service windows as busy spans; serviceHist feeds the
+	// per-request service-time distribution into a metrics registry.
+	// Neither touches any clock, so enabling them cannot perturb
+	// virtual time.
+	tracer      *obs.Tracer
+	serviceHist *obs.Histogram
 }
 
 // NewSystem creates a file system with the given hardware profile on
@@ -169,9 +178,73 @@ func (s *System) Config() Config { return s.cfg }
 // Backend exposes the storage backend holding the file bytes.
 func (s *System) Backend() store.Backend { return s.backend }
 
-// Stats returns a snapshot of cumulative activity counters.
+// Stats returns a snapshot of cumulative activity counters. It is an
+// alias for StatsSnapshot, kept for the many existing call sites.
 func (s *System) Stats() Stats {
-	return s.stats.snapshot()
+	return s.StatsSnapshot()
+}
+
+// StatsSnapshot returns a single atomically consistent copy of the
+// counters: the eight fields are loaded repeatedly until two
+// consecutive reads agree, so a snapshot taken while rank goroutines
+// are mid-update never pairs a bumped request count with a not-yet
+// bumped byte count. At quiescence (where tests read it) the first
+// double-read already agrees.
+func (s *System) StatsSnapshot() Stats {
+	prev := s.stats.snapshot()
+	for i := 0; i < 64; i++ {
+		cur := s.stats.snapshot()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev // writers never went quiet; return the latest view
+}
+
+// SetTracer attaches (or with nil, detaches) a span tracer. Each PFS
+// server becomes one trace lane under obs.PidServers carrying its
+// service windows.
+func (s *System) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	if t != nil {
+		t.NameProcess(obs.PidServers, "pfs servers")
+		for i := range s.servers {
+			t.NameThread(obs.PidServers, i, fmt.Sprintf("server %d", i))
+		}
+	}
+}
+
+// Tracer returns the attached span tracer (nil when tracing is off).
+// The collective I/O layer reaches its tracer through the handle it
+// already holds.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// RegisterMetrics registers the file system's counters and the
+// per-request service-time histogram with a metrics registry. The
+// existing atomic stats are exposed behind StatsSnapshot as a
+// snapshot source — no hot-path changes.
+func (s *System) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.serviceHist = r.Histogram("pfs.server.service")
+	r.RegisterSource("pfs", func(put func(key string, val int64)) {
+		st := s.StatsSnapshot()
+		put("opens", st.Opens)
+		put("creates", st.Creates)
+		put("closes", st.Closes)
+		put("views", st.Views)
+		put("read-requests", st.ReadRequests)
+		put("write-requests", st.WriteReqs)
+		put("bytes-read", st.BytesRead)
+		put("bytes-written", st.BytesWritten)
+		for i, r := range s.servers {
+			busy, reqs := r.Stats()
+			put(fmt.Sprintf("server.%d.busy-ns", i), int64(busy))
+			put(fmt.Sprintf("server.%d.requests", i), reqs)
+		}
+	})
 }
 
 // ServerBusy reports each server's cumulative busy time, for
@@ -394,6 +467,10 @@ func (s *System) Sync() error { return s.backend.Sync() }
 // Name reports the handle's file name.
 func (h *Handle) Name() string { return h.name }
 
+// Tracer reports the owning system's span tracer (nil when tracing is
+// off); the collective I/O layer emits its phase spans through it.
+func (h *Handle) Tracer() *obs.Tracer { return h.sys.tracer }
+
 // StripeSize reports the file system's stripe unit, which collective
 // I/O layers use to align aggregator file domains.
 func (h *Handle) StripeSize() int64 { return h.sys.cfg.StripeSize }
@@ -511,6 +588,17 @@ func (h *Handle) charge(off, n int64, at sim.Time) sim.Time {
 		service := s.cfg.RequestLatency +
 			sim.TransferCost(sp.bytes, 0, s.cfg.ServerBandwidth)
 		d := s.servers[sp.server].Acquire(at, service)
+		if s.tracer != nil {
+			// The service window is [d-service, d]: Acquire starts at
+			// max(at, server free) and runs for service.
+			s.tracer.EmitOn(obs.PidServers, sp.server, "pfs", "serve",
+				d.Add(-service), d,
+				obs.KV{Key: "file", Val: h.name},
+				obs.KV{Key: "bytes", Val: fmt.Sprint(sp.bytes)})
+		}
+		if h := s.serviceHist; h != nil {
+			h.Observe(service)
+		}
 		done = sim.MaxTime(done, d)
 	}
 	return done

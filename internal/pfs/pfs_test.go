@@ -206,7 +206,7 @@ func TestViewCostCharged(t *testing.T) {
 	if clock.Now() != sim.Time(5*time.Millisecond) {
 		t.Fatalf("clock=%v", clock.Now())
 	}
-	if s.Stats().Views != 1 {
+	if s.StatsSnapshot().Views != 1 {
 		t.Fatal("view not counted")
 	}
 }
@@ -297,7 +297,7 @@ func TestStats(t *testing.T) {
 	_, _ = h.WriteAt(make([]byte, 100), 0)
 	_, _ = h.ReadAt(make([]byte, 40), 0)
 	_ = h.Close()
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.Opens != 1 || st.Creates != 1 || st.Closes != 1 {
 		t.Fatalf("open/create/close stats %+v", st)
 	}

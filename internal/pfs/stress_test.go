@@ -120,7 +120,7 @@ func TestConcurrentRankGoroutines(t *testing.T) {
 			t.Fatalf("rank %d region of shared file corrupted", r)
 		}
 	}
-	st := sys.Stats()
+	st := sys.StatsSnapshot()
 	if st.Opens != ranks*2+ranks+ranks*rounds || st.Closes != ranks*2 {
 		t.Logf("stats: %+v", st) // counts are informative; exactness depends on helper opens
 	}

@@ -55,7 +55,7 @@ func TestWriteAtVecMatchesScalarWrites(t *testing.T) {
 		t.Fatalf("vectored cost %v != scalar cost %v", clockA.Now(), clockB.Now())
 	}
 	// One request per extent (none adjacent here).
-	if got := sysA.Stats().WriteReqs; got != int64(len(exts)) {
+	if got := sysA.StatsSnapshot().WriteReqs; got != int64(len(exts)) {
 		t.Fatalf("WriteReqs = %d, want %d", got, len(exts))
 	}
 }
@@ -74,7 +74,7 @@ func TestVecCoalescesAdjacentExtents(t *testing.T) {
 	if _, err := h.WriteAtVec(payload, exts); err != nil {
 		t.Fatal(err)
 	}
-	if got := sys.Stats().WriteReqs; got != 1 {
+	if got := sys.StatsSnapshot().WriteReqs; got != 1 {
 		t.Fatalf("WriteReqs = %d, want 1 coalesced request", got)
 	}
 	got := make([]byte, 1536)

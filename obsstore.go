@@ -1,0 +1,105 @@
+package sdm
+
+import (
+	"sdm/internal/obs"
+	"sdm/internal/store"
+)
+
+// meteredBackend decorates a store.Backend, counting namespace and
+// object operations into an obs.Registry under "bundle.store.*". The
+// decorator lives at the bundle layer so package store stays free of
+// any observability dependency; it composes with the retry and fault
+// decorators (metering sits on top, so retried attempts count once per
+// surfaced call, not per attempt).
+type meteredBackend struct {
+	b            store.Backend
+	ops          *obs.Counter
+	errs         *obs.Counter
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+}
+
+// meterBackend wraps b when r is non-nil; with a nil registry the
+// backend is returned untouched.
+func meterBackend(b store.Backend, r *obs.Registry) store.Backend {
+	if r == nil {
+		return b
+	}
+	return &meteredBackend{
+		b:            b,
+		ops:          r.Counter("bundle.store.ops"),
+		errs:         r.Counter("bundle.store.errors"),
+		bytesRead:    r.Counter("bundle.store.bytes-read"),
+		bytesWritten: r.Counter("bundle.store.bytes-written"),
+	}
+}
+
+func (m *meteredBackend) count(err error) error {
+	m.ops.Add(1)
+	if err != nil {
+		m.errs.Add(1)
+	}
+	return err
+}
+
+func (m *meteredBackend) Kind() string { return m.b.Kind() }
+
+func (m *meteredBackend) Create(name string) (store.Object, error) {
+	o, err := m.b.Create(name)
+	if m.count(err) != nil {
+		return nil, err
+	}
+	return &meteredObject{o: o, m: m}, nil
+}
+
+func (m *meteredBackend) Open(name string) (store.Object, error) {
+	o, err := m.b.Open(name)
+	if m.count(err) != nil {
+		return nil, err
+	}
+	return &meteredObject{o: o, m: m}, nil
+}
+
+func (m *meteredBackend) Stat(name string) (int64, error) {
+	n, err := m.b.Stat(name)
+	m.count(err)
+	return n, err
+}
+
+func (m *meteredBackend) Remove(name string) error {
+	return m.count(m.b.Remove(name))
+}
+
+func (m *meteredBackend) Rename(oldName, newName string) error {
+	return m.count(m.b.Rename(oldName, newName))
+}
+
+func (m *meteredBackend) List() ([]string, error) {
+	names, err := m.b.List()
+	m.count(err)
+	return names, err
+}
+
+func (m *meteredBackend) Sync() error { return m.count(m.b.Sync()) }
+
+// meteredObject counts data-plane bytes moved through an object.
+type meteredObject struct {
+	o store.Object
+	m *meteredBackend
+}
+
+func (x *meteredObject) ReadAt(p []byte, off int64) (int, error) {
+	n, err := x.o.ReadAt(p, off)
+	x.m.bytesRead.Add(int64(n))
+	return n, err
+}
+
+func (x *meteredObject) WriteAt(p []byte, off int64) (int, error) {
+	n, err := x.o.WriteAt(p, off)
+	x.m.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+func (x *meteredObject) Truncate(n int64) error { return x.o.Truncate(n) }
+
+func (x *meteredObject) Size() int64 { return x.o.Size() }

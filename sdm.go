@@ -47,6 +47,7 @@ package sdm
 import (
 	"sdm/internal/core"
 	"sdm/internal/mpiio"
+	"sdm/internal/obs"
 )
 
 // Re-exported core types. Manager is one rank's handle on the data
@@ -143,6 +144,27 @@ func NewView(mapArr []int32, t DataType, globalSize int64) (*View, error) {
 // Finalize) joins whatever is still outstanding in completion order —
 // so checkpoint loops can pipeline without holding tokens at all.
 type StepToken = core.StepToken
+
+// Observability (see internal/obs): a Tracer records spans of virtual
+// time — application steps, per-file collective flushes, PFS server
+// busy windows, catalog calls — against the simulated clocks, and a
+// Registry collects counters/gauges/histograms plus snapshots of the
+// substrates' existing statistics. Both are nil-safe no-ops when
+// disabled, and tracing never perturbs a simulated timestamp. Install
+// with Cluster.SetTracer/SetMetrics before Run; export with
+// Tracer.WriteChromeFile (Perfetto/chrome://tracing) or WriteSummary.
+type (
+	// Tracer records virtual-time spans for Chrome-trace export.
+	Tracer = obs.Tracer
+	// Registry holds named metrics and subsystem snapshot sources.
+	Registry = obs.Registry
+)
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Element constrains the Go element types typed dataset handles store:
 // float64 (DOUBLE), int32 (INTEGER), int64 (LONG).

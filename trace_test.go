@@ -1,0 +1,297 @@
+package sdm_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"sdm"
+	"sdm/internal/obs"
+	"sdm/internal/workloads"
+)
+
+func traceFUN3D(t *testing.T) *workloads.FUN3D {
+	t.Helper()
+	f, err := workloads.NewFUN3D(workloads.FUN3DConfig{NX: 8, NY: 8, NZ: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runPipeline runs the Figure-6 pipelined write workload, optionally
+// traced, and returns the cluster plus its tracer (nil when untraced).
+func runPipeline(t *testing.T, f *workloads.FUN3D, procs, steps, depth int, traced bool) (*sdm.Cluster, *sdm.Tracer, float64) {
+	t.Helper()
+	cl := sdm.NewCluster(sdm.Origin2000Config(procs))
+	var tr *sdm.Tracer
+	if traced {
+		tr = sdm.NewTracer()
+		cl.SetTracer(tr)
+		cl.SetMetrics(sdm.NewRegistry())
+	}
+	if err := f.Stage(cl); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.PipelineWriteBandwidth(cl, steps, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr, st.WriteMBps
+}
+
+// Tracing only observes virtual clocks, never advances them: a traced
+// run must be bit-identical to an untraced one — bandwidth, per-rank
+// clocks, pfs stats, db query counts, and file bytes — at every
+// pipeline depth.
+func TestTracingBitIdentical(t *testing.T) {
+	f := traceFUN3D(t)
+	const procs, steps = 8, 3
+	for _, depth := range []int{1, 2, 4} {
+		t.Run("depth"+strconv.Itoa(depth), func(t *testing.T) {
+			offCl, _, offMBps := runPipeline(t, f, procs, steps, depth, false)
+			onCl, tr, onMBps := runPipeline(t, f, procs, steps, depth, true)
+			if tr.SpanCount() == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			if offMBps != onMBps {
+				t.Fatalf("tracing perturbed bandwidth: off %.9f, on %.9f MB/s", offMBps, onMBps)
+			}
+			for r := 0; r < procs; r++ {
+				if a, b := offCl.World.Comm(r).Now(), onCl.World.Comm(r).Now(); a != b {
+					t.Fatalf("rank %d virtual clock differs: off %v, on %v", r, a, b)
+				}
+			}
+			if a, b := offCl.FS.StatsSnapshot(), onCl.FS.StatsSnapshot(); a != b {
+				t.Fatalf("pfs stats differ:\noff %+v\non  %+v", a, b)
+			}
+			if a, b := offCl.DB.QueryCount(), onCl.DB.QueryCount(); a != b {
+				t.Fatalf("db query counts differ: off %d, on %d", a, b)
+			}
+			offFiles, onFiles := offCl.ListFiles(), onCl.ListFiles()
+			if len(offFiles) != len(onFiles) {
+				t.Fatalf("file counts differ: %d vs %d", len(offFiles), len(onFiles))
+			}
+			for i, name := range offFiles {
+				if onFiles[i] != name {
+					t.Fatalf("file sets differ at %d: %q vs %q", i, name, onFiles[i])
+				}
+				a, err := offCl.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := onCl.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("file %q bytes differ with tracing on", name)
+				}
+			}
+		})
+	}
+}
+
+// Span-structure invariants over a real traced run: every Begin was
+// matched by End, no negative spans, flush spans carry their step and
+// stay inside that step's span on the same rank, and a deep pipeline
+// actually produces overlapping in-flight flushes.
+func TestSpanInvariants(t *testing.T) {
+	f := traceFUN3D(t)
+	const procs, steps = 8, 4
+	for _, depth := range []int{1, 2, 4} {
+		t.Run("depth"+strconv.Itoa(depth), func(t *testing.T) {
+			_, tr, _ := runPipeline(t, f, procs, steps, depth, true)
+			if got := tr.OpenCount(); got != 0 {
+				t.Fatalf("open spans after Finalize = %d, want 0", got)
+			}
+			spans := tr.Spans()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+
+			// Step span bounds per (pid, step annotation).
+			type key struct {
+				pid  int
+				step string
+			}
+			stepBounds := map[key][2]int64{}
+			arg := func(s *obs.Span, k string) (string, bool) {
+				for _, kv := range s.Args {
+					if kv.Key == k {
+						return kv.Val, true
+					}
+				}
+				return "", false
+			}
+			for i := range spans {
+				s := &spans[i]
+				if s.End < s.Start {
+					t.Fatalf("span %s/%s has negative duration [%d,%d]", s.Cat, s.Name, s.Start, s.End)
+				}
+				if s.Cat == "core" && s.Name == "step" {
+					st, _ := arg(s, "step")
+					stepBounds[key{s.Pid, st}] = [2]int64{int64(s.Start), int64(s.End)}
+				}
+			}
+
+			flushes, overlapping := 0, false
+			var prevEnd map[int]int64
+			prevEnd = map[int]int64{}
+			for i := range spans {
+				s := &spans[i]
+				if s.Cat != "core" || s.Name != "flush:write" {
+					continue
+				}
+				flushes++
+				if _, ok := arg(s, "file"); !ok {
+					t.Fatalf("flush span without file annotation: %+v", s)
+				}
+				st, ok := arg(s, "step")
+				if !ok {
+					t.Fatalf("flush span without step annotation: %+v", s)
+				}
+				if b, ok := stepBounds[key{s.Pid, st}]; ok {
+					if int64(s.Start) < b[0] || int64(s.End) > b[1] {
+						t.Fatalf("flush [%d,%d] escapes step %s span [%d,%d] on pid %d",
+							s.Start, s.End, st, b[0], b[1], s.Pid)
+					}
+				} else {
+					t.Fatalf("flush annotated with step %s but no step span on pid %d", st, s.Pid)
+				}
+				if end, ok := prevEnd[s.Pid]; ok && int64(s.Start) < end {
+					overlapping = true
+				}
+				if int64(s.End) > prevEnd[s.Pid] {
+					prevEnd[s.Pid] = int64(s.End)
+				}
+			}
+			if flushes == 0 {
+				t.Fatal("no flush:write spans recorded")
+			}
+			if depth >= 4 && !overlapping {
+				t.Fatal("depth-4 pipeline shows no overlapping flush spans")
+			}
+		})
+	}
+}
+
+// End-to-end Chrome export: a depth-4 trace written to disk parses,
+// validates against the schema, shows rank and server tracks, and
+// every exported lane is a proper nesting (Perfetto renders it
+// without inference).
+func TestChromeExportEndToEnd(t *testing.T) {
+	f := traceFUN3D(t)
+	const procs, steps = 8, 3
+	_, tr, _ := runPipeline(t, f, procs, steps, 4, true)
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	ct, err := obs.ReadChrome(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := obs.ValidateChrome(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != tr.SpanCount() {
+		t.Fatalf("exported %d spans, tracer holds %d", spans, tr.SpanCount())
+	}
+
+	// Track names: every rank plus the server/catalog pids.
+	a := obs.Analyze(ct)
+	for r := 0; r < procs; r++ {
+		if a.Procs[obs.PidRank(r)] == "" {
+			t.Fatalf("rank %d has no process_name metadata", r)
+		}
+	}
+	if a.Procs[obs.PidServers] == "" || a.Procs[obs.PidCatalog] == "" {
+		t.Fatalf("server/catalog tracks unnamed: %v", a.Procs)
+	}
+	if len(a.Servers) == 0 {
+		t.Fatal("no PFS server lanes in the export")
+	}
+	for _, s := range a.Servers {
+		if b := s.Busyness(); b < 0 || b > 1 {
+			t.Fatalf("server %d busyness %v out of range", s.Tid, b)
+		}
+	}
+
+	// A deep pipeline must fan per-file flushes onto extra fork lanes
+	// of at least one rank, and every lane must nest properly.
+	extraLane := false
+	type lane struct{ pid, tid int }
+	byLane := map[lane][]obs.ChromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		byLane[lane{ev.Pid, ev.Tid}] = append(byLane[lane{ev.Pid, ev.Tid}], ev)
+		if ev.Pid >= obs.PidRank(0) && ev.Pid <= obs.PidRank(procs-1) && ev.Tid > 0 {
+			extraLane = true
+		}
+	}
+	if !extraLane {
+		t.Fatal("no forked lanes on any rank — overlap lost in layout")
+	}
+	// Compare at nanosecond resolution: Ts/Dur are microsecond floats,
+	// so ns-exact adjacent windows can differ by an ulp after x.Ts+x.Dur.
+	ns := func(us float64) int64 { return int64(math.Round(us * 1e3)) }
+	for k, evs := range byLane {
+		for i := range evs {
+			for j := i + 1; j < len(evs); j++ {
+				x, y := evs[i], evs[j]
+				xs, xe := ns(x.Ts), ns(x.Ts+x.Dur)
+				ys, ye := ns(y.Ts), ns(y.Ts+y.Dur)
+				disjoint := xe <= ys || ye <= xs
+				nested := (xs <= ys && ye <= xe) || (ys <= xs && xe <= ye)
+				if !disjoint && !nested {
+					t.Fatalf("lane %v: %q [%d,%d] and %q [%d,%d] partially overlap",
+						k, x.Name, xs, xe, y.Name, ys, ye)
+				}
+			}
+		}
+	}
+}
+
+// The metrics registry picks up every subsystem once wired through the
+// cluster, and keeps working after AttachStorage re-wires the sources.
+func TestClusterMetricsRegistry(t *testing.T) {
+	f := traceFUN3D(t)
+	cl := sdm.NewCluster(sdm.Origin2000Config(4))
+	reg := sdm.NewRegistry()
+	cl.SetMetrics(reg)
+	if err := f.Stage(cl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PipelineWriteBandwidth(cl, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, key := range []string{
+		"core.steps", "core.flushed-files", "core.staged-bytes",
+		"pfs.write-requests", "pfs.bytes-written",
+		"metadb.queries", "catalog.calls",
+	} {
+		if snap[key] <= 0 {
+			t.Errorf("metric %q = %d, want > 0", key, snap[key])
+		}
+	}
+	// The snapshot source must agree with the subsystem accessor.
+	if got, want := snap["pfs.bytes-written"], cl.FS.StatsSnapshot().BytesWritten; got != want {
+		t.Fatalf("pfs.bytes-written = %d, accessor says %d", got, want)
+	}
+	if got, want := snap["metadb.queries"], cl.DB.QueryCount(); got != want {
+		t.Fatalf("metadb.queries = %d, accessor says %d", got, want)
+	}
+}
