@@ -9,26 +9,42 @@
 //	sdmcat -list BUNDLEDIR
 //	sdmcat -dataset pressure [-run 1] [-timestep 0] [-as auto|raw|double|int|long]
 //	       [-head 10] [-o out.bin] BUNDLEDIR
+//	sdmcat -remote http://host:8080 [-bundle name] -dataset pressure ...
 //
-// With -as raw the slab's bytes go to stdout (or -o) verbatim; the
-// typed forms print one value per line, decoded per the dataset's
-// registered data type.
+// With -remote the bundle lives behind a running sdmd daemon instead
+// of on the local disk; everything else — flags, output, bytes — is
+// identical, byte for byte. With -as raw the slab's bytes go to stdout
+// (or -o) verbatim; the typed forms print one value per line, decoded
+// per the dataset's registered data type.
 package main
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"sdm"
-	"sdm/internal/catalog"
 	"sdm/internal/pfs"
+	"sdm/internal/wire"
+	"sdm/sdmclient"
 )
+
+// inventory is the tool's bundle view, loadable from a local bundle
+// directory or a remote daemon so the print path is shared.
+type inventory struct {
+	runs     []wire.Run
+	datasets func(run int64) ([]wire.Dataset, error)
+	writes   func(run int64) ([]wire.WriteRecord, error)
+	// read resolves and fetches one full slab plus its type info.
+	read func(run int64, dataset string, timestep int64) ([]byte, wire.Dataset, error)
+}
 
 func main() {
 	list := flag.Bool("list", false, "list the bundle's runs, datasets, and recorded writes")
@@ -38,64 +54,50 @@ func main() {
 	as := flag.String("as", "auto", "output form: auto, raw, double, int, long")
 	head := flag.Int64("head", 0, "print only the first N values (0 = all)")
 	out := flag.String("o", "", "write raw bytes to this file instead of stdout")
+	remote := flag.String("remote", "", "read from a sdmd daemon at this base URL instead of a local bundle")
+	bundle := flag.String("bundle", "", "with -remote: bundle name on a multi-bundle daemon")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdmcat [-list | -dataset name [options]] BUNDLEDIR")
-		os.Exit(2)
+
+	var inv *inventory
+	var err error
+	switch {
+	case *remote != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: sdmcat -remote URL [-bundle name] [-list | -dataset name [options]]")
+			os.Exit(2)
+		}
+		inv, err = openRemote(*remote, *bundle)
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: sdmcat [-list | -dataset name [options]] BUNDLEDIR")
+			os.Exit(2)
+		}
+		if *bundle != "" {
+			log.Fatal("sdmcat: -bundle requires -remote")
+		}
+		inv, err = openLocal(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(describe(err))
 	}
 
-	cl, err := sdm.OpenBundle(flag.Arg(0), sdm.ClusterConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	cat := cl.Catalog
-	cat.SetAccessCost(0)
-
-	runs, err := cat.Runs(nil)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if *list {
-		printInventory(cat, runs)
+		printInventory(inv)
 		return
 	}
 	if *dataset == "" {
 		log.Fatal("sdmcat: -dataset is required (or use -list)")
 	}
 	if *run == 0 {
-		if len(runs) == 0 {
+		if len(inv.runs) == 0 {
 			log.Fatal("sdmcat: bundle has no runs")
 		}
-		*run = runs[len(runs)-1].RunID
+		*run = inv.runs[len(inv.runs)-1].RunID
 	}
 
-	info, err := cat.LookupDataset(nil, *run, *dataset)
+	buf, info, err := inv.read(*run, *dataset, *timestep)
 	if err != nil {
-		log.Fatal(err)
-	}
-	if info == nil {
-		log.Fatalf("sdmcat: dataset %q not registered for run %d", *dataset, *run)
-	}
-	rec, err := cat.LookupWrite(nil, *run, *dataset, *timestep)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if rec == nil {
-		log.Fatalf("sdmcat: no execution_table entry for run %d dataset %q timestep %d",
-			*run, *dataset, *timestep)
-	}
-
-	elemSize := int64(8)
-	if info.DataType == "INTEGER" {
-		elemSize = 4
-	}
-	buf := make([]byte, info.GlobalSize*elemSize)
-	h, err := cl.FS.Open(rec.FileName, pfs.ReadOnly, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := h.ReadAt(buf, rec.FileOffset); err != nil {
-		log.Fatalf("sdmcat: reading %s@%d: %v", rec.FileName, rec.FileOffset, err)
+		log.Fatal(describe(err))
 	}
 
 	form := *as
@@ -145,22 +147,156 @@ func main() {
 	}
 }
 
+// describe prefixes errors with operator-facing context: a refused
+// connection ("is sdmd running?") reads nothing like a missing
+// dataset, because they need opposite fixes.
+func describe(err error) string {
+	switch {
+	case errors.Is(err, sdmclient.ErrUnreachable):
+		return fmt.Sprintf("sdmcat: cannot reach daemon: %v", err)
+	case errors.Is(err, sdmclient.ErrNotFound):
+		return fmt.Sprintf("sdmcat: %v", err)
+	default:
+		return fmt.Sprintf("sdmcat: %v", err)
+	}
+}
+
+// openLocal loads the inventory straight from a bundle directory.
+func openLocal(dir string) (*inventory, error) {
+	cl, err := sdm.OpenBundle(dir, sdm.ClusterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cat := cl.Catalog
+	cat.SetAccessCost(0)
+	runs, err := cat.Runs(nil)
+	if err != nil {
+		return nil, err
+	}
+	inv := &inventory{
+		datasets: func(run int64) ([]wire.Dataset, error) {
+			infos, err := cat.Datasets(nil, run)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]wire.Dataset, len(infos))
+			for i, d := range infos {
+				out[i] = wire.Dataset{RunID: d.RunID, Dataset: d.Dataset, AccessPattern: d.AccessPattern,
+					DataType: d.DataType, StorageOrder: d.StorageOrder, GlobalSize: d.GlobalSize}
+			}
+			return out, nil
+		},
+		writes: func(run int64) ([]wire.WriteRecord, error) {
+			recs, err := cat.WritesForRun(nil, run)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]wire.WriteRecord, len(recs))
+			for i, r := range recs {
+				out[i] = wire.WriteRecord{RunID: r.RunID, Dataset: r.Dataset, Timestep: r.Timestep,
+					FileOffset: r.FileOffset, FileName: r.FileName}
+			}
+			return out, nil
+		},
+		read: func(run int64, dataset string, timestep int64) ([]byte, wire.Dataset, error) {
+			var none wire.Dataset
+			info, err := cat.LookupDataset(nil, run, dataset)
+			if err != nil {
+				return nil, none, err
+			}
+			if info == nil {
+				return nil, none, fmt.Errorf("dataset %q not registered for run %d", dataset, run)
+			}
+			rec, err := cat.LookupWrite(nil, run, dataset, timestep)
+			if err != nil {
+				return nil, none, err
+			}
+			if rec == nil {
+				return nil, none, fmt.Errorf("no execution_table entry for run %d dataset %q timestep %d",
+					run, dataset, timestep)
+			}
+			wd := wire.Dataset{RunID: info.RunID, Dataset: info.Dataset, DataType: info.DataType,
+				StorageOrder: info.StorageOrder, AccessPattern: info.AccessPattern, GlobalSize: info.GlobalSize}
+			buf := make([]byte, info.GlobalSize*wd.ElemSize())
+			h, err := cl.FS.Open(rec.FileName, pfs.ReadOnly, nil)
+			if err != nil {
+				return nil, none, err
+			}
+			if _, err := h.ReadAt(buf, rec.FileOffset); err != nil {
+				return nil, none, fmt.Errorf("reading %s@%d: %v", rec.FileName, rec.FileOffset, err)
+			}
+			return buf, wd, nil
+		},
+	}
+	for _, r := range runs {
+		inv.runs = append(inv.runs, wire.Run{RunID: r.RunID, Application: r.Application,
+			Dimension: r.Dimension, ProblemSize: r.ProblemSize, Timesteps: r.Timesteps,
+			Stamp: r.Stamp.Format("2006-01-02 15:04")})
+	}
+	return inv, nil
+}
+
+// openRemote loads the inventory from a sdmd daemon via the client SDK.
+func openRemote(base, bundle string) (*inventory, error) {
+	var opts []sdmclient.Option
+	if bundle != "" {
+		opts = append(opts, sdmclient.WithBundle(bundle))
+	}
+	c := sdmclient.New(base, opts...)
+	runs, err := c.Runs()
+	if err != nil {
+		return nil, err
+	}
+	for i := range runs {
+		if t, perr := time.Parse(time.RFC3339, runs[i].Stamp); perr == nil {
+			runs[i].Stamp = t.Format("2006-01-02 15:04")
+		}
+	}
+	return &inventory{
+		runs:     runs,
+		datasets: c.Datasets,
+		writes:   c.Writes,
+		read: func(run int64, dataset string, timestep int64) ([]byte, wire.Dataset, error) {
+			var none wire.Dataset
+			infos, err := c.Datasets(run)
+			if err != nil {
+				return nil, none, err
+			}
+			var info *wire.Dataset
+			for i := range infos {
+				if infos[i].Dataset == dataset {
+					info = &infos[i]
+					break
+				}
+			}
+			if info == nil {
+				return nil, none, fmt.Errorf("%w: dataset %q not registered for run %d", sdmclient.ErrNotFound, dataset, run)
+			}
+			buf, err := c.ReadDataset(run, dataset, timestep)
+			if err != nil {
+				return nil, none, err
+			}
+			return buf, *info, nil
+		},
+	}, nil
+}
+
 // printInventory lists what the bundle's catalog knows: runs, their
 // datasets, and every recorded write.
-func printInventory(cat *catalog.Catalog, runs []catalog.Run) {
+func printInventory(inv *inventory) {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	for _, r := range runs {
-		fmt.Fprintf(w, "run %d\t%s\t%s\n", r.RunID, r.Application, r.Stamp.Format("2006-01-02 15:04"))
-		infos, err := cat.Datasets(nil, r.RunID)
+	for _, r := range inv.runs {
+		fmt.Fprintf(w, "run %d\t%s\t%s\n", r.RunID, r.Application, r.Stamp)
+		infos, err := inv.datasets(r.RunID)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(describe(err))
 		}
 		for _, d := range infos {
 			fmt.Fprintf(w, "  dataset %s\t%s x %d\t%s\n", d.Dataset, d.DataType, d.GlobalSize, d.AccessPattern)
 		}
-		recs, err := cat.WritesForRun(nil, r.RunID)
+		recs, err := inv.writes(r.RunID)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(describe(err))
 		}
 		for _, rec := range recs {
 			fmt.Fprintf(w, "  write %s@%d\t%s\toffset %d\n", rec.Dataset, rec.Timestep, rec.FileName, rec.FileOffset)

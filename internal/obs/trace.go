@@ -43,6 +43,11 @@ const (
 	PidServers = 1 << 20
 	PidCatalog = 1<<20 + 1
 	PidStore   = 1<<20 + 2
+	// PidSDMD is the network daemon's request track. Unlike the
+	// simulation tracks, sdmd spans carry host time (nanoseconds since
+	// the server started) — the daemon serves real clients, not
+	// simulated ranks — but share the Chrome export machinery.
+	PidSDMD = 1<<20 + 3
 )
 
 // PidRank maps an MPI rank to its trace process id.

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdm/internal/obs"
+)
+
+// session scoping: a network AttachRun. A session pins (bundle, run)
+// so reads can name a session instead of re-qualifying every request,
+// and gives the server a lifecycle to guard: attach validates the run,
+// every touched request refreshes the idle deadline, detach (or the
+// idle timeout) ends it.
+type session struct {
+	id       string
+	bundle   string
+	run      int64
+	lastUsed time.Time
+}
+
+// errSessionUnknown distinguishes "never existed or already detached"
+// from plain not-found errors; expired sessions surface the same way
+// (the client cannot tell a reaped session from a detached one, by
+// design — both mean "attach again").
+var errSessionUnknown = errors.New("unknown or expired session")
+
+// DefaultIdleTimeout reaps sessions untouched for this long when
+// Config leaves IdleTimeout zero.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// sessionTable is the concurrency-guarded session registry.
+type sessionTable struct {
+	mu       sync.Mutex
+	m        map[string]*session
+	idle     time.Duration
+	now      func() time.Time // test hook
+	inFlight *obs.Gauge
+	attaches *obs.Counter
+	expires  *obs.Counter
+}
+
+func newSessionTable(idle time.Duration) *sessionTable {
+	if idle <= 0 {
+		idle = DefaultIdleTimeout
+	}
+	return &sessionTable{
+		m:    make(map[string]*session),
+		idle: idle,
+		now:  time.Now,
+	}
+}
+
+func (t *sessionTable) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	t.inFlight = r.Gauge("server.sessions.active")
+	t.attaches = r.Counter("server.sessions.attached")
+	t.expires = r.Counter("server.sessions.expired")
+}
+
+// attach creates a session on (bundle, run); the caller has already
+// validated that the run exists.
+func (t *sessionTable) attach(bundle string, run int64) (*session, error) {
+	var raw [12]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return nil, fmt.Errorf("server: minting session id: %w", err)
+	}
+	s := &session{
+		id:     hex.EncodeToString(raw[:]),
+		bundle: bundle,
+		run:    run,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.lastUsed = t.now()
+	t.sweepLocked()
+	t.m[s.id] = s
+	t.attaches.Add(1)
+	t.inFlight.Set(int64(len(t.m)))
+	return s, nil
+}
+
+// touch refreshes a session's idle deadline and returns a copy of it.
+func (t *sessionTable) touch(id string) (session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	s, ok := t.m[id]
+	if !ok {
+		return session{}, errSessionUnknown
+	}
+	s.lastUsed = t.now()
+	return *s, nil
+}
+
+// detach removes a session.
+func (t *sessionTable) detach(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	if _, ok := t.m[id]; !ok {
+		return errSessionUnknown
+	}
+	delete(t.m, id)
+	t.inFlight.Set(int64(len(t.m)))
+	return nil
+}
+
+// active reports the number of live (unexpired) sessions.
+func (t *sessionTable) active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	return len(t.m)
+}
+
+// sweepLocked reaps idle-expired sessions. It runs inline on every
+// table operation, so expiry needs no janitor goroutine: a session
+// whose deadline passed is gone the next time anything looks.
+func (t *sessionTable) sweepLocked() {
+	deadline := t.now().Add(-t.idle)
+	swept := false
+	for id, s := range t.m {
+		if s.lastUsed.Before(deadline) {
+			delete(t.m, id)
+			t.expires.Add(1)
+			swept = true
+		}
+	}
+	if swept {
+		t.inFlight.Set(int64(len(t.m)))
+	}
+}

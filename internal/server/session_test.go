@@ -1,0 +1,52 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSessionIdleExpiry drives the idle sweep with a fake clock: a
+// session untouched past the deadline is gone on the next table
+// operation, a touched one survives.
+func TestSessionIdleExpiry(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tab := newSessionTable(time.Minute)
+	tab.now = func() time.Time { return now }
+
+	a, err := tab.attach("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tab.attach("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.id == b.id {
+		t.Fatal("two attaches minted the same session id")
+	}
+
+	// Keep b alive across the window; let a idle out.
+	now = now.Add(45 * time.Second)
+	if _, err := tab.touch(b.id); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second) // a is now 90s idle, b only 45s
+	if _, err := tab.touch(a.id); !errors.Is(err, errSessionUnknown) {
+		t.Fatalf("idle session: got %v, want errSessionUnknown", err)
+	}
+	if _, err := tab.touch(b.id); err != nil {
+		t.Fatalf("kept-alive session expired: %v", err)
+	}
+	if got := tab.active(); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+
+	// Detach is terminal; a second detach reports unknown.
+	if err := tab.detach(b.id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.detach(b.id); !errors.Is(err, errSessionUnknown) {
+		t.Fatalf("double detach: got %v, want errSessionUnknown", err)
+	}
+}
