@@ -148,6 +148,25 @@ func (c *BlockCache) block(file string, size, idx int64, fetch Fetcher) ([]byte,
 	c.missCtr.Add(1)
 	c.mu.Unlock()
 
+	// Cleanup is deferred so it runs even when the Fetcher panics
+	// (net/http recovers the panic per-request): the inflight entry
+	// must come out and done must close, or every later reader of this
+	// block waits forever. A panic leaves fetched false, which waiters
+	// see as an error rather than a nil block.
+	fetched := false
+	defer func() {
+		if !fetched && f.err == nil {
+			f.err = fmt.Errorf("server: block fetch of %q panicked", file)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.data)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
 	off := idx * c.blockSize
 	n := c.blockSize
 	if off+n > size {
@@ -157,14 +176,7 @@ func (c *BlockCache) block(file string, size, idx int64, fetch Fetcher) ([]byte,
 	if f.err == nil && int64(len(f.data)) != n {
 		f.err = fmt.Errorf("server: block fetch of %q returned %d bytes, want %d", file, len(f.data), n)
 	}
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.insertLocked(key, f.data)
-	}
-	c.mu.Unlock()
-	close(f.done)
+	fetched = true
 	return f.data, f.err
 }
 
@@ -201,8 +213,8 @@ func (c *BlockCache) insertLocked(key blockKey, data []byte) {
 // total size) into w, block by block through the cache. It reports the
 // bytes written; a short count comes with the causing error.
 func (c *BlockCache) WriteRange(w io.Writer, file string, size, off, n int64, fetch Fetcher) (int64, error) {
-	if off < 0 || n < 0 || off+n > size {
-		return 0, fmt.Errorf("server: range [%d,%d) outside file %q of %d bytes", off, off+n, file, size)
+	if off < 0 || n < 0 || off > size || n > size-off {
+		return 0, fmt.Errorf("server: range off=%d len=%d outside file %q of %d bytes", off, n, file, size)
 	}
 	var written int64
 	for n > 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // backingFile is a deterministic pseudo-file the fetchers read from,
@@ -216,6 +217,83 @@ func TestCacheOversizedBlockServed(t *testing.T) {
 	}
 	if st := c.Stats(); st.Bytes != 0 || st.Blocks != 0 {
 		t.Fatalf("oversized block was cached: %d bytes resident", st.Bytes)
+	}
+}
+
+// TestCacheFetcherPanicReleasesWaiters pins the panic-safety contract:
+// a Fetcher that panics (net/http recovers it per-request) must not
+// wedge the cache — coalesced waiters get an error instead of hanging
+// on done forever, and the next read of the block retries cleanly.
+func TestCacheFetcherPanicReleasesWaiters(t *testing.T) {
+	const blockSize = 1 << 10
+	f := newBackingFile(9, 4*blockSize)
+	c := NewBlockCache(blockSize, 64<<10)
+	size := int64(len(f.data))
+
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	panicFetch := func(off, n int64) ([]byte, error) {
+		close(arrived)
+		<-release
+		panic("fetcher blew up")
+	}
+
+	go func() {
+		defer func() { _ = recover() }() // play net/http: swallow it
+		buf := make([]byte, blockSize)
+		_ = c.ReadAt(buf, "f", size, 0, panicFetch)
+	}()
+	<-arrived // leader is parked inside the fetch, inflight registered
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, blockSize)
+		waiterErr <- c.ReadAt(buf, "f", size, 0, f.fetch)
+	}()
+	for c.Stats().Waits == 0 { // waiter has coalesced onto the leader
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Fatal("waiter behind a panicked fetch reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung behind a panicked fetch")
+	}
+
+	// The inflight entry is gone: a fresh read retries and succeeds.
+	buf := make([]byte, blockSize)
+	if err := c.ReadAt(buf, "f", size, 0, f.fetch); err != nil {
+		t.Fatalf("read after panicked fetch: %v", err)
+	}
+	if !bytes.Equal(buf, f.data[:blockSize]) {
+		t.Fatal("read after panicked fetch returned wrong bytes")
+	}
+}
+
+// TestCacheRangeOverflowRejected pins the overflow-safe bounds check:
+// off and n chosen so off+n wraps negative are rejected up front, never
+// reaching the backend.
+func TestCacheRangeOverflowRejected(t *testing.T) {
+	f := newBackingFile(10, 1024)
+	c := NewBlockCache(256, 4<<10)
+	big := int64(1) << 62
+	for _, r := range []struct{ off, n int64 }{
+		{big, big},     // off+n wraps negative
+		{big, 100},     // off alone past the end
+		{0, big},       // n alone past the end
+		{1<<63 - 1, 1}, // off+n wraps at the int64 edge
+	} {
+		var sink bytes.Buffer
+		if _, err := c.WriteRange(&sink, "f", 1024, r.off, r.n, f.fetch); err == nil {
+			t.Fatalf("range off=%d len=%d accepted", r.off, r.n)
+		}
+	}
+	if got := f.fetches.Load(); got != 0 {
+		t.Fatalf("overflowing ranges reached the backend: %d fetches", got)
 	}
 }
 

@@ -583,12 +583,12 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessions.touch(r.PathValue("id"))
+	sess, idle, err := s.sessions.touch(r.PathValue("id"))
 	if err != nil {
 		fail(w, errNotFound("%v", err))
 		return
 	}
-	reply(w, wire.SessionInfo{Session: sess.id, Bundle: sess.bundle, Run: sess.run})
+	reply(w, wire.SessionInfo{Session: sess.id, Bundle: sess.bundle, Run: sess.run, IdleMS: idle.Milliseconds()})
 }
 
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
@@ -628,7 +628,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	// A session header scopes the read: it must be live, and it must
 	// match the (bundle, run) being read.
 	if id := r.Header.Get(wire.SessionHeader); id != "" {
-		sess, err := s.sessions.touch(id)
+		sess, _, err := s.sessions.touch(id)
 		if err != nil {
 			fail(w, errNotFound("%v", err))
 			return
@@ -680,8 +680,10 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	} else {
 		n = full - off
 	}
-	if off < 0 || n < 0 || off+n > full {
-		fail(w, errRange("range [%d,%d) outside dataset %q of %d bytes", off, off+n, dataset, full))
+	// Checked as off > full, n > full-off — never off+n, which a
+	// crafted query (both near 2^62) wraps negative to slip past.
+	if off < 0 || n < 0 || off > full || n > full-off {
+		fail(w, errRange("range off=%d len=%d outside dataset %q of %d bytes", off, n, dataset, full))
 		return
 	}
 
@@ -720,6 +722,10 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	written, err := s.cache.WriteRange(w, cacheFile, size, rec.FileOffset+off, n, fetch)
 	s.bytesServed.Add(written)
 	if err != nil && written == 0 {
+		// Nothing hit the wire yet, so the header block is still
+		// mutable: clear the dataset-sized Content-Length before fail
+		// writes its JSON envelope against it.
+		w.Header().Del("Content-Length")
 		fail(w, err)
 	}
 	// A mid-stream error can only tear the connection; the client sees

@@ -247,6 +247,47 @@ func TestReadBytesIdentical(t *testing.T) {
 	}
 }
 
+// TestReadRangeOverflowRejected drives the crafted ?off=&len= queries
+// whose sum wraps negative: each must come back 416, not panic the
+// read path.
+func TestReadRangeOverflowRejected(t *testing.T) {
+	fx := newFixture(t, []string{"pressure"}, 1, 16)
+	_, hs := newServer(t, server.Config{}, fx)
+	big := strconv.FormatInt(1<<62, 10)
+	for _, q := range []string{
+		"off=" + big + "&len=" + big,
+		"off=" + big,
+		"len=" + big,
+		"off=9223372036854775807&len=1",
+	} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/read/%d/pressure/0?%s", hs.URL, fx.run, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("?%s: status %d, want 416", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestDatasetNameEscaping reads a dataset whose name holds URL-hostile
+// characters; the client escapes the path segment so the request still
+// routes and the bytes still match.
+func TestDatasetNameEscaping(t *testing.T) {
+	const name = "p 100%"
+	fx := newFixture(t, []string{name}, 1, 16)
+	_, hs := newServer(t, server.Config{}, fx)
+	c := sdmclient.New(hs.URL)
+	got, err := c.ReadDataset(fx.run, name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fx.slabs[name+"@0"]) {
+		t.Fatal("escaped dataset name read wrong bytes")
+	}
+}
+
 func TestSessionLifecycle(t *testing.T) {
 	fx := newFixture(t, []string{"pressure"}, 2, 32)
 	srv, hs := newServer(t, server.Config{}, fx)

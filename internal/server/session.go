@@ -86,17 +86,20 @@ func (t *sessionTable) attach(bundle string, run int64) (*session, error) {
 	return s, nil
 }
 
-// touch refreshes a session's idle deadline and returns a copy of it.
-func (t *sessionTable) touch(id string) (session, error) {
+// touch refreshes a session's idle deadline and returns a copy of it,
+// plus how long it had sat idle before this touch reset the clock.
+func (t *sessionTable) touch(id string) (session, time.Duration, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.sweepLocked()
 	s, ok := t.m[id]
 	if !ok {
-		return session{}, errSessionUnknown
+		return session{}, 0, errSessionUnknown
 	}
-	s.lastUsed = t.now()
-	return *s, nil
+	now := t.now()
+	idle := now.Sub(s.lastUsed)
+	s.lastUsed = now
+	return *s, idle, nil
 }
 
 // detach removes a session.

@@ -28,15 +28,19 @@ func TestSessionIdleExpiry(t *testing.T) {
 
 	// Keep b alive across the window; let a idle out.
 	now = now.Add(45 * time.Second)
-	if _, err := tab.touch(b.id); err != nil {
+	if _, idle, err := tab.touch(b.id); err != nil {
 		t.Fatal(err)
+	} else if idle != 45*time.Second {
+		t.Fatalf("touch reported idle %v, want 45s", idle)
 	}
 	now = now.Add(45 * time.Second) // a is now 90s idle, b only 45s
-	if _, err := tab.touch(a.id); !errors.Is(err, errSessionUnknown) {
+	if _, _, err := tab.touch(a.id); !errors.Is(err, errSessionUnknown) {
 		t.Fatalf("idle session: got %v, want errSessionUnknown", err)
 	}
-	if _, err := tab.touch(b.id); err != nil {
+	if _, idle, err := tab.touch(b.id); err != nil {
 		t.Fatalf("kept-alive session expired: %v", err)
+	} else if idle != 45*time.Second {
+		t.Fatalf("touch reported idle %v, want 45s", idle)
 	}
 	if got := tab.active(); got != 1 {
 		t.Fatalf("active = %d, want 1", got)

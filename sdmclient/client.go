@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -92,7 +93,7 @@ func (c *Client) url(path string) string {
 		if strings.Contains(path, "?") {
 			sep = "&"
 		}
-		u += sep + "bundle=" + c.bundle
+		u += sep + "bundle=" + url.QueryEscape(c.bundle)
 	}
 	return u
 }
@@ -255,7 +256,7 @@ func (c *Client) Detach() error {
 	if id == "" {
 		return nil
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.url("/v1/sessions/"+id), nil)
+	req, err := http.NewRequest(http.MethodDelete, c.url("/v1/sessions/"+url.PathEscape(id)), nil)
 	if err != nil {
 		return err
 	}
@@ -272,7 +273,9 @@ func (c *Client) Detach() error {
 // is positive. The caller must Close the reader. Size is the exact
 // byte length of the stream.
 func (c *Client) OpenDataset(run int64, dataset string, timestep, off, n int64) (rd io.ReadCloser, size int64, err error) {
-	path := fmt.Sprintf("/v1/read/%d/%s/%d", run, dataset, timestep)
+	// Dataset names are user data; escape so '/', '?', '%', and spaces
+	// can't reroute or break the request path.
+	path := fmt.Sprintf("/v1/read/%d/%s/%d", run, url.PathEscape(dataset), timestep)
 	var params []string
 	if off != 0 {
 		params = append(params, "off="+strconv.FormatInt(off, 10))
