@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle|trace|serve] [-nx 32]
+//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle|trace|serve|metadata] [-nx 32]
 //	         [-rtnx 40] [-procs 64] [-steps 2] [-rtsteps 5] [-pipesteps 8]
 //	         [-json BENCH.json] [-bundle DIR] [-trace out.json]
 //
@@ -135,7 +135,7 @@ func (bl *benchLog) write(path string) error {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, trace, serve, or all")
+	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, trace, serve, metadata, or all")
 	nx := flag.Int("nx", 32, "FUN3D mesh cells per dimension (paper: ~18M edges; 32 => ~245k)")
 	rtnx := flag.Int("rtnx", 40, "RT mesh cells per dimension")
 	procs := flag.Int("procs", 64, "process count for fig5/fig6")
@@ -176,6 +176,8 @@ func main() {
 		runTraceOverhead(*nx, *procs, *pipesteps, bl)
 	case "serve":
 		runServe(*nx, *procs, *steps, bl)
+	case "metadata":
+		runMetadata(bl)
 	case "all":
 		runFig5(*nx, *procs, bl)
 		runFig6(*nx, *procs, *steps, bl)
@@ -185,6 +187,7 @@ func main() {
 		runBundleBench(*nx, *procs, *steps, bl)
 		runTraceOverhead(*nx, *procs, *pipesteps, bl)
 		runServe(*nx, *procs, *steps, bl)
+		runMetadata(bl)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}

@@ -8,8 +8,9 @@
 // and persists changes back with \w.
 //
 // Meta commands (on their own line): \t lists tables, \d <table>
-// shows columns, \w writes the database back to the -db file,
-// \q quits.
+// shows columns, \stats prints the engine's query statistics
+// (plan-kind and single-shard vs scatter counts included), \w writes
+// the database back to the -db file, \q quits.
 //
 // Usage:
 //
@@ -87,6 +88,10 @@ func main() {
 						fmt.Println(c)
 					}
 				}
+				prompt()
+				continue
+			case line == `\stats`:
+				printStats(db)
 				prompt()
 				continue
 			case line == `\w`:
@@ -169,6 +174,28 @@ func execute(db *metadb.DB, stmt string) {
 		return
 	}
 	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+// printStats dumps one consistent snapshot of the engine's counters,
+// including how queries split across plan kinds and across
+// single-shard vs scatter execution.
+func printStats(db *metadb.DB) {
+	st := db.StatsSnapshot()
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "queries\t%d\n", st.Queries)
+	fmt.Fprintf(w, "rows scanned\t%d\n", st.RowsScanned)
+	fmt.Fprintf(w, "index hits\t%d\n", st.IndexHits)
+	fmt.Fprintf(w, "order skips\t%d\n", st.OrderSkips)
+	fmt.Fprintf(w, "plan eq\t%d\n", st.PlanEq)
+	fmt.Fprintf(w, "plan range\t%d\n", st.PlanRange)
+	fmt.Fprintf(w, "plan scan\t%d\n", st.PlanScan)
+	fmt.Fprintf(w, "single-shard plans\t%d\n", st.PlanSingleShard)
+	fmt.Fprintf(w, "scatter plans\t%d\n", st.PlanScatter)
+	fmt.Fprintf(w, "snapshots\t%d\n", st.Snapshots)
+	fmt.Fprintf(w, "commits\t%d\n", st.Commits)
+	fmt.Fprintf(w, "shard waits\t%d\n", st.ShardWaits)
+	fmt.Fprintf(w, "shards\t%d\n", int64(db.NumShards()))
+	w.Flush()
 }
 
 func save(db *metadb.DB, path string) error {

@@ -58,7 +58,7 @@ func TestLookupWritesBatchAndCompositeIndex(t *testing.T) {
 	}
 	keys := []WriteKey{{"p", 3}, {"q", 5}, {"p", 99}} // last one missing
 	clock := sim.NewClock()
-	hits0, scanned0 := c.db.IndexHits(), c.db.RowsScanned()
+	st0 := c.DBStats()
 	before := clock.Now()
 	recs, err := c.LookupWrites(clock, 1, keys)
 	if err != nil {
@@ -73,13 +73,25 @@ func TestLookupWritesBatchAndCompositeIndex(t *testing.T) {
 	if recs[0].FileOffset != 300 || recs[1].FileOffset != 500 {
 		t.Fatalf("batch lookup offsets: %+v %+v", recs[0], recs[1])
 	}
-	if gotHits := c.db.IndexHits() - hits0; gotHits != 3 {
+	st := c.DBStats()
+	if gotHits := st.IndexHits - st0.IndexHits; gotHits != 3 {
 		t.Fatalf("IndexHits delta = %d, want 3 (one per probe)", gotHits)
 	}
 	// Present keys scan exactly their single matching row; the missing
 	// key scans none.
-	if gotScanned := c.db.RowsScanned() - scanned0; gotScanned != 2 {
+	if gotScanned := st.RowsScanned - st0.RowsScanned; gotScanned != 2 {
 		t.Fatalf("RowsScanned delta = %d, want 2", gotScanned)
+	}
+	// Each probe binds runid, the execution table's shard column, so a
+	// sharded engine serves it from exactly one shard.
+	if gotEq := st.PlanEq - st0.PlanEq; gotEq != 3 {
+		t.Fatalf("PlanEq delta = %d, want 3", gotEq)
+	}
+	if gotSingle := st.PlanSingleShard - st0.PlanSingleShard; gotSingle != 3 {
+		t.Fatalf("PlanSingleShard delta = %d, want 3 (probes bind the shard column)", gotSingle)
+	}
+	if gotScatter := st.PlanScatter - st0.PlanScatter; gotScatter != 0 {
+		t.Fatalf("PlanScatter delta = %d, want 0", gotScatter)
 	}
 }
 
@@ -96,7 +108,7 @@ func TestLookupWriteUsesCompositeIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	scanned0 := c.db.RowsScanned()
+	st0 := c.DBStats()
 	rec, err := c.LookupWrite(nil, 1, "p", 17)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +116,11 @@ func TestLookupWriteUsesCompositeIndex(t *testing.T) {
 	if rec == nil || rec.FileOffset != 17 {
 		t.Fatalf("lookup = %+v", rec)
 	}
-	if got := c.db.RowsScanned() - scanned0; got != 1 {
+	st := c.DBStats()
+	if got := st.RowsScanned - st0.RowsScanned; got != 1 {
 		t.Fatalf("LookupWrite scanned %d rows, want 1 via composite index", got)
+	}
+	if got := st.PlanSingleShard - st0.PlanSingleShard; got != 1 {
+		t.Fatalf("LookupWrite used %d single-shard plans, want 1", got)
 	}
 }

@@ -9,11 +9,32 @@ import (
 	"sync/atomic"
 )
 
-// DB is an embedded database instance. It is safe for concurrent use.
+// DB is an embedded database instance. It is safe for concurrent use,
+// and readers scale: every SELECT/EXPLAIN runs against an immutable
+// MVCC snapshot obtained with one atomic pointer load, so readers
+// never block the writer and never observe a half-applied multi-row
+// batch. Tables are hash-sharded by the leading column of their widest
+// index; writers build new shard versions copy-on-write under
+// per-shard locks, so batches routed to disjoint shards commit in
+// parallel (see mvcc.go for the protocol).
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*table
+	state   atomic.Pointer[dbState]
+	nshards int
 
+	// commitMu serializes publication of new states; the critical
+	// section is a shallow rebase onto the latest tip, not the edit.
+	commitMu sync.Mutex
+	// ddlMu fences schema changes: DML takes the read side, DDL and
+	// Load the write side, so a statement's table metadata cannot
+	// change under it.
+	ddlMu sync.RWMutex
+	// locksMu guards the per-table writer-lock registry (entries are
+	// created by DDL, looked up by DML).
+	locksMu sync.RWMutex
+	locks   map[string]*tableLocks
+
+	// stmtMu guards the shared prepared-statement cache used by the
+	// DB-level convenience methods; Session handles bypass it.
 	stmtMu    sync.Mutex
 	stmtCache map[string]cachedStmt
 
@@ -28,22 +49,19 @@ type DB struct {
 	planEqCount    atomic.Int64
 	planRangeCount atomic.Int64
 	planScanCount  atomic.Int64
+	// The same statements split by shard targeting: plans that read
+	// exactly one shard vs scatter-gather plans that merge all shards.
+	planSingleShard atomic.Int64
+	planScatter     atomic.Int64
+
+	snapshots  atomic.Int64 // MVCC snapshots taken by read statements
+	commits    atomic.Int64 // state versions published by writers
+	shardWaits atomic.Int64 // contended shard-lock acquisitions
 }
 
 type cachedStmt struct {
 	stmt    statement
 	nparams int
-}
-
-// table holds rows in insertion order with optional hash indexes.
-type table struct {
-	name    string
-	cols    []columnDef
-	colIdx  map[string]int
-	nextID  int64
-	order   []int64 // row ids in insertion order
-	rows    map[int64][]Value
-	indexes map[string]*index // keyed by the joined column list (see indexKey)
 }
 
 // indexKey is the map key an index is registered under: its column
@@ -60,7 +78,8 @@ type bucket struct {
 	ids  []int64
 }
 
-// index is a hash index over one or more columns. Single-column indexes
+// index is a hash index over one or more columns; each shard holds its
+// own instance covering that shard's rows. Single-column indexes
 // additionally support range scans and ORDER BY service through the
 // sorted bucket cache; composite (multi-column) indexes answer only
 // full-equality lookups — the shape of the catalog's
@@ -72,11 +91,11 @@ type index struct {
 	m      map[string]*bucket
 	// sorted caches the buckets ordered by compare(vals[0]); nil when a
 	// structural change (new or emptied bucket) made it stale. Range
-	// predicates rebuild it lazily and binary-search it. sortMu
-	// serializes the rebuild: SELECTs run under the DB's read lock, so
-	// two queries may race to rebuild; mutations invalidate only under
-	// the DB's exclusive lock. Only maintained meaningfully for
-	// single-column indexes.
+	// predicates rebuild it lazily and binary-search it; sortMu
+	// serializes racing rebuilds. Published indexes are otherwise
+	// immutable (writers clone copy-on-write), so this is the one
+	// tolerated in-place mutation and it is idempotent. Only maintained
+	// meaningfully for single-column indexes.
 	sortMu sync.Mutex
 	sorted []*bucket
 }
@@ -124,7 +143,9 @@ func (idx *index) rowKey(row []Value) string {
 	return sb.String()
 }
 
-// insert records id under the row's indexed tuple.
+// insert records id under the row's indexed tuple. Only used while
+// bulk-building a fresh (unpublished) index; published indexes mutate
+// through editIndex's copy-on-write path.
 func (idx *index) insert(row []Value, id int64) {
 	key := idx.rowKey(row)
 	b, ok := idx.m[key]
@@ -135,28 +156,8 @@ func (idx *index) insert(row []Value, id int64) {
 		}
 		b = &bucket{vals: vals}
 		idx.m[key] = b
-		idx.sorted = nil // new distinct tuple invalidates the order cache
 	}
 	b.ids = append(b.ids, id)
-}
-
-// remove drops id from the row's tuple bucket.
-func (idx *index) remove(row []Value, id int64) {
-	key := idx.rowKey(row)
-	b, ok := idx.m[key]
-	if !ok {
-		return
-	}
-	for i, x := range b.ids {
-		if x == id {
-			b.ids = append(b.ids[:i], b.ids[i+1:]...)
-			break
-		}
-	}
-	if len(b.ids) == 0 {
-		delete(idx.m, key)
-		idx.sorted = nil
-	}
 }
 
 // lookupEq returns the ids matching a value tuple exactly. vals must
@@ -169,9 +170,9 @@ func (idx *index) lookupEq(vals []Value) []int64 {
 }
 
 // ensureSorted (re)builds the ordered bucket list and returns it.
-// Safe for concurrent readers: the rebuild is serialized by sortMu and
-// the returned slice is immutable until the next mutation (which runs
-// under the DB's exclusive lock, with no readers active).
+// Safe for concurrent readers: the rebuild is serialized by sortMu,
+// rebuilds are idempotent, and the bucket set itself never changes
+// after publication.
 func (idx *index) ensureSorted() []*bucket {
 	idx.sortMu.Lock()
 	defer idx.sortMu.Unlock()
@@ -185,42 +186,6 @@ func (idx *index) ensureSorted() []*bucket {
 	sort.Slice(s, func(i, j int) bool { return compare(s[i].vals[0], s[j].vals[0]) < 0 })
 	idx.sorted = s
 	return s
-}
-
-// orderIDs reorders matched row ids into the index's value order —
-// buckets ascending (or descending) by compare, ids ascending within
-// each bucket — which is exactly what the stable result sort over
-// insertion-ordered rows produces, so serving ORDER BY from the index
-// is output-identical to sorting.
-func (idx *index) orderIDs(ids []int64, desc bool) []int64 {
-	want := make(map[int64]bool, len(ids))
-	for _, id := range ids {
-		want[id] = true
-	}
-	out := make([]int64, 0, len(ids))
-	takeBucket := func(b *bucket) {
-		start := len(out)
-		for _, id := range b.ids {
-			if want[id] {
-				out = append(out, id)
-			}
-		}
-		// A bucket's id order can drift from insertion order after
-		// UPDATEs (remove + re-insert); restore it so ties keep the
-		// stable-sort tie order.
-		sort.Slice(out[start:], func(i, j int) bool { return out[start+i] < out[start+j] })
-	}
-	s := idx.ensureSorted()
-	if desc {
-		for i := len(s) - 1; i >= 0; i-- {
-			takeBucket(s[i])
-		}
-	} else {
-		for _, b := range s {
-			takeBucket(b)
-		}
-	}
-	return out
 }
 
 // lookupRange returns the ids of every bucket within the given bounds.
@@ -259,9 +224,121 @@ func (idx *index) lookupRange(lo *Value, loInc bool, hi *Value, hiInc bool) []in
 	return out
 }
 
-// New creates an empty database.
-func New() *DB {
-	return &DB{tables: make(map[string]*table), stmtCache: make(map[string]cachedStmt)}
+// orderIDs reorders matched row ids into an index's value order —
+// buckets ascending (or descending) by compare, ids ascending within
+// each distinct value — which is exactly what the stable result sort
+// over insertion-ordered rows produces, so serving ORDER BY from the
+// index is output-identical to sorting. Across shards the per-shard
+// sorted bucket lists are merged; buckets comparing equal in different
+// shards combine, their matched ids interleaved in ascending id
+// (insertion) order, preserving the stable sort's tie order.
+func (t *tableData) orderIDs(key string, ids []int64, desc bool, scr *sortScratch) []int64 {
+	var want map[int64]bool
+	if scr != nil {
+		if scr.want == nil {
+			scr.want = make(map[int64]bool, len(ids))
+		} else {
+			clear(scr.want)
+		}
+		want = scr.want
+	} else {
+		want = make(map[int64]bool, len(ids))
+	}
+	for _, id := range ids {
+		want[id] = true
+	}
+	lists := make([][]*bucket, len(t.shards))
+	heads := make([]int, len(t.shards))
+	for s, sh := range t.shards {
+		lists[s] = sh.indexes[key].ensureSorted()
+		if desc {
+			heads[s] = len(lists[s]) - 1
+		}
+	}
+	// The per-shard lists ascend; cursors walk forward for ASC and
+	// backward for DESC.
+	live := func(s int) bool {
+		if desc {
+			return heads[s] >= 0
+		}
+		return heads[s] < len(lists[s])
+	}
+	out := make([]int64, 0, len(ids))
+	var group []int64
+	for {
+		best := -1
+		for s := range lists {
+			if !live(s) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			c := compare(lists[s][heads[s]].vals[0], lists[best][heads[best]].vals[0])
+			if (!desc && c < 0) || (desc && c > 0) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		bv := lists[best][heads[best]].vals[0]
+		group = group[:0]
+		for s := range lists {
+			if live(s) && compare(lists[s][heads[s]].vals[0], bv) == 0 {
+				for _, id := range lists[s][heads[s]].ids {
+					if want[id] {
+						group = append(group, id)
+					}
+				}
+				if desc {
+					heads[s]--
+				} else {
+					heads[s]++
+				}
+			}
+		}
+		// A bucket's id order can drift from insertion order after
+		// UPDATEs (remove + re-insert); restore it so ties keep the
+		// stable-sort tie order.
+		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		out = append(out, group...)
+	}
+	return out
+}
+
+// New creates an empty database with the default shard count.
+func New() *DB { return NewWithShards(DefaultShards) }
+
+// NewWithShards creates an empty database whose tables are hash-split
+// into n shards (clamped to [1, MaxShards]). One shard reproduces the
+// historical unsharded engine exactly; the differential tests pin the
+// two configurations against each other.
+func NewWithShards(n int) *DB {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	db := &DB{
+		nshards:   n,
+		locks:     make(map[string]*tableLocks),
+		stmtCache: make(map[string]cachedStmt),
+	}
+	db.state.Store(&dbState{tables: make(map[string]*tableData)})
+	return db
+}
+
+// NumShards reports the configured shard count.
+func (db *DB) NumShards() int { return db.nshards }
+
+// read takes an MVCC snapshot: one atomic load, no locks. Everything
+// reachable from the returned state is immutable.
+func (db *DB) read() *dbState {
+	db.snapshots.Add(1)
+	return db.state.Load()
 }
 
 // QueryCount reports how many statements have executed, which the
@@ -289,6 +366,64 @@ func (db *DB) PlanCounts() (eq, rng, scan int64) {
 	return db.planEqCount.Load(), db.planRangeCount.Load(), db.planScanCount.Load()
 }
 
+// ShardPlanCounts splits the same statements by shard targeting:
+// single is plans that read exactly one shard (an equality probe whose
+// tuple binds the shard column, or any plan on a 1-shard database);
+// scatter is plans that merge every shard.
+func (db *DB) ShardPlanCounts() (single, scatter int64) {
+	return db.planSingleShard.Load(), db.planScatter.Load()
+}
+
+// Stats is one consistent view of every DB counter.
+type Stats struct {
+	Queries     int64
+	RowsScanned int64
+	IndexHits   int64
+	OrderSkips  int64
+
+	PlanEq          int64
+	PlanRange       int64
+	PlanScan        int64
+	PlanSingleShard int64
+	PlanScatter     int64
+
+	Snapshots  int64
+	Commits    int64
+	ShardWaits int64
+}
+
+func (db *DB) loadStats() Stats {
+	return Stats{
+		Queries:         db.queryCount.Load(),
+		RowsScanned:     db.rowsScanned.Load(),
+		IndexHits:       db.indexHits.Load(),
+		OrderSkips:      db.orderSkips.Load(),
+		PlanEq:          db.planEqCount.Load(),
+		PlanRange:       db.planRangeCount.Load(),
+		PlanScan:        db.planScanCount.Load(),
+		PlanSingleShard: db.planSingleShard.Load(),
+		PlanScatter:     db.planScatter.Load(),
+		Snapshots:       db.snapshots.Load(),
+		Commits:         db.commits.Load(),
+		ShardWaits:      db.shardWaits.Load(),
+	}
+}
+
+// StatsSnapshot returns a stable snapshot of the counters: it re-reads
+// until two consecutive reads agree, so a caller comparing counter
+// deltas around a quiescent point cannot observe a half-updated set
+// even while other statements are in flight.
+func (db *DB) StatsSnapshot() Stats {
+	s := db.loadStats()
+	for {
+		s2 := db.loadStats()
+		if s2 == s {
+			return s
+		}
+		s = s2
+	}
+}
+
 // Rows is a query result: column labels plus row data.
 type Rows struct {
 	Columns []string
@@ -298,7 +433,7 @@ type Rows struct {
 // Len reports the number of rows.
 func (r *Rows) Len() int { return len(r.Data) }
 
-// prepare parses src, consulting the statement cache.
+// prepare parses src, consulting the shared statement cache.
 func (db *DB) prepare(src string) (statement, int, error) {
 	db.stmtMu.Lock()
 	if c, ok := db.stmtCache[src]; ok {
@@ -342,8 +477,10 @@ func (db *DB) Exec(src string, args ...any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.execStmt(stmt, params)
+}
+
+func (db *DB) execStmt(stmt statement, params []Value) (int, error) {
 	db.queryCount.Add(1)
 	switch s := stmt.(type) {
 	case createTableStmt:
@@ -375,34 +512,34 @@ func (db *DB) Query(src string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.queryStmt(stmt, params, nil)
+}
+
+func (db *DB) queryStmt(stmt statement, params []Value, scr *sortScratch) (*Rows, error) {
 	switch s := stmt.(type) {
 	case selectStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 		db.queryCount.Add(1)
-		return db.execSelect(s, params)
+		return db.execSelect(db.read(), s, params, scr)
 	case explainStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execExplain(s, params)
+		return db.execExplain(db.read(), s, params)
 	}
 	return nil, fmt.Errorf("metadb: Query requires a SELECT statement")
 }
 
 // Explain reports the access plan a SELECT would use, without running
-// it: the plan line, followed by an estimated-rows line. Equivalent to
-// Query("EXPLAIN "+src, ...).
+// it: the plan line, the shard targeting, and an estimated-rows line.
+// Equivalent to Query("EXPLAIN "+src, ...).
 func (db *DB) Explain(src string, args ...any) (*Rows, error) {
 	return db.Query("EXPLAIN "+src, args...)
 }
 
-// execExplain resolves the wrapped SELECT's plan against the current
-// indexes and data. It shares planFor/runPlan with execution, so the
-// printed plan cannot diverge from the executed one; the estimate is
-// the candidate count the plan yields right now (the re-evaluation of
-// the full predicate may keep fewer rows).
-func (db *DB) execExplain(s explainStmt, params []Value) (*Rows, error) {
-	t, ok := db.tables[normalizeIdent(s.sel.table)]
+// execExplain resolves the wrapped SELECT's plan against the snapshot.
+// It shares planFor/runPlan with execution, so the printed plan cannot
+// diverge from the executed one; the estimate is the candidate count
+// the plan yields right now (the re-evaluation of the full predicate
+// may keep fewer rows).
+func (db *DB) execExplain(st *dbState, s explainStmt, params []Value) (*Rows, error) {
+	t, ok := st.tables[normalizeIdent(s.sel.table)]
 	if !ok {
 		return nil, fmt.Errorf("metadb: no such table %q", s.sel.table)
 	}
@@ -410,10 +547,11 @@ func (db *DB) execExplain(s explainStmt, params []Value) (*Rows, error) {
 	cands, _ := t.runPlan(plan)
 	lines := []string{
 		plan.String(),
-		fmt.Sprintf("estimate: scan %d of %d row(s)", len(cands), len(t.order)),
+		fmt.Sprintf("shards: %d of %d", t.shardsTouched(plan), len(t.shards)),
+		fmt.Sprintf("estimate: scan %d of %d row(s)", len(cands), t.rowCount()),
 	}
 	if len(s.sel.orderBy) == 1 {
-		if idx, ok := t.indexes[normalizeIdent(s.sel.orderBy[0].col)]; ok && idx.single() {
+		if idx, ok := t.shards[0].indexes[normalizeIdent(s.sel.orderBy[0].col)]; ok && idx.single() {
 			lines = append(lines, fmt.Sprintf("order by %s served from index %s (no sort)",
 				s.sel.orderBy[0].col, idx.name))
 		}
@@ -440,10 +578,9 @@ func (db *DB) QueryRow(src string, args ...any) ([]Value, error) {
 
 // TableNames lists tables in lexical order.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	st := db.state.Load()
+	names := make([]string, 0, len(st.tables))
+	for n := range st.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -452,9 +589,8 @@ func (db *DB) TableNames() []string {
 
 // Columns reports a table's column names in declaration order.
 func (db *DB) Columns(tableName string) ([]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[normalizeIdent(tableName)]
+	st := db.state.Load()
+	t, ok := st.tables[normalizeIdent(tableName)]
 	if !ok {
 		return nil, fmt.Errorf("metadb: no such table %q", tableName)
 	}
@@ -466,85 +602,12 @@ func (db *DB) Columns(tableName string) ([]string, error) {
 }
 
 // ---------------------------------------------------------------------------
-// DDL
-// ---------------------------------------------------------------------------
-
-func (db *DB) execCreateTable(s createTableStmt) error {
-	name := normalizeIdent(s.name)
-	if _, exists := db.tables[name]; exists {
-		if s.ifNotExists {
-			return nil
-		}
-		return fmt.Errorf("metadb: table %q already exists", s.name)
-	}
-	t := &table{
-		name:    name,
-		colIdx:  make(map[string]int),
-		rows:    make(map[int64][]Value),
-		indexes: make(map[string]*index),
-	}
-	for _, c := range s.cols {
-		cn := normalizeIdent(c.name)
-		if _, dup := t.colIdx[cn]; dup {
-			return fmt.Errorf("metadb: duplicate column %q in table %q", c.name, s.name)
-		}
-		t.colIdx[cn] = len(t.cols)
-		t.cols = append(t.cols, columnDef{cn, c.kind})
-	}
-	db.tables[name] = t
-	return nil
-}
-
-func (db *DB) execCreateIndex(s createIndexStmt) error {
-	t, ok := db.tables[normalizeIdent(s.table)]
-	if !ok {
-		return fmt.Errorf("metadb: no such table %q", s.table)
-	}
-	cols := make([]string, len(s.columns))
-	colPos := make([]int, len(s.columns))
-	for i, c := range s.columns {
-		col := normalizeIdent(c)
-		pos, ok := t.colIdx[col]
-		if !ok {
-			return fmt.Errorf("metadb: no column %q in table %q", c, s.table)
-		}
-		cols[i] = col
-		colPos[i] = pos
-	}
-	key := indexKey(cols)
-	if _, exists := t.indexes[key]; exists {
-		if s.ifNotExists {
-			return nil
-		}
-		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, key)
-	}
-	idx := newIndex(normalizeIdent(s.name), cols, colPos)
-	for _, id := range t.order {
-		idx.insert(t.rows[id], id)
-	}
-	t.indexes[key] = idx
-	return nil
-}
-
-func (db *DB) execDropTable(s dropTableStmt) error {
-	name := normalizeIdent(s.name)
-	if _, ok := db.tables[name]; !ok {
-		if s.ifExists {
-			return nil
-		}
-		return fmt.Errorf("metadb: no such table %q", s.name)
-	}
-	delete(db.tables, name)
-	return nil
-}
-
-// ---------------------------------------------------------------------------
 // Expression evaluation
 // ---------------------------------------------------------------------------
 
 // evalCtx binds an expression to an optional current row.
 type evalCtx struct {
-	t      *table
+	t      *tableData
 	row    []Value
 	params []Value
 }
@@ -723,57 +786,8 @@ func truthy(v Value) bool {
 }
 
 // ---------------------------------------------------------------------------
-// DML
+// Plan selection
 // ---------------------------------------------------------------------------
-
-func (db *DB) execInsert(s insertStmt, params []Value) (int, error) {
-	t, ok := db.tables[normalizeIdent(s.table)]
-	if !ok {
-		return 0, fmt.Errorf("metadb: no such table %q", s.table)
-	}
-	colPos := make([]int, 0, len(t.cols))
-	if len(s.cols) == 0 {
-		for i := range t.cols {
-			colPos = append(colPos, i)
-		}
-	} else {
-		for _, c := range s.cols {
-			pos, ok := t.colIdx[normalizeIdent(c)]
-			if !ok {
-				return 0, fmt.Errorf("metadb: no column %q in table %q", c, s.table)
-			}
-			colPos = append(colPos, pos)
-		}
-	}
-	ctx := &evalCtx{params: params}
-	inserted := 0
-	for _, rowExprs := range s.rows {
-		if len(rowExprs) != len(colPos) {
-			return inserted, fmt.Errorf("metadb: INSERT has %d values for %d columns", len(rowExprs), len(colPos))
-		}
-		row := make([]Value, len(t.cols))
-		for i, e := range rowExprs {
-			v, err := ctx.eval(e)
-			if err != nil {
-				return inserted, err
-			}
-			cv, err := coerce(v, t.cols[colPos[i]].kind)
-			if err != nil {
-				return inserted, fmt.Errorf("%w (column %q)", err, t.cols[colPos[i]].name)
-			}
-			row[colPos[i]] = cv
-		}
-		id := t.nextID
-		t.nextID++
-		t.rows[id] = row
-		t.order = append(t.order, id)
-		for _, idx := range t.indexes {
-			idx.insert(row, id)
-		}
-		inserted++
-	}
-	return inserted, nil
-}
 
 // colBound is one `col OP const` conjunct extracted from a WHERE
 // clause, with OP normalized so the column is on the left.
@@ -838,12 +852,19 @@ const (
 // so the plan printed is by construction the plan executed.
 type queryPlan struct {
 	kind   planKind
-	idx    *index // nil for planScan
+	idx    *index // shard 0's instance; nil for planScan
+	key    string // index map key, valid in every shard
 	reason string
 
 	eqVals       []Value // planEq probe tuple, in idx.cols order
 	lo, hi       *Value  // planRange window
 	loInc, hiInc bool
+
+	// shard is the single shard an equality probe can be narrowed to
+	// when the probe tuple binds the table's shard column (every
+	// matching row hashes there, so other shards provably contribute
+	// nothing); -1 means the plan must merge all shards.
+	shard int
 }
 
 // String renders the plan as the EXPLAIN line.
@@ -860,6 +881,14 @@ func (p queryPlan) String() string {
 	}
 }
 
+// shardsTouched reports how many shards a plan reads.
+func (t *tableData) shardsTouched(p queryPlan) int {
+	if p.kind == planEq && p.shard >= 0 {
+		return 1
+	}
+	return len(t.shards)
+}
+
 // planFor chooses the access path for a WHERE clause. The index whose
 // columns are all bound by equality conjuncts — the widest such index,
 // so a composite (runid, dataset, timestep) index beats the
@@ -870,19 +899,19 @@ func (p queryPlan) String() string {
 // indexable conjunct does the full table scan remain. The candidates a
 // plan yields may over-approximate; matchingIDs re-evaluates the
 // complete predicate.
-func (t *table) planFor(where expr, params []Value) queryPlan {
+func (t *tableData) planFor(where expr, params []Value) queryPlan {
 	bounds := collectBounds(where, nil)
 	if len(bounds) == 0 {
 		reason := "no WHERE clause"
 		if where != nil {
 			reason = "no indexable conjunct in WHERE"
 		}
-		return queryPlan{kind: planScan, reason: reason}
+		return queryPlan{kind: planScan, reason: reason, shard: -1}
 	}
 	ctx := &evalCtx{params: params}
 	// Prefer an exact equality lookup: gather the equality-bound
 	// columns, then pick the widest index fully covered by them
-	// (lexically smallest name on ties, for determinism).
+	// (lexically smallest key on ties, for determinism).
 	var eqCols map[string]Value
 	for _, bd := range bounds {
 		if bd.op != "=" {
@@ -902,7 +931,7 @@ func (t *table) planFor(where expr, params []Value) queryPlan {
 	if eqCols != nil {
 		var best *index
 		var bestKey string
-		for key, idx := range t.indexes {
+		for key, idx := range t.shards[0].indexes {
 			covered := true
 			for _, c := range idx.cols {
 				if _, ok := eqCols[c]; !ok {
@@ -923,9 +952,21 @@ func (t *table) planFor(where expr, params []Value) queryPlan {
 			for i, c := range best.cols {
 				vals[i] = eqCols[c]
 			}
-			reason := fmt.Sprintf("%d equality conjunct(s) cover all %d index column(s)",
-				len(eqCols), len(best.cols))
-			return queryPlan{kind: planEq, idx: best, reason: reason, eqVals: vals}
+			p := queryPlan{
+				kind: planEq, idx: best, key: bestKey,
+				reason: fmt.Sprintf("%d equality conjunct(s) cover all %d index column(s)",
+					len(eqCols), len(best.cols)),
+				eqVals: vals, shard: -1,
+			}
+			if t.shardCol >= 0 {
+				for i, pos := range best.colPos {
+					if pos == t.shardCol {
+						p.shard = t.shardOfValue(vals[i])
+						break
+					}
+				}
+			}
+			return p
 		}
 	}
 	// Otherwise intersect the range conjuncts per indexed column and
@@ -938,7 +979,7 @@ func (t *table) planFor(where expr, params []Value) queryPlan {
 	}
 	windows := make(map[string]*window)
 	for _, bd := range bounds {
-		idx, ok := t.indexes[bd.col]
+		idx, ok := t.shards[0].indexes[bd.col]
 		if !ok {
 			continue
 		}
@@ -981,12 +1022,13 @@ func (t *table) planFor(where expr, params []Value) queryPlan {
 		}
 	}
 	if best == nil {
-		return queryPlan{kind: planScan, reason: "range conjuncts bind no indexed column"}
+		return queryPlan{kind: planScan, reason: "range conjuncts bind no indexed column", shard: -1}
 	}
 	return queryPlan{
-		kind: planRange, idx: best.idx,
+		kind: planRange, idx: best.idx, key: best.idx.cols[0],
 		reason: windowReason(best.idx.cols[0], best.lo, best.loInc, best.hi, best.hiInc),
 		lo:     best.lo, hi: best.hi, loInc: best.loInc, hiInc: best.hiInc,
+		shard: -1,
 	}
 }
 
@@ -1014,23 +1056,39 @@ func windowReason(col string, lo *Value, loInc bool, hi *Value, hiInc bool) stri
 }
 
 // runPlan yields a plan's candidate row ids; the boolean reports
-// whether they came from an index.
-func (t *table) runPlan(p queryPlan) ([]int64, bool) {
+// whether they came from an index. Candidate sets are shard-count
+// independent: an equality probe narrowed to one shard sees exactly
+// the rows a 1-shard bucket would hold (the probe binds the shard
+// column, so every matching row hashes to that shard), and
+// scatter-gather plans concatenate per-shard results whose union is
+// the 1-shard candidate set — which keeps RowsScanned and friends
+// bit-identical across shard counts.
+func (t *tableData) runPlan(p queryPlan) ([]int64, bool) {
 	switch p.kind {
 	case planEq:
-		return p.idx.lookupEq(p.eqVals), true
+		if p.shard >= 0 {
+			return t.shards[p.shard].indexes[p.key].lookupEq(p.eqVals), true
+		}
+		if len(t.shards) == 1 {
+			return t.shards[0].indexes[p.key].lookupEq(p.eqVals), true
+		}
+		var out []int64
+		for _, sh := range t.shards {
+			out = append(out, sh.indexes[p.key].lookupEq(p.eqVals)...)
+		}
+		return out, true
 	case planRange:
-		return p.idx.lookupRange(p.lo, p.loInc, p.hi, p.hiInc), true
+		if len(t.shards) == 1 {
+			return t.shards[0].indexes[p.key].lookupRange(p.lo, p.loInc, p.hi, p.hiInc), true
+		}
+		var out []int64
+		for _, sh := range t.shards {
+			out = append(out, sh.indexes[p.key].lookupRange(p.lo, p.loInc, p.hi, p.hiInc)...)
+		}
+		return out, true
 	default:
-		return t.order, false
+		return t.globalOrder(), false
 	}
-}
-
-// candidateIDs returns the row ids to scan for a WHERE clause — the
-// plan selection (planFor) plus its execution (runPlan).
-func (t *table) candidateIDs(where expr, params []Value) ([]int64, bool) {
-	p := t.planFor(where, params)
-	return t.runPlan(p)
 }
 
 func isConstExpr(e expr) bool {
@@ -1048,7 +1106,7 @@ func isConstExpr(e expr) bool {
 // matchingIDs evaluates the WHERE clause over candidates, preserving
 // insertion order, and accounts the rows examined so callers can
 // verify scans were avoided.
-func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error) {
+func (db *DB) matchingIDs(t *tableData, where expr, params []Value) ([]int64, error) {
 	plan := t.planFor(where, params)
 	cands, fromIndex := t.runPlan(plan)
 	switch plan.kind {
@@ -1059,6 +1117,11 @@ func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error)
 	default:
 		db.planScanCount.Add(1)
 	}
+	if t.shardsTouched(plan) == 1 {
+		db.planSingleShard.Add(1)
+	} else {
+		db.planScatter.Add(1)
+	}
 	db.rowsScanned.Add(int64(len(cands)))
 	if fromIndex {
 		db.indexHits.Add(1)
@@ -1066,7 +1129,7 @@ func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error)
 	var out []int64
 	ctx := &evalCtx{t: t, params: params}
 	for _, id := range cands {
-		row, ok := t.rows[id]
+		row, ok := t.rowOf(id)
 		if !ok {
 			continue
 		}
@@ -1088,79 +1151,9 @@ func (db *DB) matchingIDs(t *table, where expr, params []Value) ([]int64, error)
 	return out, nil
 }
 
-func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
-	t, ok := db.tables[normalizeIdent(s.table)]
-	if !ok {
-		return 0, fmt.Errorf("metadb: no such table %q", s.table)
-	}
-	ids, err := db.matchingIDs(t, s.where, params)
-	if err != nil {
-		return 0, err
-	}
-	ctx := &evalCtx{t: t, params: params}
-	for _, id := range ids {
-		row := t.rows[id]
-		ctx.row = row
-		newRow := append([]Value(nil), row...)
-		for _, sc := range s.sets {
-			pos, ok := t.colIdx[normalizeIdent(sc.col)]
-			if !ok {
-				return 0, fmt.Errorf("metadb: no column %q in table %q", sc.col, s.table)
-			}
-			v, err := ctx.eval(sc.val)
-			if err != nil {
-				return 0, err
-			}
-			cv, err := coerce(v, t.cols[pos].kind)
-			if err != nil {
-				return 0, err
-			}
-			newRow[pos] = cv
-		}
-		for _, idx := range t.indexes {
-			if idx.rowKey(row) != idx.rowKey(newRow) {
-				idx.remove(row, id)
-				idx.insert(newRow, id)
-			}
-		}
-		t.rows[id] = newRow
-	}
-	return len(ids), nil
-}
-
-func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
-	t, ok := db.tables[normalizeIdent(s.table)]
-	if !ok {
-		return 0, fmt.Errorf("metadb: no such table %q", s.table)
-	}
-	ids, err := db.matchingIDs(t, s.where, params)
-	if err != nil {
-		return 0, err
-	}
-	doomed := make(map[int64]bool, len(ids))
-	for _, id := range ids {
-		doomed[id] = true
-		row := t.rows[id]
-		for _, idx := range t.indexes {
-			idx.remove(row, id)
-		}
-		delete(t.rows, id)
-	}
-	if len(doomed) > 0 {
-		kept := t.order[:0]
-		for _, id := range t.order {
-			if !doomed[id] {
-				kept = append(kept, id)
-			}
-		}
-		t.order = kept
-	}
-	return len(ids), nil
-}
-
 // validateColumns rejects references to columns the table lacks, so
 // malformed queries fail even when no rows would be scanned.
-func (t *table) validateColumns(e expr) error {
+func (t *tableData) validateColumns(e expr) error {
 	switch x := e.(type) {
 	case nil, litExpr, paramExpr:
 		return nil
@@ -1182,8 +1175,8 @@ func (t *table) validateColumns(e expr) error {
 	return nil
 }
 
-func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
-	t, ok := db.tables[normalizeIdent(s.table)]
+func (db *DB) execSelect(st *dbState, s selectStmt, params []Value, scr *sortScratch) (*Rows, error) {
+	t, ok := st.tables[normalizeIdent(s.table)]
 	if !ok {
 		return nil, fmt.Errorf("metadb: no such table %q", s.table)
 	}
@@ -1237,7 +1230,7 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 		out := make([]Value, len(items))
 		counts := make([]int64, len(items))
 		for _, id := range ids {
-			ctx.row = t.rows[id]
+			ctx.row, _ = t.rowOf(id)
 			for i, it := range items {
 				switch it.agg {
 				case "COUNT":
@@ -1283,15 +1276,16 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 	// sort was skipped.
 	orderedByIndex := false
 	if len(s.orderBy) == 1 {
-		if idx, ok := t.indexes[normalizeIdent(s.orderBy[0].col)]; ok {
-			ids = idx.orderIDs(ids, s.orderBy[0].desc)
+		key := normalizeIdent(s.orderBy[0].col)
+		if _, ok := t.shards[0].indexes[key]; ok {
+			ids = t.orderIDs(key, ids, s.orderBy[0].desc, scr)
 			orderedByIndex = true
 			db.orderSkips.Add(1)
 		}
 	}
 
 	for _, id := range ids {
-		ctx.row = t.rows[id]
+		ctx.row, _ = t.rowOf(id)
 		row := make([]Value, len(items))
 		for i, it := range items {
 			v, err := ctx.eval(it.expr)
@@ -1330,7 +1324,7 @@ func (db *DB) execSelect(s selectStmt, params []Value) (*Rows, error) {
 		if needExt {
 			extKeys = make([][]Value, len(ids))
 			for r, id := range ids {
-				row := t.rows[id]
+				row, _ := t.rowOf(id)
 				keys := make([]Value, len(s.orderBy))
 				for i, k := range s.orderBy {
 					keys[i] = row[t.colIdx[normalizeIdent(k.col)]]

@@ -1,0 +1,740 @@
+package metadb
+
+// MVCC core: the entire database contents live in one immutable
+// dbState reachable through an atomic pointer. A reader performs a
+// single pointer load and owns a consistent snapshot for the whole
+// statement — no locks, no torn multi-row batches, old versions are
+// reclaimed by the GC once the last reader drops them. Writers build
+// new versions copy-on-write under per-shard locks and publish them
+// atomically; see the write paths below for the locking protocol.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Row ids encode their home shard in the low shardBits bits
+// (id = seq<<shardBits | shard), so a row's shard is recoverable from
+// its id alone and ids stay globally unique and allocation-ordered:
+// the per-table seq is monotonic, so ascending id order is insertion
+// order regardless of how rows spread across shards.
+const (
+	shardBits     = 6
+	MaxShards     = 1 << shardBits // 64
+	shardIdxMask  = MaxShards - 1
+	DefaultShards = 8
+)
+
+// dbState is one immutable version of the whole database. Everything
+// reachable from it — tables, shards, rows, index buckets — is frozen
+// at publish time; the only tolerated in-place mutation is an index's
+// lazily rebuilt sorted-bucket cache, which is serialized by its own
+// mutex and idempotent.
+type dbState struct {
+	version int64
+	tables  map[string]*tableData
+}
+
+// tableData is one immutable version of a table: schema plus row
+// storage hash-sharded by shardCol.
+type tableData struct {
+	name   string
+	cols   []columnDef
+	colIdx map[string]int
+
+	// shardCol is the position of the column whose hash routes a row
+	// to its shard: the leading column of the widest index (lexically
+	// smallest index key on ties, mirroring planFor's tie-break), or
+	// -1 when the table has no index, in which case every row lives in
+	// shard 0.
+	shardCol int
+	shards   []*shardData
+}
+
+// shardData holds one shard's rows in ascending-id (insertion) order,
+// plus that shard's slice of every index. All shards carry the same
+// index set; a lookup merges per-shard results.
+type shardData struct {
+	order   []int64
+	rows    map[int64][]Value
+	indexes map[string]*index
+}
+
+func newShardData() *shardData {
+	return &shardData{rows: make(map[int64][]Value), indexes: make(map[string]*index)}
+}
+
+func newTableData(name string, cols []columnDef, colIdx map[string]int, nshards int) *tableData {
+	t := &tableData{name: name, cols: cols, colIdx: colIdx, shardCol: -1, shards: make([]*shardData, nshards)}
+	for i := range t.shards {
+		t.shards[i] = newShardData()
+	}
+	return t
+}
+
+func (t *tableData) rowCount() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh.order)
+	}
+	return n
+}
+
+func (t *tableData) rowOf(id int64) ([]Value, bool) {
+	row, ok := t.shards[int(id&shardIdxMask)].rows[id]
+	return row, ok
+}
+
+// shardOfValue routes a shard-column value to its shard (FNV-1a over
+// the value's canonical hash key).
+func (t *tableData) shardOfValue(v Value) int {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	k := v.hashKey()
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(t.shards)))
+}
+
+func (t *tableData) rowShard(row []Value) int {
+	if t.shardCol < 0 {
+		return 0
+	}
+	return t.shardOfValue(row[t.shardCol])
+}
+
+// globalOrder merges the per-shard insertion orders into the global
+// one. Per-shard orders ascend by id and ids ascend in allocation
+// order, so an ascending merge by id reproduces exactly the row order
+// a 1-shard table keeps.
+func (t *tableData) globalOrder() []int64 {
+	if len(t.shards) == 1 {
+		return t.shards[0].order
+	}
+	total := t.rowCount()
+	out := make([]int64, 0, total)
+	heads := make([]int, len(t.shards))
+	for len(out) < total {
+		best := -1
+		var bestID int64
+		for s, sh := range t.shards {
+			if heads[s] < len(sh.order) {
+				if id := sh.order[heads[s]]; best < 0 || id < bestID {
+					best, bestID = s, id
+				}
+			}
+		}
+		out = append(out, bestID)
+		heads[best]++
+	}
+	return out
+}
+
+// indexDef is the schema-level identity of an index, shared by every
+// shard's instance of it.
+type indexDef struct {
+	name   string
+	cols   []string
+	colPos []int
+}
+
+// indexDefs lists the table's index definitions sorted by key.
+func (t *tableData) indexDefs() []indexDef {
+	sh := t.shards[0]
+	keys := make([]string, 0, len(sh.indexes))
+	for k := range sh.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	defs := make([]indexDef, 0, len(keys))
+	for _, k := range keys {
+		idx := sh.indexes[k]
+		defs = append(defs, indexDef{idx.name, idx.cols, idx.colPos})
+	}
+	return defs
+}
+
+// chooseShardCol picks the shard-routing column for a set of index
+// definitions: leading column of the widest index, lexically smallest
+// index key on ties; -1 with no indexes.
+func chooseShardCol(defs []indexDef) int {
+	best, bestW, bestKey := -1, 0, ""
+	for _, d := range defs {
+		key := indexKey(d.cols)
+		if best < 0 || len(d.cols) > bestW || (len(d.cols) == bestW && key < bestKey) {
+			best, bestW, bestKey = d.colPos[0], len(d.cols), key
+		}
+	}
+	return best
+}
+
+// buildTable constructs a fully indexed, sharded table from rows given
+// in global insertion order with their seqs (the high id bits, which
+// must ascend). Shared by CREATE INDEX resharding and Load.
+func buildTable(name string, cols []columnDef, colIdx map[string]int, nshards int, defs []indexDef, seqs []int64, rows [][]Value) *tableData {
+	t := newTableData(name, cols, colIdx, nshards)
+	t.shardCol = chooseShardCol(defs)
+	for _, sh := range t.shards {
+		for _, d := range defs {
+			sh.indexes[indexKey(d.cols)] = newIndex(d.name, d.cols, d.colPos)
+		}
+	}
+	for i, row := range rows {
+		shard := t.rowShard(row)
+		id := seqs[i]<<shardBits | int64(shard)
+		sh := t.shards[shard]
+		sh.rows[id] = row
+		sh.order = append(sh.order, id)
+		for _, idx := range sh.indexes {
+			idx.insert(row, id)
+		}
+	}
+	return t
+}
+
+// withIndex returns a copy of the table with one index added. When the
+// new index changes the shard-routing column, every row is re-routed;
+// seqs are preserved so global insertion order survives.
+func (t *tableData) withIndex(name, key string, cols []string, colPos []int) *tableData {
+	defs := append(t.indexDefs(), indexDef{name, cols, colPos})
+	if chooseShardCol(defs) != t.shardCol {
+		order := t.globalOrder()
+		seqs := make([]int64, len(order))
+		rows := make([][]Value, len(order))
+		for i, id := range order {
+			seqs[i] = id >> shardBits
+			rows[i], _ = t.rowOf(id)
+		}
+		return buildTable(t.name, t.cols, t.colIdx, len(t.shards), defs, seqs, rows)
+	}
+	// Same routing: clone each shard, adding the new index built from
+	// that shard's rows in insertion order.
+	nt := *t
+	nt.shards = make([]*shardData, len(t.shards))
+	for s, sh := range t.shards {
+		idx := newIndex(name, cols, colPos)
+		for _, id := range sh.order {
+			idx.insert(sh.rows[id], id)
+		}
+		idxs := make(map[string]*index, len(sh.indexes)+1)
+		for k, v := range sh.indexes {
+			idxs[k] = v
+		}
+		idxs[key] = idx
+		nt.shards[s] = &shardData{order: sh.order, rows: sh.rows, indexes: idxs}
+	}
+	return &nt
+}
+
+// ---------------------------------------------------------------------------
+// Writer coordination
+// ---------------------------------------------------------------------------
+
+// tableLocks is the mutable identity of a table — per-shard writer
+// locks and the monotonic row-seq allocator. It lives outside the
+// versioned state so writers coordinate on one object while the data
+// versions flow past. A seq is only allocated while holding the lock
+// of the shard the row lands in, which keeps per-shard id order
+// ascending: any earlier allocation for that shard happened under the
+// same lock, so it is also published (or at least sequenced) earlier.
+type tableLocks struct {
+	shardMu []sync.Mutex
+	nextSeq atomic.Int64
+}
+
+func (db *DB) newTableLocks() *tableLocks {
+	return &tableLocks{shardMu: make([]sync.Mutex, db.nshards)}
+}
+
+func (db *DB) locksFor(name string) *tableLocks {
+	db.locksMu.RLock()
+	lk := db.locks[name]
+	db.locksMu.RUnlock()
+	return lk
+}
+
+// lockShards acquires the given shard locks in ascending order (the
+// caller passes them sorted), counting contended acquisitions.
+func (db *DB) lockShards(lk *tableLocks, shards []int) {
+	for _, s := range shards {
+		if !lk.shardMu[s].TryLock() {
+			db.shardWaits.Add(1)
+			lk.shardMu[s].Lock()
+		}
+	}
+}
+
+func unlockShards(lk *tableLocks, shards []int) {
+	for i := len(shards) - 1; i >= 0; i-- {
+		lk.shardMu[shards[i]].Unlock()
+	}
+}
+
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// publishShards rebases the edited shards onto the latest published
+// state and installs the result. The rebase is safe because the caller
+// still holds the locks of every edited shard: those shards cannot
+// have been republished since the edit's base was loaded, while
+// unlocked shards of the same table (and all other tables) are taken
+// from the current tip, so disjoint-shard writers never lose each
+// other's commits.
+func (db *DB) publishShards(name string, sealed map[int]*shardData) {
+	db.commitMu.Lock()
+	cur := db.state.Load()
+	t := cur.tables[name]
+	nt := *t
+	nt.shards = append([]*shardData(nil), t.shards...)
+	for s, sd := range sealed {
+		nt.shards[s] = sd
+	}
+	tables := make(map[string]*tableData, len(cur.tables))
+	for n, tt := range cur.tables {
+		tables[n] = tt
+	}
+	tables[name] = &nt
+	db.state.Store(&dbState{version: cur.version + 1, tables: tables})
+	db.commitMu.Unlock()
+	db.commits.Add(1)
+}
+
+// publishTableDef installs a state with one table replaced (or, with
+// t == nil, removed). DDL path: the caller holds ddlMu exclusively.
+func (db *DB) publishTableDef(name string, t *tableData) {
+	db.commitMu.Lock()
+	cur := db.state.Load()
+	tables := make(map[string]*tableData, len(cur.tables)+1)
+	for n, tt := range cur.tables {
+		tables[n] = tt
+	}
+	if t == nil {
+		delete(tables, name)
+	} else {
+		tables[name] = t
+	}
+	db.state.Store(&dbState{version: cur.version + 1, tables: tables})
+	db.commitMu.Unlock()
+	db.commits.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write edits
+// ---------------------------------------------------------------------------
+
+// editIndex wraps a cloned index whose buckets are still shared with
+// the published version; a bucket is deep-copied the first time this
+// edit mutates it, so untouched buckets cost nothing.
+type editIndex struct {
+	idx   *index
+	owned map[string]bool
+}
+
+func (ei *editIndex) insert(row []Value, id int64) {
+	key := ei.idx.rowKey(row)
+	b, ok := ei.idx.m[key]
+	switch {
+	case !ok:
+		vals := make([]Value, len(ei.idx.colPos))
+		for i, p := range ei.idx.colPos {
+			vals[i] = row[p]
+		}
+		b = &bucket{vals: vals}
+		ei.idx.m[key] = b
+		ei.owned[key] = true
+	case !ei.owned[key]:
+		b = &bucket{vals: b.vals, ids: append([]int64(nil), b.ids...)}
+		ei.idx.m[key] = b
+		ei.owned[key] = true
+	}
+	b.ids = append(b.ids, id)
+}
+
+func (ei *editIndex) remove(row []Value, id int64) {
+	key := ei.idx.rowKey(row)
+	b, ok := ei.idx.m[key]
+	if !ok {
+		return
+	}
+	if !ei.owned[key] {
+		b = &bucket{vals: b.vals, ids: append([]int64(nil), b.ids...)}
+		ei.idx.m[key] = b
+		ei.owned[key] = true
+	}
+	for i, x := range b.ids {
+		if x == id {
+			b.ids = append(b.ids[:i], b.ids[i+1:]...)
+			break
+		}
+	}
+	if len(b.ids) == 0 {
+		delete(ei.idx.m, key)
+	}
+}
+
+// shardEdit is a mutable copy of one shard under construction. The
+// order slice and rows map are copied up front; index buckets copy
+// lazily via editIndex.
+type shardEdit struct {
+	order   []int64
+	rows    map[int64][]Value
+	indexes map[string]*editIndex
+}
+
+func (se *shardEdit) insert(id int64, row []Value) {
+	se.rows[id] = row
+	if n := len(se.order); n == 0 || id > se.order[n-1] {
+		se.order = append(se.order, id)
+	} else {
+		// Only UPDATE-moved rows land mid-order (their seq predates the
+		// shard's tail); keep the slice ascending.
+		i := sort.Search(n, func(j int) bool { return se.order[j] > id })
+		se.order = append(se.order, 0)
+		copy(se.order[i+1:], se.order[i:])
+		se.order[i] = id
+	}
+	for _, ei := range se.indexes {
+		ei.insert(row, id)
+	}
+}
+
+func (se *shardEdit) remove(id int64, row []Value) {
+	delete(se.rows, id)
+	for i, x := range se.order {
+		if x == id {
+			se.order = append(se.order[:i], se.order[i+1:]...)
+			break
+		}
+	}
+	for _, ei := range se.indexes {
+		ei.remove(row, id)
+	}
+}
+
+// tableEdit accumulates copy-on-write edits to some of a table's
+// shards. The writer must hold the locks of every shard it edits from
+// before the base state is loaded until after publish.
+type tableEdit struct {
+	t     *tableData
+	edits map[int]*shardEdit
+}
+
+func newTableEdit(t *tableData) *tableEdit {
+	return &tableEdit{t: t, edits: make(map[int]*shardEdit)}
+}
+
+func (te *tableEdit) shard(s int) *shardEdit {
+	if se, ok := te.edits[s]; ok {
+		return se
+	}
+	base := te.t.shards[s]
+	se := &shardEdit{
+		order:   append([]int64(nil), base.order...),
+		rows:    make(map[int64][]Value, len(base.rows)+1),
+		indexes: make(map[string]*editIndex, len(base.indexes)),
+	}
+	for id, row := range base.rows {
+		se.rows[id] = row
+	}
+	for key, idx := range base.indexes {
+		clone := newIndex(idx.name, idx.cols, idx.colPos)
+		for k, b := range idx.m {
+			clone.m[k] = b
+		}
+		se.indexes[key] = &editIndex{idx: clone, owned: make(map[string]bool)}
+	}
+	te.edits[s] = se
+	return se
+}
+
+// seal freezes the edits into immutable shardData ready to publish.
+func (te *tableEdit) seal() map[int]*shardData {
+	out := make(map[int]*shardData, len(te.edits))
+	for s, se := range te.edits {
+		sd := &shardData{order: se.order, rows: se.rows, indexes: make(map[string]*index, len(se.indexes))}
+		for key, ei := range se.indexes {
+			sd.indexes[key] = ei.idx
+		}
+		out[s] = sd
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+func (db *DB) execCreateTable(s createTableStmt) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	name := normalizeIdent(s.name)
+	cur := db.state.Load()
+	if _, exists := cur.tables[name]; exists {
+		if s.ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: table %q already exists", s.name)
+	}
+	colIdx := make(map[string]int)
+	var cols []columnDef
+	for _, c := range s.cols {
+		cn := normalizeIdent(c.name)
+		if _, dup := colIdx[cn]; dup {
+			return fmt.Errorf("metadb: duplicate column %q in table %q", c.name, s.name)
+		}
+		colIdx[cn] = len(cols)
+		cols = append(cols, columnDef{cn, c.kind})
+	}
+	db.locksMu.Lock()
+	db.locks[name] = db.newTableLocks()
+	db.locksMu.Unlock()
+	db.publishTableDef(name, newTableData(name, cols, colIdx, db.nshards))
+	return nil
+}
+
+func (db *DB) execCreateIndex(s createIndexStmt) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	t, ok := db.state.Load().tables[normalizeIdent(s.table)]
+	if !ok {
+		return fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	cols := make([]string, len(s.columns))
+	colPos := make([]int, len(s.columns))
+	for i, c := range s.columns {
+		col := normalizeIdent(c)
+		pos, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("metadb: no column %q in table %q", c, s.table)
+		}
+		cols[i] = col
+		colPos[i] = pos
+	}
+	key := indexKey(cols)
+	if _, exists := t.shards[0].indexes[key]; exists {
+		if s.ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: index on %s(%s) already exists", s.table, key)
+	}
+	db.publishTableDef(t.name, t.withIndex(normalizeIdent(s.name), key, cols, colPos))
+	return nil
+}
+
+func (db *DB) execDropTable(s dropTableStmt) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	name := normalizeIdent(s.name)
+	if _, ok := db.state.Load().tables[name]; !ok {
+		if s.ifExists {
+			return nil
+		}
+		return fmt.Errorf("metadb: no such table %q", s.name)
+	}
+	db.locksMu.Lock()
+	delete(db.locks, name)
+	db.locksMu.Unlock()
+	db.publishTableDef(name, nil)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+// execInsert evaluates the batch first (evaluation is side-effect
+// free), then locks exactly the shards the new rows hash to, builds
+// copy-on-write shard versions, and publishes once — so a multi-row
+// batch is atomic to readers and inserts into disjoint shards run in
+// parallel. On a mid-batch evaluation error the rows before it are
+// still inserted (and published together), matching the historical
+// row-at-a-time semantics.
+func (db *DB) execInsert(s insertStmt, params []Value) (int, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	t, ok := db.state.Load().tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	colPos := make([]int, 0, len(t.cols))
+	if len(s.cols) == 0 {
+		for i := range t.cols {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range s.cols {
+			pos, ok := t.colIdx[normalizeIdent(c)]
+			if !ok {
+				return 0, fmt.Errorf("metadb: no column %q in table %q", c, s.table)
+			}
+			colPos = append(colPos, pos)
+		}
+	}
+	ctx := &evalCtx{params: params}
+	var rows [][]Value
+	var evalErr error
+eval:
+	for _, rowExprs := range s.rows {
+		if len(rowExprs) != len(colPos) {
+			evalErr = fmt.Errorf("metadb: INSERT has %d values for %d columns", len(rowExprs), len(colPos))
+			break
+		}
+		row := make([]Value, len(t.cols))
+		for i, e := range rowExprs {
+			v, err := ctx.eval(e)
+			if err != nil {
+				evalErr = err
+				break eval
+			}
+			cv, err := coerce(v, t.cols[colPos[i]].kind)
+			if err != nil {
+				evalErr = fmt.Errorf("%w (column %q)", err, t.cols[colPos[i]].name)
+				break eval
+			}
+			row[colPos[i]] = cv
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return 0, evalErr
+	}
+
+	shards := make([]int, len(rows))
+	var touched [MaxShards]bool
+	for i, row := range rows {
+		shards[i] = t.rowShard(row)
+		touched[shards[i]] = true
+	}
+	affected := make([]int, 0, len(t.shards))
+	for s2 := 0; s2 < len(t.shards); s2++ {
+		if touched[s2] {
+			affected = append(affected, s2)
+		}
+	}
+	lk := db.locksFor(t.name)
+	db.lockShards(lk, affected)
+	defer unlockShards(lk, affected)
+	// Re-read the tip: disjoint-shard writers may have published since
+	// the first load; the shards locked above are now quiescent.
+	te := newTableEdit(db.state.Load().tables[t.name])
+	for i, row := range rows {
+		seq := lk.nextSeq.Add(1) - 1
+		te.shard(shards[i]).insert(seq<<shardBits|int64(shards[i]), row)
+	}
+	db.publishShards(t.name, te.seal())
+	return len(rows), evalErr
+}
+
+// execUpdate and execDelete take every shard lock of the table: their
+// row set comes from a WHERE clause, so any shard may be affected, and
+// holding all locks makes the freshly loaded tip quiescent for the
+// whole read-modify-publish cycle.
+func (db *DB) execUpdate(s updateStmt, params []Value) (int, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	t0, ok := db.state.Load().tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	lk := db.locksFor(t0.name)
+	all := allShards(len(t0.shards))
+	db.lockShards(lk, all)
+	defer unlockShards(lk, all)
+	t := db.state.Load().tables[t0.name]
+	ids, err := db.matchingIDs(t, s.where, params)
+	if err != nil {
+		return 0, err
+	}
+	te := newTableEdit(t)
+	publish := func() {
+		if len(te.edits) > 0 {
+			db.publishShards(t.name, te.seal())
+		}
+	}
+	ctx := &evalCtx{t: t, params: params}
+	for _, id := range ids {
+		row, _ := t.rowOf(id)
+		ctx.row = row
+		newRow := append([]Value(nil), row...)
+		for _, sc := range s.sets {
+			pos, ok := t.colIdx[normalizeIdent(sc.col)]
+			if !ok {
+				publish()
+				return 0, fmt.Errorf("metadb: no column %q in table %q", sc.col, s.table)
+			}
+			v, err := ctx.eval(sc.val)
+			if err != nil {
+				publish()
+				return 0, err
+			}
+			cv, err := coerce(v, t.cols[pos].kind)
+			if err != nil {
+				publish()
+				return 0, err
+			}
+			newRow[pos] = cv
+		}
+		oldShard := int(id & shardIdxMask)
+		newShard := t.rowShard(newRow)
+		if newShard == oldShard {
+			se := te.shard(oldShard)
+			for _, ei := range se.indexes {
+				if ei.idx.rowKey(row) != ei.idx.rowKey(newRow) {
+					ei.remove(row, id)
+					ei.insert(newRow, id)
+				}
+			}
+			se.rows[id] = newRow
+		} else {
+			// The new shard-column value re-routes the row; the seq (and
+			// with it the global insertion-order position) is preserved.
+			te.shard(oldShard).remove(id, row)
+			te.shard(newShard).insert(id&^int64(shardIdxMask)|int64(newShard), newRow)
+		}
+	}
+	publish()
+	return len(ids), nil
+}
+
+func (db *DB) execDelete(s deleteStmt, params []Value) (int, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	t0, ok := db.state.Load().tables[normalizeIdent(s.table)]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no such table %q", s.table)
+	}
+	lk := db.locksFor(t0.name)
+	all := allShards(len(t0.shards))
+	db.lockShards(lk, all)
+	defer unlockShards(lk, all)
+	t := db.state.Load().tables[t0.name]
+	ids, err := db.matchingIDs(t, s.where, params)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	te := newTableEdit(t)
+	for _, id := range ids {
+		row, _ := t.rowOf(id)
+		te.shard(int(id&shardIdxMask)).remove(id, row)
+	}
+	db.publishShards(t.name, te.seal())
+	return len(ids), nil
+}

@@ -19,6 +19,10 @@ import (
 //	value: u8 kind | payload (varies)
 //
 // Strings are u32 length + bytes. Integers are little-endian.
+//
+// Rows serialize in global insertion order and indexes by sorted key,
+// so the bytes are independent of the in-memory shard count: a DB
+// sharded 8 ways saves the identical snapshot a 1-shard DB would.
 
 var snapshotMagic = []byte("MDB1")
 
@@ -111,16 +115,17 @@ func readValue(r io.Reader) (Value, error) {
 	return Value{}, fmt.Errorf("metadb: corrupt snapshot (value kind %d)", kb[0])
 }
 
-// Save writes a full snapshot of the database.
+// Save writes a full snapshot of the database. It serializes from an
+// MVCC snapshot, so it takes no locks and concurrent queries and
+// writers proceed unstalled; the bytes reflect one consistent version.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	st := db.read()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic); err != nil {
 		return err
 	}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	names := make([]string, 0, len(st.tables))
+	for n := range st.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -128,7 +133,7 @@ func (db *DB) Save(w io.Writer) error {
 		return err
 	}
 	for _, name := range names {
-		t := db.tables[name]
+		t := st.tables[name]
 		if err := writeString(bw, t.name); err != nil {
 			return err
 		}
@@ -146,27 +151,24 @@ func (db *DB) Save(w io.Writer) error {
 		// Index definitions serialize as (name, joined column list); a
 		// composite index's columns join with commas, which identifiers
 		// cannot contain, so old single-column snapshots load unchanged.
-		idxKeys := make([]string, 0, len(t.indexes))
-		for c := range t.indexes {
-			idxKeys = append(idxKeys, c)
-		}
-		sort.Strings(idxKeys)
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(idxKeys))); err != nil {
+		defs := t.indexDefs()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(defs))); err != nil {
 			return err
 		}
-		for _, c := range idxKeys {
-			if err := writeString(bw, t.indexes[c].name); err != nil {
+		for _, d := range defs {
+			if err := writeString(bw, d.name); err != nil {
 				return err
 			}
-			if err := writeString(bw, c); err != nil {
+			if err := writeString(bw, indexKey(d.cols)); err != nil {
 				return err
 			}
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.order))); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t.rowCount())); err != nil {
 			return err
 		}
-		for _, id := range t.order {
-			for _, v := range t.rows[id] {
+		for _, id := range t.globalOrder() {
+			row, _ := t.rowOf(id)
+			for _, v := range row {
 				if err := writeValue(bw, v); err != nil {
 					return err
 				}
@@ -177,7 +179,9 @@ func (db *DB) Save(w io.Writer) error {
 }
 
 // Load replaces the database contents with a snapshot previously
-// written by Save.
+// written by Save. The new state is rebuilt sharded, published
+// atomically, and the writer-lock registry is reset with seq
+// allocators continuing past the loaded rows.
 func (db *DB) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
@@ -191,18 +195,14 @@ func (db *DB) Load(r io.Reader) error {
 	if err := binary.Read(br, binary.LittleEndian, &tableCount); err != nil {
 		return err
 	}
-	tables := make(map[string]*table, tableCount)
+	tables := make(map[string]*tableData, tableCount)
 	for ti := uint32(0); ti < tableCount; ti++ {
 		name, err := readString(br)
 		if err != nil {
 			return err
 		}
-		t := &table{
-			name:    name,
-			colIdx:  make(map[string]int),
-			rows:    make(map[int64][]Value),
-			indexes: make(map[string]*index),
-		}
+		colIdx := make(map[string]int)
+		var cols []columnDef
 		var colCount uint32
 		if err := binary.Read(br, binary.LittleEndian, &colCount); err != nil {
 			return err
@@ -216,16 +216,15 @@ func (db *DB) Load(r io.Reader) error {
 			if _, err := io.ReadFull(br, kb[:]); err != nil {
 				return err
 			}
-			t.colIdx[cname] = len(t.cols)
-			t.cols = append(t.cols, columnDef{cname, Kind(kb[0])})
+			colIdx[cname] = len(cols)
+			cols = append(cols, columnDef{cname, Kind(kb[0])})
 		}
 		var idxCount uint32
 		if err := binary.Read(br, binary.LittleEndian, &idxCount); err != nil {
 			return err
 		}
-		type idxDef struct{ name, col string }
-		idxDefs := make([]idxDef, idxCount)
-		for ii := range idxDefs {
+		defs := make([]indexDef, idxCount)
+		for ii := range defs {
 			iname, err := readString(br)
 			if err != nil {
 				return err
@@ -234,14 +233,25 @@ func (db *DB) Load(r io.Reader) error {
 			if err != nil {
 				return err
 			}
-			idxDefs[ii] = idxDef{iname, icol}
+			icols := strings.Split(icol, ",")
+			colPos := make([]int, len(icols))
+			for i, c := range icols {
+				pos, ok := colIdx[c]
+				if !ok {
+					return fmt.Errorf("metadb: snapshot index on unknown column %q", c)
+				}
+				colPos[i] = pos
+			}
+			defs[ii] = indexDef{iname, icols, colPos}
 		}
 		var rowCount uint32
 		if err := binary.Read(br, binary.LittleEndian, &rowCount); err != nil {
 			return err
 		}
+		seqs := make([]int64, rowCount)
+		rows := make([][]Value, rowCount)
 		for ri := uint32(0); ri < rowCount; ri++ {
-			row := make([]Value, len(t.cols))
+			row := make([]Value, len(cols))
 			for ci := range row {
 				v, err := readValue(br)
 				if err != nil {
@@ -249,31 +259,26 @@ func (db *DB) Load(r io.Reader) error {
 				}
 				row[ci] = v
 			}
-			id := t.nextID
-			t.nextID++
-			t.rows[id] = row
-			t.order = append(t.order, id)
+			seqs[ri] = int64(ri)
+			rows[ri] = row
 		}
-		for _, d := range idxDefs {
-			cols := strings.Split(d.col, ",")
-			colPos := make([]int, len(cols))
-			for i, c := range cols {
-				pos, ok := t.colIdx[c]
-				if !ok {
-					return fmt.Errorf("metadb: snapshot index on unknown column %q", c)
-				}
-				colPos[i] = pos
-			}
-			idx := newIndex(d.name, cols, colPos)
-			for _, id := range t.order {
-				idx.insert(t.rows[id], id)
-			}
-			t.indexes[indexKey(cols)] = idx
-		}
-		tables[name] = t
+		tables[name] = buildTable(name, cols, colIdx, db.nshards, defs, seqs, rows)
 	}
-	db.mu.Lock()
-	db.tables = tables
-	db.mu.Unlock()
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	locks := make(map[string]*tableLocks, len(tables))
+	for name, t := range tables {
+		lk := db.newTableLocks()
+		lk.nextSeq.Store(int64(t.rowCount()))
+		locks[name] = lk
+	}
+	db.locksMu.Lock()
+	db.locks = locks
+	db.locksMu.Unlock()
+	db.commitMu.Lock()
+	cur := db.state.Load()
+	db.state.Store(&dbState{version: cur.version + 1, tables: tables})
+	db.commitMu.Unlock()
+	db.commits.Add(1)
 	return nil
 }

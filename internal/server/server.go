@@ -52,25 +52,32 @@ type mount struct {
 	name string
 	src  Source
 
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	objs map[string]store.Object
 }
 
 // object returns the store object behind a simulated file, opening and
-// caching it on first touch, along with its size.
+// caching it on first touch, along with its size. The hit path takes
+// only a read lock, so concurrent readers of mounted bundles don't
+// serialize here; the open-and-insert path double-checks under the
+// write lock.
 func (m *mount) object(name string) (store.Object, int64, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	obj, ok := m.objs[name]
-	if !ok {
-		var err error
-		obj, err = m.src.FS.Backend().Open(name)
-		if err != nil {
-			m.mu.Unlock()
-			return nil, 0, err
-		}
-		m.objs[name] = obj
+	m.mu.RUnlock()
+	if ok {
+		return obj, obj.Size(), nil
 	}
-	m.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if obj, ok := m.objs[name]; ok {
+		return obj, obj.Size(), nil
+	}
+	obj, err := m.src.FS.Backend().Open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.objs[name] = obj
 	return obj, obj.Size(), nil
 }
 
