@@ -19,6 +19,7 @@ import (
 	"sdm/internal/obs"
 	"sdm/internal/pfs"
 	"sdm/internal/store"
+	"sdm/internal/store/objstore"
 )
 
 // A run bundle is a self-contained on-disk snapshot of everything a
@@ -58,16 +59,38 @@ type RetryPolicy = store.RetryPolicy
 // injection for bundle backends (see BundleOptions.Faults).
 type FaultConfig = store.FaultConfig
 
+// ObjStoreCost re-exports objstore.CostModel: the latency, bandwidth,
+// and per-request pricing of a simulated remote object store (see
+// BundleOptions.ObjCost).
+type ObjStoreCost = objstore.CostModel
+
 // BundleOptions tunes how a bundle stores file bytes.
 type BundleOptions struct {
 	// Backend selects the byte store: "dir" (default, one host file
-	// per simulated file) or "cas" (content-addressed chunks with
-	// dedup).
+	// per simulated file), "cas" (content-addressed chunks with
+	// dedup), or "obj" (a simulated remote object store with S3-like
+	// semantics — write-back staging, multipart PUTs, priced requests
+	// on its own remote timeline).
 	Backend string
 	// Compress flate-compresses cas chunks (ignored for "dir").
 	Compress bool
 	// ChunkSize overrides the cas chunk granularity (default 64 KiB).
 	ChunkSize int64
+	// Endpoint names the simulated remote for "obj" backends, e.g.
+	// "sim://archive". Empty derives a per-directory endpoint
+	// ("sim://<abs bundle dir>") so reopening the bundle — or
+	// recovering it after a crash — reconnects to the same remote.
+	// Bundles sharing an explicit endpoint share one keyspace; give
+	// each bundle its own.
+	Endpoint string
+	// PartSize is the "obj" multipart threshold and part size
+	// (default 8 MiB): flushes larger than this upload in PartSize
+	// pieces through a multipart session with per-part retry.
+	PartSize int64
+	// ObjCost prices the "obj" remote; nil or zero fields take
+	// objstore.DefaultCost. Only the first Dial of an endpoint sets
+	// its pricing.
+	ObjCost *ObjStoreCost
 	// Retry, when non-nil, wraps the bundle's backend in a store.Retry
 	// decorator so transient backend faults (store.ErrUnavailable) are
 	// masked by bounded backoff instead of failing the save or open.
@@ -124,6 +147,8 @@ type bundleManifest struct {
 	Backend   string       `json:"backend"`
 	Compress  bool         `json:"compress,omitempty"`
 	ChunkSize int64        `json:"chunk_size,omitempty"`
+	Endpoint  string       `json:"endpoint,omitempty"`
+	PartSize  int64        `json:"part_size,omitempty"`
 	Files     []bundleFile `json:"files"`
 }
 
@@ -163,26 +188,85 @@ func bundleLock(dir string) *sync.Mutex {
 	return mu
 }
 
+// bundleSpec pins everything needed to rebuild a bundle's byte store:
+// the backend kind plus its kind-specific geometry. It travels in the
+// manifest and in the WAL's begin record, so open, GC, fsck, and crash
+// recovery all reconstruct the same store a save wrote through.
+type bundleSpec struct {
+	kind      string
+	compress  bool
+	chunkSize int64
+	endpoint  string
+	partSize  int64
+	cost      *objstore.CostModel
+}
+
+func (o *BundleOptions) spec() bundleSpec {
+	return bundleSpec{
+		kind: o.Backend, compress: o.Compress, chunkSize: o.ChunkSize,
+		endpoint: o.Endpoint, partSize: o.PartSize, cost: o.ObjCost,
+	}
+}
+
+func (m *bundleManifest) spec() bundleSpec {
+	return bundleSpec{
+		kind: m.Backend, compress: m.Compress, chunkSize: m.ChunkSize,
+		endpoint: m.Endpoint, partSize: m.PartSize,
+	}
+}
+
+func beginSpec(r store.WALBeginRecord) bundleSpec {
+	return bundleSpec{
+		kind: r.Backend, compress: r.Compress, chunkSize: r.ChunkSize,
+		endpoint: r.Endpoint, partSize: r.PartSize,
+	}
+}
+
+// bundleEndpoint resolves an "obj" bundle's endpoint, deriving the
+// per-directory default when none was chosen. The derivation is a pure
+// function of the bundle path, so a save, a crash recovery, and a
+// later open all dial the same simulated remote.
+func bundleEndpoint(dir, endpoint string) string {
+	if endpoint != "" {
+		return endpoint
+	}
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	return "sim://" + filepath.Clean(dir)
+}
+
 // bundleBackend constructs the byte store for a bundle directory,
 // wrapped in the requested fault-injection and retry decorators
 // (injection sits beneath retry, so retries mask injected faults).
-func bundleBackend(dir, kind string, compress bool, chunkSize int64, faults *FaultConfig, retry *RetryPolicy) (store.Backend, error) {
+// For "obj" specs the returned Service is the simulated remote behind
+// the decorators — the hook for stats, metrics, and upload-session
+// sweeps; it is nil for local kinds.
+func bundleBackend(dir string, sp bundleSpec, faults *FaultConfig, retry *RetryPolicy) (store.Backend, *objstore.Service, error) {
 	dataDir := filepath.Join(dir, bundleDataDir)
 	var b store.Backend
+	var svc *objstore.Service
 	var err error
-	switch kind {
+	switch sp.kind {
 	case "dir":
 		// Atomic writes: host-dir objects are staged in temp files and
 		// promoted by fsync + rename at Sync, so host-dir bundles are
 		// torn-write safe even outside the WAL path.
 		b, err = store.NewDirOpts(dataDir, store.DirOptions{AtomicWrites: true})
 	case "cas":
-		b, err = store.OpenCAS(dataDir, store.CASOptions{ChunkSize: chunkSize, Compress: compress})
+		b, err = store.OpenCAS(dataDir, store.CASOptions{ChunkSize: sp.chunkSize, Compress: sp.compress})
+	case "obj":
+		var cost objstore.CostModel
+		if sp.cost != nil {
+			cost = *sp.cost
+		}
+		svc = objstore.DialCost(bundleEndpoint(dir, sp.endpoint), cost)
+		b = objstore.New(svc, objstore.Options{PartSize: sp.partSize, Retry: retry})
 	default:
-		return nil, fmt.Errorf("sdm: unknown bundle backend %q (want \"dir\" or \"cas\")", kind)
+		return nil, nil, fmt.Errorf("sdm: unknown bundle backend %q (want \"dir\", \"cas\", or \"obj\")", sp.kind)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if faults != nil {
 		b = store.NewFaulty(b, *faults)
@@ -190,7 +274,36 @@ func bundleBackend(dir, kind string, compress bool, chunkSize int64, faults *Fau
 	if retry != nil {
 		b = store.WithRetry(b, *retry)
 	}
-	return b, nil
+	return b, svc, nil
+}
+
+// registerObjstoreMetrics publishes a remote's request ledger into the
+// registry as objstore.* counters.
+func registerObjstoreMetrics(r *obs.Registry, svc *objstore.Service) {
+	if r == nil || svc == nil {
+		return
+	}
+	r.RegisterSource("objstore", func(put func(key string, val int64)) {
+		st := svc.Stats()
+		put("requests", st.Requests)
+		put("puts", st.Puts)
+		put("gets", st.Gets)
+		put("heads", st.Heads)
+		put("lists", st.Lists)
+		put("deletes", st.Deletes)
+		put("copies", st.Copies)
+		put("parts", st.Parts)
+		put("part_retries", st.PartRetries)
+		put("multipart_begun", st.MultipartBegun)
+		put("multipart_completed", st.MultipartCompleted)
+		put("multipart_aborted", st.MultipartAborted)
+		put("condition_failures", st.ConditionFailures)
+		put("transient_injected", st.TransientInjected)
+		put("bytes_in", st.BytesIn)
+		put("bytes_out", st.BytesOut)
+		put("remote_ms", st.RemoteTime.Milliseconds())
+		put("cost_microcents", st.CostMicrocents)
+	})
 }
 
 // writeFileSync writes data to path and fsyncs it before closing.
@@ -249,11 +362,12 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if err := recoverBundleLocked(dir, nil); err != nil {
 		return fmt.Errorf("sdm: recovering interrupted save: %w", err)
 	}
-	b, err := bundleBackend(dir, opts.Backend, opts.Compress, opts.ChunkSize, opts.Faults, opts.Retry)
+	b, svc, err := bundleBackend(dir, opts.spec(), opts.Faults, opts.Retry)
 	if err != nil {
 		return err
 	}
 	b = meterBackend(b, opts.Metrics)
+	registerObjstoreMetrics(opts.Metrics, svc)
 
 	// Snapshot the cluster: file bytes and the catalog dump, hashed so
 	// the WAL's intent records pin content, not just names.
@@ -273,6 +387,10 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 		Backend:   opts.Backend,
 		Compress:  opts.Compress,
 		ChunkSize: opts.ChunkSize,
+	}
+	if opts.Backend == "obj" {
+		m.Endpoint = bundleEndpoint(dir, opts.Endpoint)
+		m.PartSize = opts.PartSize
 	}
 	for _, name := range names {
 		data, err := cl.FS.ReadFile(name)
@@ -295,7 +413,24 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if opts.DisableWAL {
 		return saveDirect(dir, b, plan, catBuf.Bytes(), manifestJSON)
 	}
+	if err := writeBundleWAL(dir, b, plan, catBuf.Bytes(), manifestJSON, &opts); err != nil {
+		return err
+	}
+	if r := opts.Metrics; r != nil {
+		r.Counter("bundle.saves").Add(1)
+	}
+	return nil
+}
 
+// writeBundleWAL runs the 3-phase crash-consistent commit of a bundle:
+// intents durable in the log before any data moves, all data staged
+// under scratch names, a sealed commit record, then the idempotent
+// apply. plan holds the files to (re)write; manifestJSON may name more
+// files than plan stages — an incremental commit (MigrateBundle's
+// delta) keeps the unchanged ones in place, protected from the apply
+// sweep by the manifest inventory. Shared verbatim by SaveBundle and
+// MigrateBundle so both get the same crash boundaries.
+func writeBundleWAL(dir string, b store.Backend, plan []bundlePlanEntry, catBytes, manifestJSON []byte, opts *BundleOptions) error {
 	// Intent phase: every record describing the new bundle is durable
 	// in the log before a single data byte moves.
 	w, err := store.CreateWAL(filepath.Join(dir, bundleWALName))
@@ -303,9 +438,14 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 		return err
 	}
 	defer w.Close()
-	if err := w.Append(store.WALBegin, store.WALBeginRecord{
+	beginRec := store.WALBeginRecord{
 		Format: 1, Backend: opts.Backend, Compress: opts.Compress, ChunkSize: opts.ChunkSize,
-	}); err != nil {
+	}
+	if opts.Backend == "obj" {
+		beginRec.Endpoint = bundleEndpoint(dir, opts.Endpoint)
+		beginRec.PartSize = opts.PartSize
+	}
+	if err := w.Append(store.WALBegin, beginRec); err != nil {
 		return err
 	}
 	if err := opts.crash("wal-begin"); err != nil {
@@ -327,7 +467,7 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 		}
 	}
 	if err := w.Append(store.WALCatalog, store.WALCatalogRecord{
-		Stage: bundleCatalogStage, SHA256: sha256hex(catBuf.Bytes()),
+		Stage: bundleCatalogStage, SHA256: sha256hex(catBytes),
 	}); err != nil {
 		return err
 	}
@@ -359,7 +499,7 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 			return err
 		}
 	}
-	if err := writeFileSync(filepath.Join(dir, bundleCatalogStage), catBuf.Bytes()); err != nil {
+	if err := writeFileSync(filepath.Join(dir, bundleCatalogStage), catBytes); err != nil {
 		return fmt.Errorf("sdm: staging bundle catalog: %w", err)
 	}
 	if err := opts.crash("stage-catalog"); err != nil {
@@ -389,7 +529,6 @@ func saveBundle(cl *Cluster, dir string, opts BundleOptions) error {
 	if r := opts.Metrics; r != nil {
 		// begin + one put per file + catalog + commit.
 		r.Counter("bundle.wal.records").Add(int64(len(puts)) + 3)
-		r.Counter("bundle.saves").Add(1)
 	}
 	return w.Close()
 }
@@ -462,7 +601,18 @@ func applyWAL(dir string, b store.Backend, puts []store.WALPutRecord, catStage s
 		}
 		return crashFn(point)
 	}
+	// The keep-set is the union of this save's puts and the manifest's
+	// full inventory: an incremental save (MigrateBundle's delta) only
+	// stages changed files, and the sweep must not reclaim the
+	// unchanged ones the manifest still names.
 	want := make(map[string]bool, len(puts))
+	var m bundleManifest
+	if err := json.Unmarshal(manifestJSON, &m); err != nil {
+		return fmt.Errorf("sdm: bundle apply: corrupt manifest in wal commit: %w", err)
+	}
+	for _, f := range m.Files {
+		want[f.Name] = true
+	}
 	for _, p := range puts {
 		want[p.Name] = true
 		if _, err := b.Stat(p.Stage); err == nil {
@@ -536,9 +686,12 @@ func applyWAL(dir string, b store.Backend, puts []store.WALPutRecord, catStage s
 }
 
 // rollbackWAL undoes an uncommitted save: staged objects and the
-// staged catalog are deleted; the old bundle was never touched.
+// staged catalog are deleted; the old bundle was never touched. For
+// remote ("obj") bundles the sweep also aborts abandoned multipart
+// upload sessions — a crashed client's half-staged parts — since the
+// simulated remote outlives the process that died.
 func rollbackWAL(dir string, haveBegin bool, begin store.WALBeginRecord, catStage string) error {
-	kind, compress, chunkSize := begin.Backend, begin.Compress, begin.ChunkSize
+	sp := beginSpec(begin)
 	if !haveBegin {
 		// A log torn before its begin record survived names no backend,
 		// but the save may still have staged objects (the log could have
@@ -548,21 +701,24 @@ func rollbackWAL(dir string, haveBegin bool, begin store.WALBeginRecord, catStag
 		if raw, err := os.ReadFile(filepath.Join(dir, bundleManifestName)); err == nil {
 			var m bundleManifest
 			if json.Unmarshal(raw, &m) == nil && m.Backend != "" {
-				kind, compress, chunkSize = m.Backend, m.Compress, m.ChunkSize
+				sp = m.spec()
 			}
 		}
-		if kind == "" {
+		if sp.kind == "" {
 			if _, err := os.Stat(filepath.Join(dir, bundleDataDir, "objects.json")); err == nil {
-				kind = "cas"
+				sp.kind = "cas"
 			} else {
-				kind = "dir"
+				sp.kind = "dir"
 			}
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, bundleDataDir)); err == nil {
-		b, err := bundleBackend(dir, kind, compress, chunkSize, nil, nil)
+	if _, err := os.Stat(filepath.Join(dir, bundleDataDir)); err == nil || sp.kind == "obj" {
+		b, svc, err := bundleBackend(dir, sp, nil, nil)
 		if err != nil {
 			return err
+		}
+		if svc != nil {
+			svc.AbortAllUploads()
 		}
 		names, err := b.List()
 		if err != nil {
@@ -643,9 +799,15 @@ func recoverBundleLocked(dir string, rep *FsckReport) error {
 	if rep != nil {
 		rep.WALAction = "rolled-forward"
 	}
-	b, err := bundleBackend(dir, begin.Backend, begin.Compress, begin.ChunkSize, nil, nil)
+	b, svc, err := bundleBackend(dir, beginSpec(begin), nil, nil)
 	if err != nil {
 		return err
+	}
+	if svc != nil {
+		// Sessions left by the crashed save can never complete — the
+		// commit record already pins what was staged — so sweep them
+		// before rolling forward.
+		svc.AbortAllUploads()
 	}
 	return applyWAL(dir, b, puts, catStage, manifestJSON, nil)
 }
@@ -695,7 +857,7 @@ func GCBundle(dir string) (store.GCStats, error) {
 	for _, f := range m.Files {
 		live[f.Name] = true
 	}
-	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, nil, nil)
+	b, _, err := bundleBackend(dir, m.spec(), nil, nil)
 	if err != nil {
 		return st, err
 	}
@@ -749,11 +911,14 @@ func openBundle(dir string, cfg ClusterConfig, opts BundleOptions) (*Cluster, er
 	if m.Format != 1 {
 		return nil, fmt.Errorf("sdm: unsupported bundle format %d", m.Format)
 	}
-	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, opts.Faults, opts.Retry)
+	msp := m.spec()
+	msp.cost = opts.ObjCost
+	b, svc, err := bundleBackend(dir, msp, opts.Faults, opts.Retry)
 	if err != nil {
 		return nil, err
 	}
 	b = meterBackend(b, opts.Metrics)
+	registerObjstoreMetrics(opts.Metrics, svc)
 	if r := opts.Metrics; r != nil {
 		r.Counter("bundle.opens").Add(1)
 	}

@@ -80,6 +80,7 @@ func TestBundleRoundTrip(t *testing.T) {
 	for _, opts := range []BundleOptions{
 		{Backend: "dir"},
 		{Backend: "cas", Compress: true},
+		{Backend: "obj", PartSize: 16 << 10},
 	} {
 		t.Run(opts.Backend, func(t *testing.T) {
 			dir := filepath.Join(t.TempDir(), "bundle")

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle|trace|serve|metadata] [-nx 32]
+//	sdmbench [-experiment all|fig5|fig6|fig7|pipeline|ablations|bundle|trace|serve|metadata|objstore] [-nx 32]
 //	         [-rtnx 40] [-procs 64] [-steps 2] [-rtsteps 5] [-pipesteps 8]
 //	         [-json BENCH.json] [-bundle DIR] [-trace out.json]
 //
@@ -135,7 +135,7 @@ func (bl *benchLog) write(path string) error {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, trace, serve, metadata, or all")
+	experiment := flag.String("experiment", "all", "fig5, fig6, fig7, pipeline, ablations, bundle, trace, serve, metadata, objstore, or all")
 	nx := flag.Int("nx", 32, "FUN3D mesh cells per dimension (paper: ~18M edges; 32 => ~245k)")
 	rtnx := flag.Int("rtnx", 40, "RT mesh cells per dimension")
 	procs := flag.Int("procs", 64, "process count for fig5/fig6")
@@ -178,6 +178,8 @@ func main() {
 		runServe(*nx, *procs, *steps, bl)
 	case "metadata":
 		runMetadata(bl)
+	case "objstore":
+		runObjstore(*nx, *procs, *steps, bl)
 	case "all":
 		runFig5(*nx, *procs, bl)
 		runFig6(*nx, *procs, *steps, bl)
@@ -188,6 +190,7 @@ func main() {
 		runTraceOverhead(*nx, *procs, *pipesteps, bl)
 		runServe(*nx, *procs, *steps, bl)
 		runMetadata(bl)
+		runObjstore(*nx, *procs, *steps, bl)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}

@@ -55,6 +55,9 @@ func (r *FsckReport) repairedf(format string, args ...any) {
 //     orphans (repair removes them).
 //   - cas bundles: chunk refcount audit (store.CAS.CheckRefs) and an
 //     orphan chunk-file sweep (repair reclaims them via GC).
+//   - obj bundles: abandoned multipart upload sessions on the remote —
+//     half-staged parts a crashed save left behind — are reported
+//     (repair aborts them).
 //
 // It holds the bundle lock throughout, so it is safe against
 // concurrent saves and GCs.
@@ -115,7 +118,7 @@ func FsckBundle(dir string, repair bool) (*FsckReport, error) {
 	}
 
 	// Phase 4: the file inventory against the backend.
-	b, err := bundleBackend(dir, m.Backend, m.Compress, m.ChunkSize, nil, nil)
+	b, svc, err := bundleBackend(dir, m.spec(), nil, nil)
 	if err != nil {
 		rep.errorf("backend: %v", err)
 		return rep, nil
@@ -179,6 +182,21 @@ func FsckBundle(dir string, repair bool) (*FsckReport, error) {
 				}
 			} else {
 				rep.errorf("cas: %d orphan chunk files on disk (repair reclaims them)", orphans)
+			}
+		}
+	}
+	// Phase 6: obj-specific audit — multipart sessions no live save
+	// owns (the bundle lock is held, so any session seen here is
+	// abandoned).
+	if svc != nil {
+		if abandoned := svc.AbandonedUploads(); len(abandoned) > 0 {
+			if repair {
+				svc.AbortAllUploads()
+				rep.repairedf("objstore: aborted %d abandoned multipart upload(s)", len(abandoned))
+			} else {
+				for id, key := range abandoned {
+					rep.errorf("objstore: abandoned multipart upload %s targeting %q (repair aborts it)", id, key)
+				}
 			}
 		}
 	}

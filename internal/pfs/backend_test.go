@@ -9,6 +9,7 @@ import (
 
 	"sdm/internal/sim"
 	"sdm/internal/store"
+	"sdm/internal/store/objstore"
 )
 
 // TestCostIdenticalAcrossBackends drives the same handle op sequence —
@@ -38,6 +39,10 @@ func TestCostIdenticalAcrossBackends(t *testing.T) {
 		"mem": store.NewMem(),
 		"dir": diskDir,
 		"cas": diskCAS,
+		// The simulated object store prices every request on its own
+		// remote timeline; none of that may reach the rank clock.
+		"obj": objstore.New(objstore.NewService(objstore.CostModel{}),
+			objstore.Options{PartSize: 96 << 10}),
 		"faulty-retry": store.WithRetry(faulty, store.RetryPolicy{
 			MaxAttempts: 25,
 			Sleep:       func(time.Duration) {},

@@ -1,4 +1,7 @@
-package store
+// The conformance suite lives in an external test package so it can
+// drive the objstore adapter (which imports store) next to the
+// in-package backends without an import cycle.
+package store_test
 
 import (
 	"bytes"
@@ -8,58 +11,78 @@ import (
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"sdm/internal/store"
+	"sdm/internal/store/objstore"
 )
+
+func noSleep(time.Duration) {}
+
+// newObjBackend builds an objstore adapter over a fresh simulated
+// remote, with a small part size so ordinary test objects cross
+// multipart boundaries and a tiny list page so List paginates.
+func newObjBackend() *objstore.Backend {
+	return objstore.New(objstore.NewService(objstore.CostModel{}), objstore.Options{
+		PartSize: 1024,
+		PageSize: 3,
+		Retry:    &store.RetryPolicy{MaxAttempts: 8, Sleep: noSleep},
+	})
+}
 
 // backendsUnderTest builds one of every backend flavor, including a
 // cas with a deliberately small chunk size so op sequences cross chunk
-// boundaries, a disk-rooted compressed cas, an atomic-writes dir, and
-// fault-injected flavors of each family behind a retry layer — the
-// conformance suite demands those behave byte- and error-identically
-// to the clean backends.
-func backendsUnderTest(t *testing.T) map[string]Backend {
+// boundaries, a disk-rooted compressed cas, an atomic-writes dir, the
+// simulated remote object store (write-back staging + multipart
+// flush), and fault-injected flavors of each family behind a retry
+// layer — the conformance suite demands those behave byte- and
+// error-identically to the clean backends.
+func backendsUnderTest(t *testing.T) map[string]store.Backend {
 	t.Helper()
-	diskDir, err := NewDir(filepath.Join(t.TempDir(), "dir"))
+	diskDir, err := store.NewDir(filepath.Join(t.TempDir(), "dir"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	atomicDir, err := NewDirOpts(filepath.Join(t.TempDir(), "adir"), DirOptions{AtomicWrites: true})
+	atomicDir, err := store.NewDirOpts(filepath.Join(t.TempDir(), "adir"), store.DirOptions{AtomicWrites: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	diskCAS, err := OpenCAS(filepath.Join(t.TempDir(), "cas"), CASOptions{ChunkSize: 512, Compress: true})
+	diskCAS, err := store.OpenCAS(filepath.Join(t.TempDir(), "cas"), store.CASOptions{ChunkSize: 512, Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := map[string]Backend{
-		"mem":          NewMem(),
+	m := map[string]store.Backend{
+		"mem":          store.NewMem(),
 		"dir":          diskDir,
 		"dir-atomic":   atomicDir,
-		"cas-mem":      NewCAS(CASOptions{ChunkSize: 512}),
+		"cas-mem":      store.NewCAS(store.CASOptions{ChunkSize: 512}),
 		"cas-disk-zip": diskCAS,
+		"obj":          newObjBackend(),
 	}
 
 	// The op sequences and the injection PRNGs are both seeded, so the
 	// number of injected faults per test is deterministic — the cleanup
 	// assertion below cannot flake, only catch a vacuous configuration.
-	var injected []*Faulty
-	addFaulty := func(name string, inner Backend, seed int64) {
-		f := NewFaulty(inner, FaultConfig{
+	var injected []*store.Faulty
+	addFaulty := func(name string, inner store.Backend, seed int64) {
+		f := store.NewFaulty(inner, store.FaultConfig{
 			Seed:        seed,
 			Transient:   0.05,
 			TornWrite:   0.1,
 			PartialRead: 0.1,
-			Ops:         allOps(),
+			Ops:         store.AllOps(),
 		})
 		injected = append(injected, f)
-		m[name+"-faulty-retry"] = WithRetry(f, RetryPolicy{MaxAttempts: 25, NamespaceOps: true, Sleep: noSleep})
+		m[name+"-faulty-retry"] = store.WithRetry(f, store.RetryPolicy{MaxAttempts: 25, NamespaceOps: true, Sleep: noSleep})
 	}
-	addFaulty("mem", NewMem(), 11)
-	faultyDir, err := NewDir(filepath.Join(t.TempDir(), "fdir"))
+	addFaulty("mem", store.NewMem(), 11)
+	faultyDir, err := store.NewDir(filepath.Join(t.TempDir(), "fdir"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	addFaulty("dir", faultyDir, 12)
-	addFaulty("cas-mem", NewCAS(CASOptions{ChunkSize: 512}), 13)
+	addFaulty("cas-mem", store.NewCAS(store.CASOptions{ChunkSize: 512}), 13)
+	addFaulty("obj", newObjBackend(), 14)
 	t.Cleanup(func() {
 		if t.Failed() {
 			return
@@ -76,22 +99,23 @@ func backendsUnderTest(t *testing.T) map[string]Backend {
 }
 
 // TestConformanceScripted runs one fixed op sequence — extending
-// writes, overwrites, holes, truncations both ways, short reads —
-// against every backend and demands byte- and error-identical results.
+// writes, overwrites, holes, truncations both ways, short reads, a
+// mid-script flush with clean rereads and re-dirtying — against every
+// backend and demands byte- and error-identical results.
 func TestConformanceScripted(t *testing.T) {
 	for name, b := range backendsUnderTest(t) {
 		t.Run(name, func(t *testing.T) {
-			if _, err := b.Open("missing"); !errors.Is(err, ErrNotExist) {
+			if _, err := b.Open("missing"); !errors.Is(err, store.ErrNotExist) {
 				t.Fatalf("Open(missing) = %v, want ErrNotExist", err)
 			}
-			if _, err := b.Stat("missing"); !errors.Is(err, ErrNotExist) {
+			if _, err := b.Stat("missing"); !errors.Is(err, store.ErrNotExist) {
 				t.Fatalf("Stat(missing) = %v, want ErrNotExist", err)
 			}
 			o, err := b.Create("a")
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := b.Create("a"); !errors.Is(err, ErrExist) {
+			if _, err := b.Create("a"); !errors.Is(err, store.ErrExist) {
 				t.Fatalf("second Create = %v, want ErrExist", err)
 			}
 
@@ -137,6 +161,26 @@ func TestConformanceScripted(t *testing.T) {
 				t.Fatalf("size after straddle = %d", o.Size())
 			}
 
+			// Flush, then reread clean — on write-back backends this is
+			// the staged-to-remote transition and the read is a ranged
+			// GET — then dirty the object again and check the re-staged
+			// contents merge with what was flushed.
+			if err := b.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := o.ReadAt(buf, 1001); n != 4 || err != nil || string(buf) != "abcd" {
+				t.Fatalf("post-sync read = (%d, %v, %q)", n, err, buf[:n])
+			}
+			if sz, err := b.Stat("a"); err != nil || sz != 1007 {
+				t.Fatalf("post-sync Stat = (%d, %v)", sz, err)
+			}
+			if _, err := o.WriteAt([]byte("AB"), 1001); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := o.ReadAt(buf, 1001); n != 4 || err != nil || string(buf) != "ABcd" {
+				t.Fatalf("re-dirtied read = (%d, %v, %q)", n, err, buf[:n])
+			}
+
 			// Truncate down then regrow: the exposed tail must be zeros.
 			if err := o.Truncate(1003); err != nil {
 				t.Fatal(err)
@@ -148,8 +192,8 @@ func TestConformanceScripted(t *testing.T) {
 			if n, err := o.ReadAt(tail, 1000); n != 6 || err != nil {
 				t.Fatalf("tail read = (%d, %v)", n, err)
 			}
-			if string(tail) != "Xab\x00\x00\x00" {
-				t.Fatalf("tail = %q, want \"Xab\\x00\\x00\\x00\"", tail)
+			if string(tail) != "XAB\x00\x00\x00" {
+				t.Fatalf("tail = %q, want \"XAB\\x00\\x00\\x00\"", tail)
 			}
 
 			// Namespace bookkeeping.
@@ -166,7 +210,7 @@ func TestConformanceScripted(t *testing.T) {
 			if err := b.Remove("b"); err != nil {
 				t.Fatal(err)
 			}
-			if err := b.Remove("b"); !errors.Is(err, ErrNotExist) {
+			if err := b.Remove("b"); !errors.Is(err, store.ErrNotExist) {
 				t.Fatalf("double Remove = %v, want ErrNotExist", err)
 			}
 			if err := b.Sync(); err != nil {
@@ -177,8 +221,9 @@ func TestConformanceScripted(t *testing.T) {
 }
 
 // TestConformanceRandomized drives every backend through one long
-// seeded random op sequence while mirroring each object in a plain
-// byte-slice reference model, then compares all contents.
+// seeded random op sequence — writes, reads, truncates, and flushes —
+// while mirroring each object in a plain byte-slice reference model,
+// then compares all contents.
 func TestConformanceRandomized(t *testing.T) {
 	const (
 		ops      = 2000
@@ -189,7 +234,7 @@ func TestConformanceRandomized(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(42))
 			type modelObj struct {
-				obj  Object
+				obj  store.Object
 				data []byte
 			}
 			model := make(map[string]*modelObj)
@@ -206,7 +251,7 @@ func TestConformanceRandomized(t *testing.T) {
 			}
 			for i := 0; i < ops; i++ {
 				m := pick()
-				switch rng.Intn(4) {
+				switch rng.Intn(5) {
 				case 0, 1: // write
 					off := rng.Intn(maxSize)
 					n := rng.Intn(2000) + 1
@@ -255,6 +300,10 @@ func TestConformanceRandomized(t *testing.T) {
 					} else {
 						m.data = append(m.data, make([]byte, n-len(m.data))...)
 					}
+				case 4: // flush — write-back backends push staged state remote
+					if err := b.Sync(); err != nil {
+						t.Fatalf("op %d: Sync: %v", i, err)
+					}
 				}
 				if m.obj.Size() != int64(len(m.data)) {
 					t.Fatalf("op %d: size %d, model %d", i, m.obj.Size(), len(m.data))
@@ -299,6 +348,14 @@ func TestCrossBackendIdenticalBytes(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+			if i%53 == 0 {
+				if err := b.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := b.Sync(); err != nil {
+			t.Fatal(err)
 		}
 		buf := make([]byte, o.Size())
 		if _, err := o.ReadAt(buf, 0); err != nil && err != io.EOF {

@@ -44,6 +44,17 @@ var idempotentOps = map[Op]bool{
 	OpRead: true, OpWrite: true, OpTruncate: true,
 }
 
+// AllOps returns a FaultConfig.Ops set with every operation
+// fault-eligible — the broadest injection surface, used by the
+// conformance suite.
+func AllOps() map[Op]bool {
+	m := make(map[Op]bool, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[op] = true
+	}
+	return m
+}
+
 // FaultConfig scripts a Faulty decorator. All injection is driven by
 // one seeded PRNG consumed in op order, so a fixed op sequence sees a
 // reproducible fault sequence.

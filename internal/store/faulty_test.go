@@ -19,13 +19,7 @@ func faultyPolicy() RetryPolicy {
 }
 
 // allOps makes every operation fault-eligible.
-func allOps() map[Op]bool {
-	m := make(map[Op]bool)
-	for op := Op(0); op < numOps; op++ {
-		m[op] = true
-	}
-	return m
-}
+func allOps() map[Op]bool { return AllOps() }
 
 // driveOps runs one seeded op sequence against b and returns the final
 // contents of each object.

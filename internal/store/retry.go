@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -49,6 +50,60 @@ func (p *RetryPolicy) fill() {
 	}
 	if p.Sleep == nil {
 		p.Sleep = time.Sleep
+	}
+}
+
+// ExhaustedError reports a retried operation that gave up: how many
+// attempts ran, how long they took, and — via Unwrap — the last
+// underlying error. Callers that must branch on the cause after
+// exhaustion (the objstore multipart abort path distinguishing a still
+// transient ErrUnavailable from a dead ErrCrashed remote) see the real
+// error instead of a bare deadline notice.
+type ExhaustedError struct {
+	Op       Op
+	Attempts int
+	Elapsed  time.Duration
+	Err      error // the last error the operation returned
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("store: %s retry exhausted after %d attempt(s) in %v: %v",
+		e.Op, e.Attempts, e.Elapsed, e.Err)
+}
+
+// Unwrap exposes the last underlying error to errors.Is/As.
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// backoffDelay computes the pre-retry sleep for 1-based attempt n:
+// exponential from BaseDelay capped at MaxDelay, scaled by a jitter
+// factor in [0.5, 1.5).
+func backoffDelay(p *RetryPolicy, n int, jitter float64) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return time.Duration(float64(d) * (0.5 + jitter))
+}
+
+// Do runs one idempotent operation under the policy's retry loop,
+// outside any Backend decorator — the hook the objstore multipart path
+// uses to retry individual part uploads and aborts. Transient errors
+// (IsTransient) are re-issued under the same attempt/backoff/deadline
+// bounds as Retry; anything else surfaces immediately. On exhaustion
+// the returned *ExhaustedError wraps the last underlying error.
+func (p RetryPolicy) Do(op Op, fn func() error) error {
+	p.fill()
+	rng := rand.New(rand.NewSource(p.Seed))
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts || time.Since(start) >= p.MaxElapsed {
+			return &ExhaustedError{Op: op, Attempts: attempt, Elapsed: time.Since(start), Err: err}
+		}
+		p.Sleep(backoffDelay(&p, attempt, rng.Float64()))
 	}
 }
 

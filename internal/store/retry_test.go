@@ -1,0 +1,71 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPolicyDoSurfacesLastError is the regression test for exhaustion
+// reporting: a retried op that gives up must return an *ExhaustedError
+// that unwraps to the last underlying error, so callers can still
+// branch on the cause (the objstore multipart abort path needs to tell
+// a transient remote from a crashed one after retries run out).
+func TestPolicyDoSurfacesLastError(t *testing.T) {
+	cause := fmt.Errorf("part 3 refused: %w", ErrUnavailable)
+	calls := 0
+	err := RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {}}.Do(OpWrite, func() error {
+		calls++
+		return cause
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *ExhaustedError, got %T: %v", err, err)
+	}
+	if ex.Op != OpWrite || ex.Attempts != 4 || ex.Err != cause {
+		t.Fatalf("exhausted detail: %+v", ex)
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("must unwrap to the underlying cause: %v", err)
+	}
+}
+
+// TestPolicyDoFailsFastOnNonTransient pins that semantic and fatal
+// errors surface immediately, unwrapped — only transient faults burn
+// attempts.
+func TestPolicyDoFailsFastOnNonTransient(t *testing.T) {
+	for _, fatal := range []error{ErrNotExist, ErrExist, ErrCrashed} {
+		calls := 0
+		err := RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}}.Do(OpOpen, func() error {
+			calls++
+			return fatal
+		})
+		if calls != 1 || !errors.Is(err, fatal) {
+			t.Fatalf("%v: calls=%d err=%v", fatal, calls, err)
+		}
+		var ex *ExhaustedError
+		if errors.As(err, &ex) {
+			t.Fatalf("fail-fast error must not be wrapped as exhaustion: %v", err)
+		}
+	}
+}
+
+// TestPolicyDoRecovers pins that a fault that clears mid-loop returns
+// nil with no residue.
+func TestPolicyDoRecovers(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}}.Do(OpRead, func() error {
+		calls++
+		if calls < 3 {
+			return ErrUnavailable
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}

@@ -47,12 +47,17 @@ const (
 	WALCommit byte = 4
 )
 
-// WALBeginRecord is the payload of a WALBegin record.
+// WALBeginRecord is the payload of a WALBegin record. Endpoint and
+// PartSize are set for remote ("obj") backends so recovery can
+// reconnect to the same simulated remote with the same multipart
+// geometry.
 type WALBeginRecord struct {
 	Format    int    `json:"format"`
 	Backend   string `json:"backend"`
 	Compress  bool   `json:"compress,omitempty"`
 	ChunkSize int64  `json:"chunk_size,omitempty"`
+	Endpoint  string `json:"endpoint,omitempty"`
+	PartSize  int64  `json:"part_size,omitempty"`
 }
 
 // WALPutRecord is the payload of a WALPut record: the intent to
